@@ -1,0 +1,57 @@
+"""Bench A1: variable-selection ablation (paper Sect. 3.2).
+
+"[PWA] has proven to be very effective, outperforming by far both
+[forward selection and backward elimination] as well as a selection by
+(human) domain experts."  We compare the four strategies by the fitness of
+the subsets they pick on the case-study monitoring data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.prediction.ubf import (
+    ProbabilisticWrapper,
+    backward_elimination,
+    forward_selection,
+    ridge_cv_fitness,
+)
+from repro.prediction.ubf.predictor import availability_to_nines
+
+#: What a human operator would plausibly pick: the obvious latency signal.
+EXPERT_CHOICE = ["response_time_ms", "cpu_utilization"]
+
+
+def test_bench_ablation_pwa_vs_alternatives(benchmark, case_study):
+    data = case_study
+    target = availability_to_nines(data.y_train)
+    fitness = ridge_cv_fitness()
+
+    pwa = benchmark.pedantic(
+        lambda: ProbabilisticWrapper(rng=np.random.default_rng(1)).select(
+            data.x_train, target
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    forward = forward_selection(data.x_train, target, fitness=fitness)
+    backward = backward_elimination(data.x_train, target, fitness=fitness)
+    expert_indices = [data.variables.index(v) for v in EXPERT_CHOICE]
+    expert_fitness = fitness(data.x_train[:, expert_indices], target)
+
+    print("\n=== Ablation A1: variable selection strategies ===")
+    rows = [
+        ("PWA", pwa.best_fitness, pwa.names(data.variables), pwa.evaluations),
+        ("forward", forward.best_fitness, forward.names(data.variables),
+         forward.evaluations),
+        ("backward", backward.best_fitness, backward.names(data.variables),
+         backward.evaluations),
+        ("expert", expert_fitness, EXPERT_CHOICE, 1),
+    ]
+    print(f"{'strategy':<10s} {'fitness':>9s} {'evals':>6s}  variables")
+    for name, fit, variables, evaluations in rows:
+        print(f"{name:<10s} {fit:9.4f} {evaluations:>6d}  {variables}")
+
+    # Shape: PWA matches or beats the greedy methods and beats the expert.
+    assert pwa.best_fitness >= forward.best_fitness - 0.005
+    assert pwa.best_fitness >= backward.best_fitness - 0.005
+    assert pwa.best_fitness > expert_fitness

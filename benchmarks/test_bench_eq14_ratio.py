@@ -1,0 +1,31 @@
+"""Bench E14: the unavailability ratio of Eq. 14.
+
+Paper: "unavailability is roughly cut down by half" -- ratio ~ 0.488 for
+the Table 2 parameters.  We report both the scale-free asymptotic ratio
+(which matches the paper's number) and the finite-rate ratio at our
+default time scales.
+"""
+
+import pytest
+
+from repro.reliability import (
+    PFMParameters,
+    asymptotic_unavailability_ratio,
+    unavailability_ratio,
+)
+
+
+def test_bench_eq14_unavailability_ratio(benchmark):
+    params = PFMParameters.paper_example()
+    finite = benchmark(unavailability_ratio, params)
+    asymptotic = asymptotic_unavailability_ratio(params)
+
+    print("\n=== Eq. 14: (1 - A_PFM) / (1 - A) ===")
+    print(f"paper reports          ~ 0.488")
+    print(f"asymptotic (scale-free) = {asymptotic:.4f}")
+    print(f"finite rates (defaults) = {finite:.4f}")
+
+    # The asymptotic value must reproduce the paper's number.
+    assert asymptotic == pytest.approx(0.488, abs=0.005)
+    # At any reasonable scale PFM roughly halves unavailability.
+    assert 0.3 < finite < 0.6

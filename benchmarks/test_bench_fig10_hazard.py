@@ -1,0 +1,34 @@
+"""Bench F10b: hazard rate h(t) with vs without PFM (paper Fig. 10b).
+
+The paper plots h(t) over 0..1000 s: both curves rise from 0 to a plateau
+(~8e-5 1/s without PFM), with the PFM plateau roughly half as high.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reliability import PFMParameters, hazard_curves
+
+
+def test_bench_fig10b_hazard_curves(benchmark):
+    params = PFMParameters.paper_example()
+    ts = np.linspace(0.0, 1_000.0, 11)
+    curves = benchmark(hazard_curves, params, ts)
+
+    print("\n=== Fig. 10(b): hazard rate h(t) [1/s] ===")
+    print(f"{'t [s]':>8s}  {'with PFM':>12s}  {'w/o PFM':>12s}")
+    for t, with_pfm, without in zip(
+        curves["t"], curves["with_pfm"], curves["without_pfm"]
+    ):
+        print(f"{t:8.0f}  {with_pfm:12.3e}  {without:12.3e}")
+
+    # Shape: both start at ~0 and rise to a plateau.
+    assert curves["with_pfm"][0] < 1e-9
+    assert curves["without_pfm"][0] < 1e-9
+    assert np.all(np.diff(curves["without_pfm"]) >= -1e-12)
+    # Non-PFM plateau calibrated to the paper's axis (~8e-5 1/s).
+    assert curves["without_pfm"][-1] == pytest.approx(8e-5, rel=0.05)
+    # PFM halves the hazard plateau (same factor as Eq. 14's ~0.49).
+    ratio = curves["with_pfm"][-1] / curves["without_pfm"][-1]
+    print(f"plateau ratio h_pfm/h = {ratio:.3f} (expect ~0.5)")
+    assert 0.35 < ratio < 0.65

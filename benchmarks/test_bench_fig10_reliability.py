@@ -1,0 +1,35 @@
+"""Bench F10a: reliability R(t) with vs without PFM (paper Fig. 10a).
+
+The paper plots R(t) over 0..50,000 s: the PFM curve dominates the
+non-PFM curve everywhere.  Absolute time scales are our calibration (the
+paper publishes none); the *shape* -- domination and a roughly 2x longer
+effective MTTF -- is the reproduction target.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reliability import PFMParameters, reliability_curves
+
+
+def test_bench_fig10a_reliability_curves(benchmark):
+    params = PFMParameters.paper_example()
+    ts = np.linspace(0.0, 50_000.0, 11)
+    curves = benchmark(reliability_curves, params, ts)
+
+    print("\n=== Fig. 10(a): reliability R(t) ===")
+    print(f"{'t [s]':>8s}  {'with PFM':>9s}  {'w/o PFM':>9s}")
+    for t, with_pfm, without in zip(
+        curves["t"], curves["with_pfm"], curves["without_pfm"]
+    ):
+        print(f"{t:8.0f}  {with_pfm:9.4f}  {without:9.4f}")
+
+    assert curves["with_pfm"][0] == pytest.approx(1.0)
+    assert curves["without_pfm"][0] == pytest.approx(1.0)
+    # PFM curve dominates everywhere past t=0.
+    assert np.all(curves["with_pfm"][1:] > curves["without_pfm"][1:])
+    # Roughly a 2x reliability gain at mid-horizon (hazard halved).
+    mid = len(ts) // 2
+    gain = curves["with_pfm"][mid] / curves["without_pfm"][mid]
+    print(f"mid-horizon gain R_pfm/R = {gain:.2f}")
+    assert gain > 1.5

@@ -1,0 +1,78 @@
+"""Bench F3: the online-failure-prediction taxonomy (paper Fig. 3).
+
+Regenerates the classification tree with this library's implementations
+attached to each populated leaf, and measures a representative prediction
+call from every implemented branch on shared case-study data.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.prediction.taxonomy import build_taxonomy, implemented_leaves, render
+
+
+def test_bench_fig3_taxonomy_tree(benchmark):
+    tree = benchmark(build_taxonomy)
+    print("\n=== Fig. 3: taxonomy of online failure prediction ===")
+    print(render(tree))
+    leaves = implemented_leaves()
+    print(f"\npopulated leaves: {len(leaves)}")
+    # All four top-level branches of Fig. 3 exist; three are populated
+    # (auditing is explicitly empty, as in the paper).
+    assert len(tree.children) == 4
+    populated_roots = {key.split("/")[0] for key in leaves}
+    assert populated_roots == {
+        "symptom-monitoring",
+        "detected-error-reporting",
+        "failure-tracking",
+    }
+
+
+def test_bench_fig3_every_branch_predicts(benchmark, case_study, fitted_hsmm, fitted_ubf):
+    """One live prediction per implemented taxonomy branch."""
+    data = case_study
+
+    from repro.prediction.baselines import (
+        DispersionFrameTechnique,
+        ErrorRatePredictor,
+        EventSetPredictor,
+        FailureHistoryPredictor,
+        MSETPredictor,
+        TrendAnalysisPredictor,
+    )
+
+    # Fit the cheap baselines (UBF/HSMM come pre-fitted from fixtures).
+    dft = DispersionFrameTechnique().fit(data.train_failure, data.train_nonfailure)
+    eventset = EventSetPredictor().fit(data.train_failure, data.train_nonfailure)
+    rate = ErrorRatePredictor().fit(data.train_failure, data.train_nonfailure)
+    mset = MSETPredictor(rng=np.random.default_rng(0)).fit(
+        data.x_train, data.y_train
+    )
+    trend = TrendAnalysisPredictor(window=8).fit(data.x_train, data.y_train)
+    history = FailureHistoryPredictor(horizon=300.0).fit(
+        [t for t in data.dataset.failure_times if t <= data.cutoff]
+    )
+
+    sequence = data.test_failure[0]
+
+    def one_of_each():
+        return {
+            "function-approximation/UBF": float(
+                fitted_ubf.score_samples(data.x_test[:1])[0]
+            ),
+            "system-models/MSET": float(mset.score_samples(data.x_test[:1])[0]),
+            "time-series/Trend": float(trend.score_samples(data.x_test[:20])[-1]),
+            "pattern-recognition/HSMM": fitted_hsmm.score_sequence(sequence),
+            "rule-based/EventSets": eventset.score_sequence(sequence),
+            "statistical/DFT": dft.score_sequence(sequence),
+            "statistical/ErrorRate": rate.score_sequence(sequence),
+            "failure-tracking/History": history.probability_within_horizon(1_000.0),
+        }
+
+    scores = benchmark(one_of_each)
+    print("\none prediction per implemented branch:")
+    for branch, score in scores.items():
+        print(f"  {branch:<32s} score={score: .4f}")
+    assert all(np.isfinite(v) for v in scores.values())

@@ -1,0 +1,97 @@
+"""Bench F7: the countermeasure classification (paper Fig. 7).
+
+All five action classes -- state clean-up, preventive failover, lowering
+the load (downtime avoidance); prepared repair, preventive restart
+(downtime minimization) -- executed against a live simulated SCP, plus the
+objective-function selection across the repertoire.
+"""
+
+import pytest
+
+from repro.actions import (
+    ActionCategory,
+    ActionSelector,
+    LowerLoadAction,
+    PreparedRepairAction,
+    PreventiveFailoverAction,
+    PreventiveRestartAction,
+    SelectionContext,
+    StateCleanupAction,
+)
+from repro.simulator import Engine, RandomStreams
+from repro.telecom import SCPConfig, SCPSystem
+
+
+@pytest.fixture()
+def scp():
+    engine = Engine()
+    system = SCPSystem(
+        engine, RandomStreams(5), SCPConfig(enable_aging=False, n_containers=3)
+    )
+    system.start()
+    engine.run(until=60.0)
+    return system
+
+
+def test_bench_fig7_all_action_classes(benchmark, scp):
+    actions = [
+        StateCleanupAction(),
+        PreventiveFailoverAction(fraction=0.5),
+        LowerLoadAction(),
+        PreparedRepairAction(),
+        PreventiveRestartAction(restart_duration=30.0),
+    ]
+
+    def run_all():
+        scp.containers[0].leak_memory(500.0)
+        scp.containers[0].corrupt_state(0.1)
+        return [action.execute(scp, "container-0") for action in actions]
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\n=== Fig. 7: prediction-triggered action classes ===")
+    print(f"{'action':<22s} {'goal':<24s} {'success':<8s} {'downtime [s]':>12s}")
+    for action, outcome in zip(actions, outcomes):
+        print(
+            f"{action.name:<22s} {action.category.value:<24s} "
+            f"{str(outcome.success):<8s} {outcome.downtime_incurred:>12.1f}"
+        )
+
+    avoidance = [
+        a for a in actions if a.category is ActionCategory.DOWNTIME_AVOIDANCE
+    ]
+    minimization = [
+        a for a in actions if a.category is ActionCategory.DOWNTIME_MINIMIZATION
+    ]
+    assert len(avoidance) == 3 and len(minimization) == 2
+    assert all(outcome.time == scp.engine.now for outcome in outcomes)
+
+
+def test_bench_fig7_objective_selection(benchmark, scp):
+    """The Act step's objective function across confidence levels."""
+    selector = ActionSelector(
+        [
+            StateCleanupAction(),
+            PreventiveFailoverAction(),
+            LowerLoadAction(),
+            PreventiveRestartAction(),
+        ]
+    )
+    scp.containers[0].leak_memory(600.0)
+
+    def select_over_confidences():
+        choices = {}
+        for confidence in [0.05, 0.3, 0.6, 0.95]:
+            context = SelectionContext(
+                confidence=confidence, target="container-0", failure_cost=12.0
+            )
+            action = selector.select(scp, context)
+            choices[confidence] = action.name if action else "(do nothing)"
+        return choices
+
+    choices = benchmark(select_over_confidences)
+    print("\nobjective-function selection vs warning confidence:")
+    for confidence, name in choices.items():
+        print(f"  confidence {confidence:.2f} -> {name}")
+    assert choices[0.05] == "(do nothing)"
+    assert choices[0.95] != "(do nothing)"

@@ -1,0 +1,67 @@
+"""Bench S1: sensitivity of the dependability model to its parameters.
+
+Sweeps around the Table 2 operating point: what does predictor quality
+(recall, precision, fpr) and repair-time improvement (k) buy in
+availability / unavailability-ratio terms?
+"""
+
+import pytest
+
+from repro.reliability import (
+    PFMParameters,
+    asymptotic_unavailability_ratio,
+    sweep_availability,
+    sweep_unavailability_ratio,
+)
+from repro.reliability.sensitivity import break_even_p_fp
+
+
+def test_bench_sensitivity_sweeps(benchmark):
+    params = PFMParameters.paper_example()
+
+    def run_sweeps():
+        return {
+            "recall": sweep_unavailability_ratio(
+                params, "recall", [0.2, 0.4, 0.62, 0.8, 0.95]
+            ),
+            "precision": [
+                (p, asymptotic_unavailability_ratio(params.with_quality(precision=p)))
+                for p in [0.3, 0.5, 0.7, 0.9]
+            ],
+            "k": sweep_unavailability_ratio(params, "k", [1.0, 2.0, 4.0, 8.0]),
+            "p_tp": sweep_unavailability_ratio(
+                params, "p_tp", [0.0, 0.25, 0.5, 1.0]
+            ),
+        }
+
+    sweeps = benchmark(run_sweeps)
+
+    print("\n=== Sensitivity around the Table 2 operating point ===")
+    for field, rows in sweeps.items():
+        series = "  ".join(f"{v:g}->{r:.3f}" for v, r in rows)
+        print(f"{field:<10s} {series}")
+    break_even = break_even_p_fp(params)
+    print(f"break-even induced-failure probability p_fp*: {break_even:.3f}")
+
+    # Shape assertions: better prediction/action -> lower ratio.
+    recall_ratios = [r for _, r in sweeps["recall"]]
+    assert recall_ratios == sorted(recall_ratios, reverse=True)
+    k_ratios = [r for _, r in sweeps["k"]]
+    assert k_ratios == sorted(k_ratios, reverse=True)
+    ptp_ratios = [r for _, r in sweeps["p_tp"]]
+    assert ptp_ratios == sorted(ptp_ratios)
+    precision_ratios = [r for _, r in sweeps["precision"]]
+    assert precision_ratios == sorted(precision_ratios, reverse=True)
+    assert break_even > params.p_fp
+
+
+def test_bench_sensitivity_availability_vs_recall(benchmark):
+    params = PFMParameters.paper_example()
+    rows = benchmark(
+        sweep_availability, params, "recall", [0.2, 0.4, 0.62, 0.8, 0.95]
+    )
+    print("\navailability vs recall:")
+    for recall, availability in rows:
+        print(f"  recall={recall:.2f} -> A={availability:.6f}")
+    values = [a for _, a in rows]
+    assert values == sorted(values)

@@ -1,0 +1,44 @@
+"""Bench T2 / Eq. 8: steady-state availability for the Table 2 parameters.
+
+Regenerates the paper's Sect. 5.5 example: Table 2 inputs, the closed-form
+availability of Eq. 8 and the numeric CTMC steady state (cross-check).
+"""
+
+import pytest
+
+from repro.reliability import PFMModel, PFMParameters, closed_form_availability
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PFMParameters.paper_example()
+
+
+def test_bench_table2_availability(benchmark, params):
+    model = PFMModel(params)
+    availability = benchmark(model.availability)
+    closed_form = closed_form_availability(params)
+
+    print("\n=== Table 2 (paper) -> availability (Sect. 5.5) ===")
+    q = params.quality
+    print(
+        f"precision={q.precision}  recall={q.recall}  fpr={q.fpr}  "
+        f"PTP={params.p_tp}  PFP={params.p_fp}  PTN={params.p_tn}  k={params.k}"
+    )
+    print(f"time scales: MTTF={params.mttf}s  1/rA={params.action_time}s  "
+          f"MTTR={params.mttr}s")
+    print(f"A (numeric steady state) = {availability:.6f}")
+    print(f"A (Eq. 8 closed form)    = {closed_form:.6f}")
+    split = model.downtime_split()
+    print(f"downtime split: prepared SR={split['SR']:.6f}  unprepared SF={split['SF']:.6f}")
+
+    # Shape assertions: Eq. 8 == balance-equation solve; high availability.
+    assert availability == pytest.approx(closed_form, abs=1e-10)
+    assert 0.95 < availability < 1.0
+    assert split["SF"] > split["SR"]
+
+
+def test_bench_eq8_closed_form_speed(benchmark, params):
+    """The closed form is the cheap path (no linear solve)."""
+    value = benchmark(closed_form_availability, params)
+    assert 0.95 < value < 1.0

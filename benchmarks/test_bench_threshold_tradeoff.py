@@ -1,0 +1,50 @@
+"""Bench S2: the precision/recall threshold trade-off, priced by the model.
+
+"Many failure predictors (including UBF and HSMM) allow to control this
+trade-off by use of a threshold" (Sect. 3.3).  This bench sweeps the UBF
+threshold on the case-study data and evaluates every operating point with
+the Sect. 5 model -- showing that the dependability-optimal threshold sits
+at higher recall than the max-F point, because the model prices a missed
+failure (unprepared downtime) above a false alarm (P_FP risk only).
+"""
+
+import numpy as np
+import pytest
+
+from repro.prediction.thresholds import max_f_threshold
+from repro.reliability import (
+    PFMParameters,
+    dependability_optimal_threshold,
+    threshold_ratio_curve,
+)
+from repro.reliability.threshold_opt import quality_at_threshold
+from repro.reporting import ascii_chart
+
+
+def test_bench_threshold_tradeoff(benchmark, case_study, fitted_ubf):
+    data = case_study
+    scores = fitted_ubf.score_samples(data.x_test)
+    labels = data.labels_test
+    params = PFMParameters.paper_example()
+
+    curve = benchmark(threshold_ratio_curve, scores, labels, params)
+    best = dependability_optimal_threshold(scores, labels, params)
+    f_threshold, f_value = max_f_threshold(scores, labels)
+    f_quality = quality_at_threshold(scores, labels, f_threshold)
+
+    print("\n=== Threshold trade-off priced by the Sect. 5 model ===")
+    ratios = [p.unavailability_ratio for p in curve]
+    recalls = [p.quality.recall for p in curve]
+    print(ascii_chart({"ratio": ratios, "recall": recalls}, width=56, height=10))
+    print(f"max-F threshold:         tau={f_threshold:.3f}  "
+          f"precision={f_quality.precision:.3f} recall={f_quality.recall:.3f} "
+          f"-> ratio irrelevant to F")
+    print(f"dependability optimum:   tau={best.threshold:.3f}  "
+          f"precision={best.quality.precision:.3f} "
+          f"recall={best.quality.recall:.3f} "
+          f"-> ratio={best.unavailability_ratio:.3f}")
+
+    # Shape: a real optimum exists and favors recall at least as much as F.
+    assert min(ratios) == best.unavailability_ratio
+    assert best.unavailability_ratio < 1.0
+    assert best.quality.recall >= f_quality.recall - 1e-9

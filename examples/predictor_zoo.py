@@ -1,0 +1,110 @@
+"""A tour of the prediction taxonomy (paper Sect. 3, Fig. 3).
+
+Trains one predictor from every implemented taxonomy branch on the same
+simulated telecom data and prints a single comparison table -- the kind of
+head-to-head the survey behind the paper calls for.
+
+Run:  python examples/predictor_zoo.py             (takes ~1-2 minutes)
+"""
+
+import numpy as np
+
+from repro.prediction.baselines import (
+    DispersionFrameTechnique,
+    ErrorRatePredictor,
+    EventSetPredictor,
+    FailureHistoryPredictor,
+    MSETPredictor,
+    TrendAnalysisPredictor,
+)
+from repro.prediction.evaluation import (
+    chronological_split,
+    report_from_scores,
+    split_sequences,
+)
+from repro.prediction.hsmm import HSMMPredictor
+from repro.prediction.metrics import auc
+from repro.prediction.taxonomy import render
+from repro.prediction.ubf import ProbabilisticWrapper, UBFNetwork, UBFPredictor
+from repro.telecom import DatasetConfig, generate_dataset
+
+DAY = 86_400.0
+VARIABLES = [
+    "cpu_utilization", "memory_free_mb", "swap_activity", "max_stretch",
+    "response_time_ms", "error_rate", "violation_prob", "db_utilization",
+    "request_rate",
+]
+
+
+def main() -> None:
+    print(render())
+    print("\nSimulating 7 days of SCP operation...")
+    dataset = generate_dataset(DatasetConfig(horizon=7 * DAY, seed=7))
+    grid, x, y_avail, y_fail = dataset.ubf_samples(variables=VARIABLES)
+    train, test = chronological_split(grid, fraction=0.6)
+    cutoff = float(grid[train][-1])
+    failure_seqs, nonfailure_seqs = dataset.error_sequences()
+    train_f, test_f = split_sequences(failure_seqs, cutoff)
+    train_n, test_n = split_sequences(nonfailure_seqs, cutoff)
+
+    reports = []
+
+    # --- Symptom-monitoring branch ---
+    print("Fitting symptom-monitoring predictors (UBF, MSET, trend)...")
+    ubf = UBFPredictor(
+        network=UBFNetwork(n_kernels=10, max_opt_iter=20, rng=np.random.default_rng(0)),
+        wrapper=ProbabilisticWrapper(n_rounds=6, samples_per_round=8,
+                                     rng=np.random.default_rng(1)),
+    )
+    for predictor in [ubf, MSETPredictor(rng=np.random.default_rng(2)),
+                      TrendAnalysisPredictor(window=8)]:
+        predictor.fit(x[train], y_avail[train])
+        reports.append(
+            report_from_scores(
+                predictor.info.name,
+                predictor.score_samples(x[train]), y_fail[train],
+                predictor.score_samples(x[test]), y_fail[test],
+            )
+        )
+
+    # --- Detected-error-reporting branch ---
+    print("Fitting event-based predictors (HSMM, event sets, DFT, error rate)...")
+    for predictor in [
+        HSMMPredictor(max_iter=10, seed=3),
+        EventSetPredictor(),
+        DispersionFrameTechnique(),
+        ErrorRatePredictor(),
+    ]:
+        predictor.fit(train_f, train_n)
+        train_scores, train_labels = predictor._score_labeled(train_f, train_n)
+        test_scores, test_labels = predictor._score_labeled(test_f, test_n)
+        reports.append(
+            report_from_scores(
+                predictor.info.name, train_scores, train_labels,
+                test_scores, test_labels,
+            )
+        )
+
+    # --- Failure-tracking branch ---
+    print("Fitting the failure-tracking predictor...")
+    history = FailureHistoryPredictor(horizon=600.0)
+    known = [t for t in dataset.failure_times if t <= cutoff]
+    history.fit(known)
+    test_grid = grid[test]
+    scores = history.score_times(test_grid, np.asarray(dataset.failure_times))
+    history_auc = auc(scores, y_fail[test])
+
+    print("\n=== Predictor comparison (test period) ===")
+    for report in sorted(reports, key=lambda r: -r.auc):
+        print("  " + report.row())
+    print(f"  {'FailureHistory':<14s} AUC={history_auc:.3f} "
+          "(no monitoring data at all -- the taxonomy's cheapest branch)")
+    print(
+        "\nShape: the paper's two methods (HSMM, UBF) lead; history-only "
+        "prediction trails far behind, which is why PFM monitors symptoms "
+        "and error reports rather than just counting failures."
+    )
+
+
+if __name__ == "__main__":
+    main()

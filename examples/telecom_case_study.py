@@ -1,0 +1,89 @@
+"""The telecom case study (paper Sect. 3.3), end to end.
+
+Simulates the synthetic Service Control Point for a week, injects the
+faultload, and trains/evaluates both paper predictors:
+
+- UBF on periodic monitoring variables (symptom monitoring),
+- HSMM on error-log sequences (detected error reporting),
+
+reporting precision / recall / false positive rate / AUC at the max-F
+threshold, exactly the metrics the paper uses.
+
+Run:  python examples/telecom_case_study.py       (takes ~1-2 minutes)
+"""
+
+import numpy as np
+
+from repro.prediction.evaluation import (
+    chronological_split,
+    report_from_scores,
+    split_sequences,
+)
+from repro.prediction.hsmm import HSMMPredictor
+from repro.prediction.ubf import ProbabilisticWrapper, UBFNetwork, UBFPredictor
+from repro.telecom import DatasetConfig, generate_dataset
+
+DAY = 86_400.0
+
+VARIABLES = [
+    "cpu_utilization",
+    "memory_free_mb",
+    "swap_activity",
+    "max_stretch",
+    "response_time_ms",
+    "error_rate",
+    "violation_prob",
+    "db_utilization",
+    "request_rate",
+]
+
+
+def main() -> None:
+    print("Simulating 7 days of SCP operation with injected faults...")
+    dataset = generate_dataset(DatasetConfig(horizon=7 * DAY, seed=7))
+    print(f"  SLA windows: {len(dataset.system.sla.windows)}")
+    print(f"  failures (Eq. 2 breaches): {len(dataset.failure_log)}")
+    print(f"  error-log records: {len(dataset.error_log)}")
+    print(f"  fault episodes: {len(dataset.faultload)} ({sorted(dataset.faultload.kinds())})")
+
+    # ----- UBF on monitoring variables --------------------------------
+    grid, x, y_avail, y_fail = dataset.ubf_samples(variables=VARIABLES)
+    train, test = chronological_split(grid, fraction=0.6)
+    print("\nTraining UBF (PWA variable selection + mixture-kernel network)...")
+    ubf = UBFPredictor(
+        network=UBFNetwork(n_kernels=10, max_opt_iter=25, rng=np.random.default_rng(0)),
+        wrapper=ProbabilisticWrapper(n_rounds=8, samples_per_round=10,
+                                     rng=np.random.default_rng(1)),
+    )
+    ubf.fit(x[train], y_avail[train])
+    print(f"  PWA selected: {ubf.selection_.names(VARIABLES)}")
+    ubf_report = report_from_scores(
+        "UBF",
+        ubf.score_samples(x[train]), y_fail[train],
+        ubf.score_samples(x[test]), y_fail[test],
+    )
+
+    # ----- HSMM on error sequences ------------------------------------
+    print("Training HSMM (two-model error-sequence classifier)...")
+    cutoff = float(grid[train][-1])
+    failure_seqs, nonfailure_seqs = dataset.error_sequences()
+    train_f, test_f = split_sequences(failure_seqs, cutoff)
+    train_n, test_n = split_sequences(nonfailure_seqs, cutoff)
+    hsmm = HSMMPredictor(max_iter=10, seed=3)
+    hsmm.fit(train_f, train_n)
+    train_scores, train_labels = hsmm._score_labeled(train_f, train_n)
+    test_scores, test_labels = hsmm._score_labeled(test_f, test_n)
+    hsmm_report = report_from_scores(
+        "HSMM", train_scores, train_labels, test_scores, test_labels
+    )
+
+    # ----- The Sect. 3.3 results table --------------------------------
+    print("\n=== Results (paper Sect. 3.3 format) ===")
+    print("paper HSMM: precision=0.700 recall=0.620 fpr=0.016 AUC=0.873")
+    print("paper UBF : AUC=0.846")
+    print(f"this run  : {hsmm_report.row()}")
+    print(f"this run  : {ubf_report.row()}")
+
+
+if __name__ == "__main__":
+    main()

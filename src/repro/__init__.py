@@ -1,0 +1,26 @@
+"""Proactive Fault Management (PFM) reproduction library.
+
+This package reproduces the system described in Salfner & Malek,
+"Architecting Dependable Systems with Proactive Fault Management":
+
+- ``repro.simulator``    -- discrete-event simulation engine
+- ``repro.faults``       -- fault -> error -> symptom -> failure chain
+- ``repro.monitoring``   -- monitoring infrastructure (time series + error log)
+- ``repro.telecom``      -- synthetic telecom SCP case-study system
+- ``repro.markov``       -- DTMC/CTMC/HMM/HSMM mathematics
+- ``repro.prediction``   -- online failure prediction (UBF, HSMM, baselines)
+- ``repro.actions``      -- prediction-driven countermeasures
+- ``repro.reliability``  -- CTMC availability/reliability/hazard model
+- ``repro.core``         -- MEA cycle, blueprint architecture, experiments
+
+Quickstart::
+
+    from repro.reliability import PFMParameters, PFMModel
+    params = PFMParameters.paper_example()
+    model = PFMModel(params)
+    print(model.availability())
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

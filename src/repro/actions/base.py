@@ -1,0 +1,91 @@
+"""Action interface and outcome records."""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+
+from repro.telecom.system import SCPSystem
+
+
+class ActionCategory(enum.Enum):
+    """The two principal goals of Fig. 7."""
+
+    DOWNTIME_AVOIDANCE = "downtime-avoidance"
+    DOWNTIME_MINIMIZATION = "downtime-minimization"
+
+
+@dataclass(frozen=True)
+class ActionOutcome:
+    """What happened when an action executed."""
+
+    action: str
+    target: str
+    time: float
+    success: bool
+    downtime_incurred: float = 0.0
+    details: dict = field(default_factory=dict)
+
+
+class Action(abc.ABC):
+    """A countermeasure that can be triggered by a failure warning.
+
+    Attributes (class-level defaults, overridable per instance):
+
+    - ``category``: downtime avoidance vs minimization,
+    - ``cost``: abstract execution cost (performance impact, risk),
+    - ``complexity``: the paper's objective function includes action
+      complexity as a separate term,
+    - ``success_probability``: prior probability the action defuses the
+      problem (the model's ``1 - P_TP`` contribution).
+    """
+
+    name: str = "action"
+    category: ActionCategory = ActionCategory.DOWNTIME_AVOIDANCE
+    cost: float = 1.0
+    complexity: float = 1.0
+    success_probability: float = 0.5
+
+    def __init__(
+        self,
+        cost: float | None = None,
+        complexity: float | None = None,
+        success_probability: float | None = None,
+    ) -> None:
+        if cost is not None:
+            self.cost = cost
+        if complexity is not None:
+            self.complexity = complexity
+        if success_probability is not None:
+            self.success_probability = success_probability
+        self.executions = 0
+
+    def applicable(self, system: SCPSystem, target: str) -> bool:
+        """Whether this action makes sense for the target right now."""
+        return True
+
+    @abc.abstractmethod
+    def execute(self, system: SCPSystem, target: str) -> ActionOutcome:
+        """Perform the countermeasure against ``target`` on ``system``."""
+
+    def _outcome(
+        self,
+        system: SCPSystem,
+        target: str,
+        success: bool,
+        downtime: float = 0.0,
+        **details,
+    ) -> ActionOutcome:
+        self.executions += 1
+        return ActionOutcome(
+            action=self.name,
+            target=target,
+            time=system.engine.now,
+            success=success,
+            downtime_incurred=downtime,
+            details=details,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(cost={self.cost}, p_success={self.success_probability})"

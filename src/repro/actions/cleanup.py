@@ -1,0 +1,55 @@
+"""State clean-up (downtime avoidance).
+
+"State clean-up tries to avoid failures by cleaning up resources.
+Examples include garbage collection, clearance of queues, correction of
+corrupt data or elimination of 'hung' processes."
+
+Clean-up runs online -- no downtime -- but only recovers soft state
+(leaked memory, corruption); it cannot restore hung workers, which is why
+its success probability is below a restart's.
+"""
+
+from __future__ import annotations
+
+from repro.actions.base import Action, ActionCategory, ActionOutcome
+from repro.telecom.system import SCPSystem
+
+
+class StateCleanupAction(Action):
+    """Garbage collection + corrupt-state repair on one component."""
+
+    name = "state-cleanup"
+    category = ActionCategory.DOWNTIME_AVOIDANCE
+    cost = 0.5
+    complexity = 0.5
+    success_probability = 0.6
+
+    def __init__(self, effectiveness: float = 0.8, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.effectiveness = effectiveness
+
+    def applicable(self, system: SCPSystem, target: str) -> bool:
+        """Clean-up helps only when there is soft state (leak/corruption) to clean."""
+        component = system.component(target)
+        # Cleaning helps when there is soft state to clean.
+        return component.leaked_mb > 0 or component.corruption > 0
+
+    def execute(self, system: SCPSystem, target: str) -> ActionOutcome:
+        """Run GC + corruption repair on the target; success = substantial recovery."""
+        component = system.component(target)
+        leaked_before = component.leaked_mb
+        corruption_before = component.corruption
+        system.cleanup_component(target, self.effectiveness)
+        recovered_mb = leaked_before - component.leaked_mb
+        # Success = the dominant soft-state problem was substantially reduced.
+        success = (
+            recovered_mb > 0.5 * leaked_before
+            or (corruption_before - component.corruption) > 0.5 * corruption_before
+        )
+        return self._outcome(
+            system,
+            target,
+            success=bool(success),
+            recovered_mb=recovered_mb,
+            corruption_removed=corruption_before - component.corruption,
+        )

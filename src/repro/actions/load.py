@@ -1,0 +1,73 @@
+"""Lowering the load (downtime avoidance).
+
+"Lowering the load is a common way to prevent failures.  For example,
+webservers reject connection requests in order not to become overloaded.
+Within proactive fault management, the number of allowed connections is
+adaptive and would depend on the assessed risk of failure."
+
+The admitted fraction is therefore a function of the failure-warning
+confidence: the more certain the predictor, the harder the throttle.
+"""
+
+from __future__ import annotations
+
+from repro.actions.base import Action, ActionCategory, ActionOutcome
+from repro.telecom.system import SCPSystem
+
+
+class LowerLoadAction(Action):
+    """Risk-adaptive admission control on the whole SCP."""
+
+    name = "lower-load"
+    category = ActionCategory.DOWNTIME_AVOIDANCE
+    cost = 2.0  # rejected requests are lost business
+    complexity = 0.3
+    success_probability = 0.7
+
+    def __init__(self, min_admission: float = 0.4, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.min_admission = min_admission
+        self.last_confidence = 1.0
+
+    def admission_for(self, confidence: float) -> float:
+        """Map warning confidence in [0, 1] to an admitted fraction.
+
+        No warning (confidence 0) -> admit everything; full confidence ->
+        throttle down to ``min_admission``.
+        """
+        confidence = min(max(confidence, 0.0), 1.0)
+        return 1.0 - confidence * (1.0 - self.min_admission)
+
+    def set_confidence(self, confidence: float) -> None:
+        """Record the warning confidence the next execution will throttle by."""
+        self.last_confidence = confidence
+
+    def applicable(self, system: SCPSystem, target: str) -> bool:
+        """Admission control applies to the system as a whole, always."""
+        return True
+
+    def execute(self, system: SCPSystem, target: str) -> ActionOutcome:
+        """Apply the confidence-scaled admission fraction to the SCP."""
+        fraction = self.admission_for(self.last_confidence)
+        system.set_admission_fraction(fraction)
+        return self._outcome(
+            system,
+            target,
+            success=True,
+            admission_fraction=fraction,
+            confidence=self.last_confidence,
+        )
+
+
+class RestoreLoadAction(Action):
+    """Lift the throttle once the danger has passed."""
+
+    name = "restore-load"
+    category = ActionCategory.DOWNTIME_AVOIDANCE
+    cost = 0.0
+    complexity = 0.1
+    success_probability = 1.0
+
+    def execute(self, system: SCPSystem, target: str) -> ActionOutcome:
+        system.set_admission_fraction(1.0)
+        return self._outcome(system, target, success=True)

@@ -1,0 +1,95 @@
+"""Action scheduling.
+
+"In addition to selecting an appropriate action, its execution needs to be
+scheduled, e.g., at times of low system utilization, and it needs to be
+executed."
+
+The scheduler defers an action until system utilization drops below a
+threshold -- but never beyond the prediction lead time, because a
+countermeasure executed after the failure is pointless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.actions.base import Action, ActionOutcome
+from repro.errors import ConfigurationError
+from repro.simulator.events import Timeout
+from repro.telecom.system import SCPSystem
+
+
+@dataclass
+class ScheduledExecution:
+    """Bookkeeping for one deferred action."""
+
+    action: Action
+    target: str
+    deadline: float
+    executed_at: float | None = None
+    outcome: ActionOutcome | None = None
+
+
+class ActionScheduler:
+    """Defers actions to low-utilization moments within the lead time."""
+
+    def __init__(
+        self,
+        system: SCPSystem,
+        utilization_threshold: float = 0.5,
+        poll_interval: float = 10.0,
+    ) -> None:
+        if not 0 < utilization_threshold <= 1.5:
+            raise ConfigurationError("utilization_threshold must be positive")
+        if poll_interval <= 0:
+            raise ConfigurationError("poll_interval must be positive")
+        self.system = system
+        self.utilization_threshold = utilization_threshold
+        self.poll_interval = poll_interval
+        self.history: list[ScheduledExecution] = []
+
+    def _utilization(self) -> float:
+        return float(np.mean([c.utilization for c in self.system.containers]))
+
+    def schedule(self, action: Action, target: str, lead_time: float) -> ScheduledExecution:
+        """Queue the action; it runs at the first quiet poll or at deadline."""
+        if lead_time <= 0:
+            raise ConfigurationError("lead_time must be positive")
+        record = ScheduledExecution(
+            action=action,
+            target=target,
+            deadline=self.system.engine.now + lead_time,
+        )
+        self.history.append(record)
+        self.system.engine.process(
+            self._wait_and_execute(record), name=f"sched:{action.name}"
+        )
+        return record
+
+    def execute_now(self, action: Action, target: str) -> ScheduledExecution:
+        """Immediate execution (for urgent warnings)."""
+        record = ScheduledExecution(
+            action=action, target=target, deadline=self.system.engine.now
+        )
+        self._fire(record)
+        self.history.append(record)
+        return record
+
+    def _wait_and_execute(self, record: ScheduledExecution):
+        while self.system.engine.now < record.deadline:
+            if self._utilization() <= self.utilization_threshold:
+                break
+            remaining = record.deadline - self.system.engine.now
+            yield Timeout(min(self.poll_interval, max(remaining, 1e-9)))
+        self._fire(record)
+
+    def _fire(self, record: ScheduledExecution) -> None:
+        record.executed_at = self.system.engine.now
+        record.outcome = record.action.execute(self.system, record.target)
+
+    @property
+    def executed(self) -> list[ScheduledExecution]:
+        """Scheduled actions that have run (with their outcomes)."""
+        return [r for r in self.history if r.executed_at is not None]

@@ -1,0 +1,99 @@
+"""Action selection: the objective function of the MEA "Act" step.
+
+"There might be several actions available, such that the most effective
+method needs to be selected.  Effectiveness of actions is evaluated based
+on an objective function taking cost of actions, confidence in the
+prediction, probability of success and complexity of actions into
+account."  The same scheme underlies FT-Pro (Li & Lan 2006), which uses a
+predictor's error rates together with cost and expected downtime to choose
+among migrate / checkpoint / do nothing.
+
+Expected utility of action ``a`` given warning confidence ``c``::
+
+    U(a) = c * P_success(a) * benefit  -  cost(a)  -  w_cx * complexity(a)
+
+Doing nothing has utility 0; an action is only taken when some U(a) > 0,
+which is exactly how false alarms with low confidence end up ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.actions.base import Action
+from repro.errors import ConfigurationError
+from repro.telecom.system import SCPSystem
+
+
+@dataclass(frozen=True)
+class SelectionContext:
+    """What the selector knows when a warning arrives."""
+
+    confidence: float  # warning confidence in [0, 1]
+    target: str  # suspected component
+    failure_cost: float = 10.0  # cost of letting the failure happen
+    complexity_weight: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ConfigurationError("confidence must be in [0, 1]")
+        if self.failure_cost < 0:
+            raise ConfigurationError("failure_cost must be >= 0")
+
+
+@dataclass
+class ScoredAction:
+    """An action with its computed expected utility."""
+
+    action: Action
+    utility: float
+    applicable: bool
+
+
+@dataclass
+class ActionSelector:
+    """Ranks a repertoire of actions by expected utility."""
+
+    repertoire: list[Action] = field(default_factory=list)
+
+    def add(self, action: Action) -> "ActionSelector":
+        """Append an action to the repertoire (chainable)."""
+        self.repertoire.append(action)
+        return self
+
+    def utility(self, action: Action, context: SelectionContext) -> float:
+        """The objective function value for one action."""
+        benefit = context.confidence * action.success_probability * context.failure_cost
+        return (
+            benefit
+            - action.cost
+            - context.complexity_weight * action.complexity
+        )
+
+    def rank(
+        self, system: SCPSystem, context: SelectionContext
+    ) -> list[ScoredAction]:
+        """All actions scored, applicable ones first, best utility first."""
+        scored = [
+            ScoredAction(
+                action=action,
+                utility=self.utility(action, context),
+                applicable=action.applicable(system, context.target),
+            )
+            for action in self.repertoire
+        ]
+        scored.sort(key=lambda s: (not s.applicable, -s.utility))
+        return scored
+
+    def select(
+        self, system: SCPSystem, context: SelectionContext
+    ) -> Action | None:
+        """The most effective applicable action, or None for "do nothing".
+
+        None is returned when no applicable action has positive expected
+        utility -- acting would cost more than the risk it removes.
+        """
+        for scored in self.rank(system, context):
+            if scored.applicable and scored.utility > 0:
+                return scored.action
+        return None

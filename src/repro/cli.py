@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands map to the paper's artifacts:
+
+- ``model``        Table 2 -> availability (Eq. 8), ratio (Eq. 14)
+- ``curves``       Fig. 10 reliability / hazard series
+- ``case-study``   Sect. 3.3: simulate the SCP, train UBF + HSMM, report
+- ``closed-loop``  replay one faultload with and without PFM
+- ``taxonomy``     print the Fig. 3 classification tree
+- ``policies``     cost comparison: PFM vs optimal rejuvenation vs nothing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_model(args: argparse.Namespace) -> None:
+    from repro.reliability import (
+        PFMModel,
+        PFMParameters,
+        PredictionQuality,
+        asymptotic_unavailability_ratio,
+        unavailability_ratio,
+        without_pfm_availability,
+    )
+
+    params = PFMParameters(
+        quality=PredictionQuality(args.precision, args.recall, args.fpr),
+        p_tp=args.ptp,
+        p_fp=args.pfp,
+        k=args.k,
+    )
+    model = PFMModel(params)
+    print(f"availability with PFM:    {model.availability():.6f}")
+    print(f"availability without PFM: {without_pfm_availability(params):.6f}")
+    print(f"unavailability ratio:     {unavailability_ratio(params):.3f}")
+    print(f"asymptotic ratio (Eq.14): {asymptotic_unavailability_ratio(params):.3f}")
+
+
+def _cmd_curves(args: argparse.Namespace) -> None:
+    from repro.reliability import PFMParameters, hazard_curves, reliability_curves
+
+    params = PFMParameters.paper_example()
+    ts = np.linspace(0.0, args.horizon, args.points)
+    reliability = reliability_curves(params, ts)
+    hazard = hazard_curves(params, ts)
+    print(f"{'t':>10s} {'R_pfm':>8s} {'R':>8s} {'h_pfm':>11s} {'h':>11s}")
+    for i, t in enumerate(ts):
+        print(
+            f"{t:10.0f} {reliability['with_pfm'][i]:8.4f} "
+            f"{reliability['without_pfm'][i]:8.4f} "
+            f"{hazard['with_pfm'][i]:11.3e} {hazard['without_pfm'][i]:11.3e}"
+        )
+
+
+def _cmd_case_study(args: argparse.Namespace) -> None:
+    from repro.prediction.evaluation import (
+        chronological_split,
+        report_from_scores,
+        split_sequences,
+    )
+    from repro.prediction.hsmm import HSMMPredictor
+    from repro.prediction.ubf import (
+        ProbabilisticWrapper,
+        UBFNetwork,
+        UBFPredictor,
+    )
+    from repro.telecom import DatasetConfig, generate_dataset
+
+    variables = [
+        "cpu_utilization", "memory_free_mb", "swap_activity", "max_stretch",
+        "response_time_ms", "error_rate", "violation_prob", "db_utilization",
+        "request_rate",
+    ]
+    print(f"simulating {args.days:g} days of SCP operation...")
+    dataset = generate_dataset(
+        DatasetConfig(horizon=args.days * 86_400.0, seed=args.seed)
+    )
+    print(f"failures: {len(dataset.failure_log)}  errors: {len(dataset.error_log)}")
+    grid, x, y_avail, y_fail = dataset.ubf_samples(variables=variables)
+    train, test = chronological_split(grid, fraction=0.6)
+    ubf = UBFPredictor(
+        network=UBFNetwork(n_kernels=10, max_opt_iter=25, rng=np.random.default_rng(0)),
+        wrapper=ProbabilisticWrapper(
+            n_rounds=8, samples_per_round=10, rng=np.random.default_rng(1)
+        ),
+    )
+    ubf.fit(x[train], y_avail[train])
+    ubf_report = report_from_scores(
+        "UBF",
+        ubf.score_samples(x[train]), y_fail[train],
+        ubf.score_samples(x[test]), y_fail[test],
+    )
+    cutoff = float(grid[train][-1])
+    failure_seqs, nonfailure_seqs = dataset.error_sequences()
+    train_f, test_f = split_sequences(failure_seqs, cutoff)
+    train_n, test_n = split_sequences(nonfailure_seqs, cutoff)
+    hsmm = HSMMPredictor(max_iter=10, seed=3)
+    hsmm.fit(train_f, train_n)
+    train_scores, train_labels = hsmm._score_labeled(train_f, train_n)
+    test_scores, test_labels = hsmm._score_labeled(test_f, test_n)
+    hsmm_report = report_from_scores(
+        "HSMM", train_scores, train_labels, test_scores, test_labels
+    )
+    print("paper HSMM: precision=0.700 recall=0.620 fpr=0.016 AUC=0.873")
+    print("paper UBF : AUC=0.846")
+    print(hsmm_report.row())
+    print(ubf_report.row())
+
+
+def _cmd_closed_loop(args: argparse.Namespace) -> None:
+    from repro.core import run_closed_loop
+
+    result = run_closed_loop(
+        train_seed=args.train_seed,
+        eval_seed=args.eval_seed,
+        horizon=args.days * 86_400.0,
+    )
+    print(result.summary())
+
+
+def _cmd_taxonomy(args: argparse.Namespace) -> None:
+    from repro.prediction.taxonomy import render
+
+    print(render())
+
+
+def _cmd_policies(args: argparse.Namespace) -> None:
+    from repro.reliability import PFMParameters
+    from repro.reliability.cost import CostModel, policy_comparison
+
+    costs = CostModel(
+        unplanned_cost_rate=args.unplanned_cost, planned_cost_rate=args.planned_cost
+    )
+    rows = policy_comparison(PFMParameters.paper_example(), costs)
+    print(f"{'policy':<24s} {'avail':>8s} {'planned':>9s} {'unplanned':>10s} {'cost/s':>9s}")
+    for row in rows:
+        print(
+            f"{row.policy:<24s} {row.availability:8.5f} "
+            f"{row.planned_downtime_fraction:9.6f} "
+            f"{row.unplanned_downtime_fraction:10.6f} {row.cost_rate:9.5f}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Proactive Fault Management reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    model = sub.add_parser("model", help="Table 2 -> Eq. 8 / Eq. 14")
+    model.add_argument("--precision", type=float, default=0.70)
+    model.add_argument("--recall", type=float, default=0.62)
+    model.add_argument("--fpr", type=float, default=0.016)
+    model.add_argument("--ptp", type=float, default=0.25)
+    model.add_argument("--pfp", type=float, default=0.1)
+    model.add_argument("--k", type=float, default=2.0)
+    model.set_defaults(func=_cmd_model)
+
+    curves = sub.add_parser("curves", help="Fig. 10 series")
+    curves.add_argument("--horizon", type=float, default=50_000.0)
+    curves.add_argument("--points", type=int, default=11)
+    curves.set_defaults(func=_cmd_curves)
+
+    case = sub.add_parser("case-study", help="Sect. 3.3 predictors on the SCP")
+    case.add_argument("--days", type=float, default=7.0)
+    case.add_argument("--seed", type=int, default=7)
+    case.set_defaults(func=_cmd_case_study)
+
+    loop = sub.add_parser("closed-loop", help="PFM vs baseline on one faultload")
+    loop.add_argument("--train-seed", type=int, default=11)
+    loop.add_argument("--eval-seed", type=int, default=21)
+    loop.add_argument("--days", type=float, default=3.0)
+    loop.set_defaults(func=_cmd_closed_loop)
+
+    taxonomy = sub.add_parser("taxonomy", help="Fig. 3 tree")
+    taxonomy.set_defaults(func=_cmd_taxonomy)
+
+    policies = sub.add_parser("policies", help="cost: PFM vs rejuvenation vs none")
+    policies.add_argument("--unplanned-cost", type=float, default=10.0)
+    policies.add_argument("--planned-cost", type=float, default=1.0)
+    policies.set_defaults(func=_cmd_policies)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""The architectural blueprint (paper Sect. 6, Fig. 11).
+
+"We propose to have separate failure predictors for each system layer ...
+[and] to have the 'Act' component of the MEA cycle span all system
+layers: It incorporates the predictions of its level predictors in order
+to select the most appropriate countermeasure ... we propose to apply
+techniques known as meta-learning [stacked generalization]."
+
+:class:`BlueprintArchitecture` holds one predictor per layer, each looking
+only at its layer's variables, plus a stacked-generalization combiner
+producing the system-level failure-proneness score for the cross-layer
+Act component.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.prediction.base import SymptomPredictor
+from repro.prediction.meta import StackedGeneralization
+
+
+class Layer(enum.Enum):
+    """System layers of the Fig. 11 stack."""
+
+    HARDWARE = "hardware"
+    VMM = "vmm"
+    OS = "os"
+    MIDDLEWARE = "middleware"
+    APPLICATION = "application"
+
+
+@dataclass
+class LayerPredictor:
+    """One layer's predictor with its variable subset."""
+
+    layer: Layer
+    predictor: SymptomPredictor
+    variable_indices: list[int]
+
+    def scores(self, x: np.ndarray) -> np.ndarray:
+        """This layer's failure-proneness scores on its variable subset."""
+        return self.predictor.score_samples(
+            np.atleast_2d(x)[:, self.variable_indices]
+        )
+
+
+class BlueprintArchitecture:
+    """Per-layer predictors combined by stacked generalization."""
+
+    def __init__(self, layers: list[LayerPredictor]) -> None:
+        if not layers:
+            raise ConfigurationError("need at least one layer predictor")
+        seen = set()
+        for layer in layers:
+            if layer.layer in seen:
+                raise ConfigurationError(f"duplicate layer {layer.layer}")
+            seen.add(layer.layer)
+        self.layers = layers
+        self.combiner = StackedGeneralization(
+            predictor_names=[lp.layer.value for lp in layers]
+        )
+        self._fitted = False
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        labels: np.ndarray,
+        holdout_fraction: float = 0.5,
+    ) -> "BlueprintArchitecture":
+        """Train layer predictors, then the combiner on held-out scores.
+
+        The training period is split chronologically: the first part fits
+        the level-0 layer predictors, the second produces their
+        out-of-sample scores on which the level-1 combiner is trained
+        (the standard stacking discipline).
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        labels = np.asarray(labels, dtype=bool).ravel()
+        if not 0 < holdout_fraction < 1:
+            raise ConfigurationError("holdout_fraction must be in (0, 1)")
+        cut = int((1.0 - holdout_fraction) * x.shape[0])
+        if cut < 1 or cut >= x.shape[0]:
+            raise ConfigurationError("training set too small to split for stacking")
+        for layer in self.layers:
+            layer.predictor.fit(x[:cut, layer.variable_indices], y[:cut])
+        holdout_scores = self.layer_scores(x[cut:])
+        self.combiner.fit(holdout_scores, labels[cut:])
+        self._fitted = True
+        return self
+
+    def layer_scores(self, x: np.ndarray) -> np.ndarray:
+        """Level-0 score matrix: one column per layer."""
+        return np.column_stack([layer.scores(x) for layer in self.layers])
+
+    def score_samples(self, x: np.ndarray) -> np.ndarray:
+        """System-level fused failure probability."""
+        if not self._fitted:
+            raise NotFittedError("BlueprintArchitecture has not been fitted")
+        return self.combiner.score(self.layer_scores(x))
+
+    def layer_report(self) -> dict[str, float]:
+        """Learned combiner weight per layer (translucency aid)."""
+        return self.combiner.weights()

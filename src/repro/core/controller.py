@@ -1,0 +1,256 @@
+"""The PFM controller: a trained predictor driving countermeasures.
+
+Binds together, on a live (simulated) SCP:
+
+- **Monitor**: reads the system gauges into a feature vector,
+- **Evaluate**: scores the vector with a trained symptom predictor and
+  identifies the most suspect container,
+- **Act**: picks the most effective applicable countermeasure via the
+  objective function and executes it (optionally deferred to low load).
+
+The controller also keeps the bookkeeping needed to reconstruct the
+paper's Table 1 after the run: every evaluation is a prediction point that
+can be classified TP/FP/TN/FN against the failure log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.actions.base import Action, ActionCategory
+from repro.actions.cleanup import StateCleanupAction
+from repro.actions.failover import PreventiveFailoverAction
+from repro.actions.load import LowerLoadAction, RestoreLoadAction
+from repro.actions.restart import PreventiveRestartAction
+from repro.actions.selection import ActionSelector, SelectionContext
+from repro.core.mea import EvaluationResult, MEACycle
+from repro.errors import ConfigurationError
+from repro.prediction.base import SymptomPredictor
+from repro.prediction.calibration import PlattScaling
+from repro.prediction.online import OnlineEventScorer
+from repro.telecom.system import SCPSystem
+
+
+def default_repertoire() -> list[Action]:
+    """A sensible countermeasure mix covering both Fig. 7 goals."""
+    return [
+        StateCleanupAction(),
+        PreventiveFailoverAction(fraction=0.8),
+        LowerLoadAction(min_admission=0.5),
+        PreventiveRestartAction(restart_duration=45.0),
+    ]
+
+
+@dataclass
+class WarningEpisode:
+    """A raised warning and what was done about it."""
+
+    time: float
+    score: float
+    confidence: float
+    target: str
+    action: str | None
+
+
+@dataclass
+class PFMController:
+    """Online PFM on a running SCP simulation."""
+
+    system: SCPSystem
+    predictor: SymptomPredictor
+    variables: list[str]
+    lead_time: float = 300.0
+    eval_period: float = 30.0
+    repertoire: list[Action] = field(default_factory=default_repertoire)
+    failure_cost: float = 12.0
+    cooldown: float = 120.0
+    event_scorer: OnlineEventScorer | None = None
+    warnings: list[WarningEpisode] = field(default_factory=list)
+    evaluations: list[tuple[float, float, bool]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ConfigurationError("need at least one monitored variable")
+        self._gauges = {g.variable: g for g in self.system.all_gauges()}
+        missing = [v for v in self.variables if v not in self._gauges]
+        if missing:
+            raise ConfigurationError(f"unknown gauges: {missing}")
+        self.selector = ActionSelector(list(self.repertoire))
+        self._restore_load = RestoreLoadAction()
+        self._throttled = False
+        self._last_action_time = -np.inf
+        self._score_scale: tuple[float, float] | None = None
+        self._calibrator: PlattScaling | None = None
+        self.mea = MEACycle(
+            engine=self.system.engine,
+            monitor=self._monitor,
+            evaluate=self._evaluate,
+            act=self._act,
+            period=self.eval_period,
+        )
+
+    # ------------------------------------------------------------------
+    # MEA steps
+    # ------------------------------------------------------------------
+
+    def _monitor(self) -> np.ndarray:
+        return np.array([self._gauges[v].read() for v in self.variables])
+
+    def calibrate_confidence(
+        self,
+        training_scores: np.ndarray,
+        training_labels: np.ndarray | None = None,
+    ) -> None:
+        """Learn a score -> confidence mapping from training data.
+
+        With labels, fits Platt scaling so confidence is a calibrated
+        failure probability; without labels, falls back to the score's
+        position between the threshold and the training maximum.
+        """
+        scores = np.asarray(training_scores, dtype=float)
+        if training_labels is not None:
+            labels = np.asarray(training_labels, dtype=bool)
+            if labels.any() and not labels.all():
+                self._calibrator = PlattScaling().fit(scores, labels)
+                return
+        self._score_scale = (self.predictor.threshold, float(scores.max()))
+
+    def _confidence(self, score: float) -> float:
+        if self._calibrator is not None:
+            return self._calibrator(score)
+        if self._score_scale is None:
+            return 1.0 if score >= self.predictor.threshold else 0.0
+        low, high = self._score_scale
+        if high <= low:
+            return 1.0 if score >= low else 0.0
+        return float(np.clip((score - low) / (high - low), 0.0, 1.0))
+
+    def _suspect(self) -> str:
+        """The most degraded container (simple diagnosis step)."""
+
+        def badness(component) -> float:
+            return (
+                component.swap_activity * 3.0
+                + component.corruption
+                + component.degraded_fraction * 2.0
+                + max(component.utilization - 0.5, 0.0)
+            )
+
+        return max(self.system.containers, key=badness).name
+
+    def _evaluate(self, observation: np.ndarray) -> EvaluationResult:
+        score = float(self.predictor.score_samples(observation[None, :])[0])
+        warning = score >= self.predictor.threshold
+        confidence = self._confidence(score)
+        # Multi-source fusion (blueprint, Sect. 6): an event-based
+        # predictor over the live error log can raise the warning too;
+        # confidences combine as max (either source suffices to act).
+        if self.event_scorer is not None:
+            event_prediction = self.event_scorer.score_at(
+                self.system.error_log, self.system.engine.now
+            )
+            if event_prediction.warning:
+                warning = True
+                confidence = max(confidence, 0.8)
+        self.evaluations.append((self.system.engine.now, score, warning))
+        return EvaluationResult(
+            score=score,
+            warning=warning,
+            confidence=confidence,
+            target=self._suspect(),
+        )
+
+    def _act(self, evaluation: EvaluationResult) -> str | None:
+        now = self.system.engine.now
+        if now - self._last_action_time < self.cooldown:
+            return None
+        context = SelectionContext(
+            confidence=evaluation.confidence,
+            target=evaluation.target,
+            failure_cost=self.failure_cost,
+        )
+        action = self.selector.select(self.system, context)
+        name = None
+        if action is not None:
+            if isinstance(action, LowerLoadAction):
+                action.set_confidence(evaluation.confidence)
+                self._throttled = True
+            action.execute(self.system, evaluation.target)
+            self._last_action_time = now
+            name = action.name
+        self.warnings.append(
+            WarningEpisode(
+                time=now,
+                score=evaluation.score,
+                confidence=evaluation.confidence,
+                target=evaluation.target,
+                action=name,
+            )
+        )
+        return name
+
+    def maybe_restore_load(self) -> None:
+        """Lift admission control once no warning has fired recently."""
+        if not self._throttled:
+            return
+        now = self.system.engine.now
+        recent_warning = any(
+            now - episode.time < 2 * self.lead_time for episode in self.warnings
+        )
+        if not recent_warning:
+            self._restore_load.execute(self.system, "scp")
+            self._throttled = False
+
+    def start(self) -> None:
+        """Begin the MEA cycle plus the load-restoration housekeeping."""
+        self.mea.start()
+        self.system.engine.process(self._housekeeping(), name="pfm-housekeeping")
+
+    def _housekeeping(self):
+        from repro.simulator.events import Timeout
+
+        while self.mea.running:
+            self.maybe_restore_load()
+            yield Timeout(self.eval_period * 4)
+
+    # ------------------------------------------------------------------
+    # Post-hoc accounting (Table 1)
+    # ------------------------------------------------------------------
+
+    def outcome_matrix(self) -> dict[str, dict[str, int]]:
+        """Classify every evaluation against the failure log.
+
+        Returns ``{outcome: {"count": n, "acted": m}}`` for outcomes
+        TP / FP / TN / FN, where a prediction at time ``t`` is positive if
+        a warning fired and the truth is "a failure starts within
+        ``[t, t + 2 * lead_time]``".
+        """
+        failure_times = np.asarray(self.system.failure_log.failure_times())
+        acted_times = {
+            round(episode.time, 6) for episode in self.warnings if episode.action
+        }
+        matrix = {
+            key: {"count": 0, "acted": 0} for key in ("TP", "FP", "TN", "FN")
+        }
+        for time, _score, warning in self.evaluations:
+            imminent = bool(
+                failure_times.size
+                and np.any(
+                    (failure_times >= time)
+                    & (failure_times <= time + 2 * self.lead_time)
+                )
+            )
+            if warning and imminent:
+                key = "TP"
+            elif warning:
+                key = "FP"
+            elif imminent:
+                key = "FN"
+            else:
+                key = "TN"
+            matrix[key]["count"] += 1
+            if round(time, 6) in acted_times:
+                matrix[key]["acted"] += 1
+        return matrix

@@ -1,0 +1,368 @@
+"""Closed-loop PFM experiments on the simulated SCP.
+
+The experiment the paper could not run on the commercial system ("we could
+not apply countermeasures in the commercial system, [so] we assumed
+reasonable and moderate values"): train a predictor on one simulated
+period, then run the *same* faultload twice -- once plain, once with the
+PFM controller attached -- and compare failures, availability and the
+Table 1 behaviour matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.actions.checkpoint import PreparedRepairAction, RepairBreakdown
+from repro.core.controller import PFMController
+from repro.prediction.base import SymptomPredictor
+from repro.prediction.ubf.network import UBFNetwork
+from repro.prediction.ubf.predictor import UBFPredictor
+from repro.prediction.ubf.pwa import ProbabilisticWrapper
+from repro.simulator.events import Timeout
+from repro.telecom.dataset import DatasetConfig, prepare_simulation
+
+#: Default monitoring variables for the online controller (system gauges).
+DEFAULT_VARIABLES = [
+    "cpu_utilization",
+    "memory_free_mb",
+    "swap_activity",
+    "max_stretch",
+    "response_time_ms",
+    "error_rate",
+    "violation_prob",
+    "db_utilization",
+    "request_rate",
+]
+
+
+@dataclass
+class ClosedLoopResult:
+    """Comparison of the same faultload with and without PFM."""
+
+    baseline_failures: int
+    pfm_failures: int
+    baseline_window_availability: float
+    pfm_window_availability: float
+    warnings_raised: int
+    actions_taken: int
+    actions_by_name: dict[str, int]
+    outcome_matrix: dict[str, dict[str, int]]
+    predictor_threshold: float
+
+    @property
+    def unavailability_ratio(self) -> float:
+        """Measured counterpart of the model's Eq. 14 ratio."""
+        baseline_unavail = 1.0 - self.baseline_window_availability
+        pfm_unavail = 1.0 - self.pfm_window_availability
+        if baseline_unavail <= 0:
+            return 1.0
+        return pfm_unavail / baseline_unavail
+
+    def summary(self) -> str:
+        """Human-readable multi-line result summary."""
+        lines = [
+            f"failures: {self.baseline_failures} -> {self.pfm_failures}",
+            (
+                f"window availability: {self.baseline_window_availability:.4f} -> "
+                f"{self.pfm_window_availability:.4f}"
+            ),
+            f"unavailability ratio (measured Eq.14): {self.unavailability_ratio:.3f}",
+            f"warnings: {self.warnings_raised}, actions: {self.actions_taken}",
+            f"actions by type: {self.actions_by_name}",
+        ]
+        for outcome, cells in self.outcome_matrix.items():
+            lines.append(
+                f"  {outcome}: {cells['count']} predictions, {cells['acted']} acted on"
+            )
+        return "\n".join(lines)
+
+
+def _default_predictor(rng: np.random.Generator) -> SymptomPredictor:
+    """A fast UBF configuration for the online controller."""
+    return UBFPredictor(
+        network=UBFNetwork(n_kernels=8, max_opt_iter=15, rng=rng),
+        wrapper=ProbabilisticWrapper(n_rounds=6, samples_per_round=8, rng=rng),
+        rng=rng,
+    )
+
+
+def train_predictor(
+    config: DatasetConfig,
+    variables: list[str] | None = None,
+    predictor: SymptomPredictor | None = None,
+) -> tuple[SymptomPredictor, np.ndarray]:
+    """Fit and threshold-calibrate a predictor on a training simulation.
+
+    Returns ``(predictor, training_scores)``.
+    """
+    variables = variables or DEFAULT_VARIABLES
+    dataset = prepare_simulation(config).run()
+    _, x, y_avail, y_fail = dataset.ubf_samples(variables=variables)
+    predictor = predictor or _default_predictor(np.random.default_rng(config.seed))
+    predictor.fit(x, y_avail)
+    scores = predictor.score_samples(x)
+    predictor.calibrate_threshold(scores, y_fail)
+    return predictor, scores
+
+
+@dataclass
+class ReplicatedResult:
+    """Closed-loop results over several evaluation seeds."""
+
+    results: list[ClosedLoopResult]
+
+    def _stats(self, values: list[float]) -> tuple[float, float]:
+        arr = np.asarray(values, dtype=float)
+        return float(arr.mean()), float(arr.std())
+
+    @property
+    def mean_unavailability_ratio(self) -> float:
+        """Mean measured Eq. 14 ratio across replicates."""
+        return self._stats([r.unavailability_ratio for r in self.results])[0]
+
+    @property
+    def std_unavailability_ratio(self) -> float:
+        """Standard deviation of the measured ratio across replicates."""
+        return self._stats([r.unavailability_ratio for r in self.results])[1]
+
+    @property
+    def always_improves(self) -> bool:
+        """True when PFM reduced unavailability on every replicate."""
+        return all(r.unavailability_ratio < 1.0 for r in self.results)
+
+    def summary(self) -> str:
+        ratios = [r.unavailability_ratio for r in self.results]
+        lines = [
+            f"replicates: {len(self.results)}",
+            "per-seed unavailability ratios: "
+            + ", ".join(f"{r:.3f}" for r in ratios),
+            (
+                f"mean ratio = {self.mean_unavailability_ratio:.3f} "
+                f"+/- {self.std_unavailability_ratio:.3f}"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def replicate_closed_loop(
+    eval_seeds: list[int],
+    train_seed: int = 11,
+    horizon: float = 2 * 86_400.0,
+    variables: list[str] | None = None,
+    config: DatasetConfig | None = None,
+) -> ReplicatedResult:
+    """Run the closed-loop comparison over several faultload seeds.
+
+    One predictor is trained once (on ``train_seed``) and evaluated against
+    every seed's faultload -- separating predictor luck from faultload
+    luck.
+    """
+    if not eval_seeds:
+        raise ValueError("need at least one evaluation seed")
+    base_config = config or DatasetConfig()
+    train_config = replace(base_config, seed=train_seed, horizon=horizon)
+    trained = train_predictor(train_config, variables or DEFAULT_VARIABLES)
+    results = [
+        run_closed_loop(
+            train_seed=train_seed,
+            eval_seed=seed,
+            horizon=horizon,
+            variables=variables,
+            config=config,
+            trained=trained,
+        )
+        for seed in eval_seeds
+    ]
+    return ReplicatedResult(results=results)
+
+
+@dataclass
+class TTRComparison:
+    """Measured time-to-repair with vs without prediction-driven preparation."""
+
+    prepared_repairs: list[RepairBreakdown]
+    classical_repairs: list[RepairBreakdown]
+
+    @staticmethod
+    def _mean_total(repairs: list[RepairBreakdown]) -> float:
+        if not repairs:
+            return float("nan")
+        return float(np.mean([r.total for r in repairs]))
+
+    @property
+    def mean_prepared_ttr(self) -> float:
+        """Mean TTR in the PFM run (prepared when a warning armed the spare)."""
+        return self._mean_total(self.prepared_repairs)
+
+    @property
+    def mean_classical_ttr(self) -> float:
+        """Mean TTR in the baseline run (always classical recovery)."""
+        return self._mean_total(self.classical_repairs)
+
+    @property
+    def k_measured(self) -> float:
+        """The measured Eq. 6 factor ``MTTR / MTTR_prepared``."""
+        prepared = self.mean_prepared_ttr
+        if not prepared or np.isnan(prepared):
+            return float("nan")
+        return self.mean_classical_ttr / prepared
+
+
+def _attach_repair_measurement(
+    sim,
+    action: PreparedRepairAction,
+    breakdowns: list[RepairBreakdown],
+    checkpoint_interval: float,
+    burst_gap: float,
+) -> None:
+    """Wire a PreparedRepairAction as the repair mechanism of one run.
+
+    Periodic checkpoints are saved on schedule; every SLA failure episode
+    (bursts deduplicated) triggers :meth:`PreparedRepairAction.repair` on
+    the most degraded container and records the TTR breakdown.  Whether
+    the repair takes the prepared or the classical path depends solely on
+    whether a warning armed the spare beforehand.
+    """
+    system = sim.system
+    state = {"last_repair": -np.inf}
+
+    def checkpoints():
+        while True:
+            action.store.save(system.engine.now, tag="periodic")
+            yield Timeout(checkpoint_interval)
+
+    system.engine.process(checkpoints(), name="periodic-checkpoints")
+    original_on_failure = system.sla.on_failure
+
+    def on_failure(record) -> None:
+        original_on_failure(record)
+        if record.time - state["last_repair"] < burst_gap:
+            return
+        state["last_repair"] = record.time
+        worst = max(
+            system.containers,
+            key=lambda c: c.swap_activity + c.corruption + c.degraded_fraction,
+        )
+        breakdowns.append(action.repair(system, worst.name, record.time))
+
+    system.sla.on_failure = on_failure
+
+
+def measure_repair_improvement(
+    train_seed: int = 11,
+    eval_seed: int = 21,
+    horizon: float = 3 * 86_400.0,
+    checkpoint_interval: float = 1_200.0,
+    burst_gap: float = 900.0,
+    variables: list[str] | None = None,
+    config: DatasetConfig | None = None,
+) -> TTRComparison:
+    """Measure the Eq. 6 repair improvement factor ``k`` in closed loop.
+
+    Two runs of the same faultload, both repairing failures through the
+    checkpoint/spare machinery: in the PFM run warnings boot the spare and
+    save fresh checkpoints ahead of failures (prepared path); the baseline
+    run has no warnings, so every repair is classical.
+    """
+    variables = variables or DEFAULT_VARIABLES
+    base_config = config or DatasetConfig()
+    train_config = replace(base_config, seed=train_seed, horizon=horizon)
+    eval_config = replace(base_config, seed=eval_seed, horizon=horizon)
+    predictor, training_scores = train_predictor(train_config, variables)
+
+    # Baseline: classical repairs only.
+    classical_breakdowns: list[RepairBreakdown] = []
+    baseline_sim = prepare_simulation(eval_config)
+    _attach_repair_measurement(
+        baseline_sim,
+        PreparedRepairAction(),
+        classical_breakdowns,
+        checkpoint_interval,
+        burst_gap,
+    )
+    baseline_sim.run()
+
+    # PFM: the controller's only countermeasure is preparation, so the
+    # fault process (and thus the failure set) stays comparable.
+    prepared_breakdowns: list[RepairBreakdown] = []
+    pfm_sim = prepare_simulation(eval_config)
+    prepare_action = PreparedRepairAction()
+    controller = PFMController(
+        system=pfm_sim.system,
+        predictor=predictor,
+        variables=variables,
+        lead_time=eval_config.lead_time,
+        repertoire=[prepare_action],
+    )
+    controller.calibrate_confidence(training_scores)
+    _attach_repair_measurement(
+        pfm_sim, prepare_action, prepared_breakdowns, checkpoint_interval, burst_gap
+    )
+    controller.start()
+    pfm_sim.run()
+
+    return TTRComparison(
+        prepared_repairs=prepared_breakdowns,
+        classical_repairs=classical_breakdowns,
+    )
+
+
+def run_closed_loop(
+    train_seed: int = 11,
+    eval_seed: int = 21,
+    horizon: float = 4 * 86_400.0,
+    variables: list[str] | None = None,
+    predictor: SymptomPredictor | None = None,
+    config: DatasetConfig | None = None,
+    trained: tuple[SymptomPredictor, np.ndarray] | None = None,
+) -> ClosedLoopResult:
+    """Train, then compare baseline vs PFM on an identical faultload.
+
+    Pass ``trained = (fitted_predictor, training_scores)`` to skip the
+    training simulation (used by :func:`replicate_closed_loop`).
+    """
+    variables = variables or DEFAULT_VARIABLES
+    base_config = config or DatasetConfig()
+    train_config = replace(base_config, seed=train_seed, horizon=horizon)
+    eval_config = replace(base_config, seed=eval_seed, horizon=horizon)
+
+    if trained is not None:
+        predictor, training_scores = trained
+    else:
+        predictor, training_scores = train_predictor(
+            train_config, variables, predictor
+        )
+
+    # Baseline run: same faultload, no PFM.
+    baseline = prepare_simulation(eval_config).run()
+
+    # PFM run: identical configuration and seed, controller attached.
+    pfm_sim = prepare_simulation(eval_config)
+    controller = PFMController(
+        system=pfm_sim.system,
+        predictor=predictor,
+        variables=variables,
+        lead_time=eval_config.lead_time,
+    )
+    controller.calibrate_confidence(training_scores)
+    controller.start()
+    pfm_dataset = pfm_sim.run()
+
+    actions_by_name: dict[str, int] = {}
+    for episode in controller.warnings:
+        if episode.action:
+            actions_by_name[episode.action] = actions_by_name.get(episode.action, 0) + 1
+
+    return ClosedLoopResult(
+        baseline_failures=len(baseline.failure_log),
+        pfm_failures=len(pfm_dataset.failure_log),
+        baseline_window_availability=baseline.system.sla.overall_availability(),
+        pfm_window_availability=pfm_dataset.system.sla.overall_availability(),
+        warnings_raised=controller.mea.warnings_raised,
+        actions_taken=controller.mea.actions_taken,
+        actions_by_name=actions_by_name,
+        outcome_matrix=controller.outcome_matrix(),
+        predictor_threshold=predictor.threshold,
+    )

@@ -1,0 +1,109 @@
+"""The Monitor-Evaluate-Act cycle (paper Sect. 2, Fig. 1).
+
+"The following three steps are continuously repeated during system
+runtime": monitor the system, evaluate whether the current state is
+failure-prone, and act on imminent failures.  The engine here is generic:
+it takes a monitor callable, an evaluator callable and an actor callable
+and repeats them as a simulation process, recording every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.simulator.engine import Engine
+from repro.simulator.events import Timeout
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of one Evaluate step."""
+
+    score: float
+    warning: bool
+    confidence: float = 0.0
+    target: str = ""
+
+
+@dataclass
+class MEARecord:
+    """One full cycle iteration."""
+
+    time: float
+    observation: Any
+    evaluation: EvaluationResult
+    action_taken: str | None
+
+
+@dataclass
+class MEACycle:
+    """The cycle engine.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine to run in.
+    monitor:
+        Zero-argument callable returning the current observation.
+    evaluate:
+        Maps the observation to an :class:`EvaluationResult`.
+    act:
+        Called with the evaluation when a warning is raised; returns a
+        short description of the action taken (or None for "do nothing").
+    period:
+        Cycle period in simulated seconds.
+    """
+
+    engine: Engine
+    monitor: Callable[[], Any]
+    evaluate: Callable[[Any], EvaluationResult]
+    act: Callable[[EvaluationResult], str | None]
+    period: float = 30.0
+    history: list[MEARecord] = field(default_factory=list)
+    running: bool = False
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError("period must be positive")
+
+    def start(self) -> None:
+        """Launch the repeating cycle (idempotent)."""
+        if self.running:
+            return
+        self.running = True
+        self.engine.process(self._run(), name="mea-cycle")
+
+    def stop(self) -> None:
+        """Stop the repeating cycle after the current iteration."""
+        self.running = False
+
+    def step(self) -> MEARecord:
+        """One M-E-A iteration right now."""
+        observation = self.monitor()
+        evaluation = self.evaluate(observation)
+        action = self.act(evaluation) if evaluation.warning else None
+        record = MEARecord(
+            time=self.engine.now,
+            observation=observation,
+            evaluation=evaluation,
+            action_taken=action,
+        )
+        self.history.append(record)
+        return record
+
+    def _run(self):
+        while self.running:
+            self.step()
+            yield Timeout(self.period)
+
+    @property
+    def warnings_raised(self) -> int:
+        """Number of iterations whose evaluation raised a warning."""
+        return sum(1 for r in self.history if r.evaluation.warning)
+
+    @property
+    def actions_taken(self) -> int:
+        """Number of iterations in which a countermeasure actually ran."""
+        return sum(1 for r in self.history if r.action_taken is not None)

@@ -1,0 +1,127 @@
+"""Translucency: insight into dependability and performance at all levels.
+
+Paper Sect. 6: "we need to find out at which level we will achieve the
+highest payoff in terms of dependability gain with minimum performance
+degradation when PFM methods are used.  We call such a desirable system
+property *translucency* which means that we have an insight into
+dependability and performance at all levels while applying specific MEA
+methods."
+
+:class:`TranslucencyReport` aggregates exactly that: per-layer predictor
+quality, the combiner's learned layer weights, countermeasure statistics,
+and the modeled dependability payoff of improving each layer's predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.blueprint import BlueprintArchitecture
+from repro.errors import ConfigurationError
+from repro.prediction.metrics import auc
+from repro.reliability.rates import PFMParameters
+from repro.reliability.reliability_fn import asymptotic_unavailability_ratio
+from repro.reporting import table
+
+
+@dataclass(frozen=True)
+class LayerInsight:
+    """One layer's contribution to the system's PFM."""
+
+    layer: str
+    auc: float
+    combiner_weight: float
+    variables: list[str]
+
+
+@dataclass
+class TranslucencyReport:
+    """Cross-layer dependability / performance insight."""
+
+    layers: list[LayerInsight] = field(default_factory=list)
+    fused_auc: float = 0.0
+    action_counts: dict[str, int] = field(default_factory=dict)
+    model_ratio: float = 1.0
+
+    @classmethod
+    def from_blueprint(
+        cls,
+        blueprint: BlueprintArchitecture,
+        x_test: np.ndarray,
+        labels_test: np.ndarray,
+        variables: list[str],
+        action_counts: dict[str, int] | None = None,
+        model_params: PFMParameters | None = None,
+    ) -> "TranslucencyReport":
+        """Build the report from a fitted blueprint and test data."""
+        labels_test = np.asarray(labels_test, dtype=bool)
+        if not labels_test.any() or labels_test.all():
+            raise ConfigurationError("test labels need both classes")
+        layer_scores = blueprint.layer_scores(x_test)
+        weights = blueprint.layer_report()
+        insights = []
+        for i, layer_predictor in enumerate(blueprint.layers):
+            name = layer_predictor.layer.value
+            insights.append(
+                LayerInsight(
+                    layer=name,
+                    auc=auc(layer_scores[:, i], labels_test),
+                    combiner_weight=float(weights[name]),
+                    variables=[variables[j] for j in layer_predictor.variable_indices],
+                )
+            )
+        fused = auc(blueprint.score_samples(x_test), labels_test)
+        ratio = (
+            asymptotic_unavailability_ratio(model_params)
+            if model_params is not None
+            else 1.0
+        )
+        return cls(
+            layers=insights,
+            fused_auc=fused,
+            action_counts=dict(action_counts or {}),
+            model_ratio=ratio,
+        )
+
+    def highest_payoff_layer(self) -> str:
+        """The layer where predictor improvement pays off most.
+
+        Heuristic: the layer the combiner leans on most per unit of AUC it
+        currently delivers -- heavy weight on a weak predictor means
+        improving that predictor moves the fused score most.
+        """
+        if not self.layers:
+            raise ConfigurationError("report has no layers")
+        def leverage(insight: LayerInsight) -> float:
+            headroom = max(1.0 - insight.auc, 0.0)
+            return abs(insight.combiner_weight) * headroom
+        return max(self.layers, key=leverage).layer
+
+    def render(self) -> str:
+        """Human-readable report."""
+        rows = [
+            (
+                insight.layer,
+                f"{insight.auc:.3f}",
+                f"{insight.combiner_weight:+.2f}",
+                ", ".join(insight.variables),
+            )
+            for insight in self.layers
+        ]
+        lines = [
+            table(["layer", "AUC", "weight", "variables"], rows),
+            f"fused AUC: {self.fused_auc:.3f}",
+            f"highest-payoff layer: {self.highest_payoff_layer()}",
+        ]
+        if self.action_counts:
+            actions = ", ".join(
+                f"{name}: {count}" for name, count in sorted(self.action_counts.items())
+            )
+            lines.append(f"countermeasures executed: {actions}")
+        if self.model_ratio < 1.0:
+            lines.append(
+                f"modeled unavailability ratio at current quality: {self.model_ratio:.3f}"
+            )
+        return "\n".join(lines)

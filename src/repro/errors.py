@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library may raise with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation engine."""
+
+
+class ModelError(ReproError):
+    """Raised for structurally invalid stochastic models."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a predictor is used before it has been trained."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative fitting procedure fails to converge."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid user-supplied configuration values."""
+
+
+class ActionError(ReproError):
+    """Raised when a countermeasure cannot be applied."""

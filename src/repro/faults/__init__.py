@@ -1,0 +1,63 @@
+"""The fault -> error -> symptom -> failure chain (paper Fig. 2).
+
+The paper's taxonomy of prediction methods is organized around how flaws
+become visible: faults (testing), undetected errors (auditing), symptoms
+(monitoring), detected errors (reporting) and failures (tracking).  This
+package provides the corresponding record types, fault classifications,
+fault injectors (used by the telecom simulator to create realistic failure
+behaviour) and error detectors (coding / timing / plausibility /
+replication checks, Sect. 4.3).
+"""
+
+from repro.faults.classification import (
+    CristianFailureMode,
+    FaultPersistence,
+)
+from repro.faults.detectors import (
+    CodingCheck,
+    ErrorDetector,
+    PlausibilityCheck,
+    ReplicationCheck,
+    TimingCheck,
+)
+from repro.faults.faultload import FaultActivation, FaultLoad
+from repro.faults.injectors import (
+    FaultInjector,
+    InjectionTarget,
+    IntermittentErrorInjector,
+    MemoryLeakInjector,
+    OverloadInjector,
+    ProcessHangInjector,
+    StateCorruptionInjector,
+)
+from repro.faults.model import (
+    ErrorRecord,
+    FailureRecord,
+    Fault,
+    FaultState,
+    Symptom,
+)
+
+__all__ = [
+    "CristianFailureMode",
+    "FaultPersistence",
+    "CodingCheck",
+    "ErrorDetector",
+    "PlausibilityCheck",
+    "ReplicationCheck",
+    "TimingCheck",
+    "FaultActivation",
+    "FaultLoad",
+    "FaultInjector",
+    "InjectionTarget",
+    "IntermittentErrorInjector",
+    "MemoryLeakInjector",
+    "OverloadInjector",
+    "ProcessHangInjector",
+    "StateCorruptionInjector",
+    "ErrorRecord",
+    "FailureRecord",
+    "Fault",
+    "FaultState",
+    "Symptom",
+]

@@ -1,0 +1,39 @@
+"""Fault and failure classifications referenced by the paper (Sect. 3.1).
+
+Two classic taxonomies:
+
+- persistence: transient / intermittent / permanent faults
+  (Siewiorek & Swarz),
+- behaviour at the service interface: the Cristian failure-mode hierarchy
+  (crash < omission < timing < byzantine), later extended by Laranjeira
+  and Barborak.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FaultPersistence(enum.Enum):
+    """How long a fault stays active once it manifests."""
+
+    TRANSIENT = "transient"  # appears once, vanishes by itself
+    INTERMITTENT = "intermittent"  # appears and disappears repeatedly
+    PERMANENT = "permanent"  # stays until repaired
+
+
+class CristianFailureMode(enum.IntEnum):
+    """Failure modes ordered by severity (each contains the previous).
+
+    The integer ordering encodes the containment hierarchy: a byzantine-
+    tolerant mechanism also tolerates timing, omission and crash failures.
+    """
+
+    CRASH = 1  # component stops and stays silent
+    OMISSION = 2  # some responses are missing
+    TIMING = 3  # responses correct in value but late/early
+    BYZANTINE = 4  # arbitrary, possibly malicious behaviour
+
+    def covers(self, other: "CristianFailureMode") -> bool:
+        """Whether tolerating ``self`` implies tolerating ``other``."""
+        return self >= other

@@ -1,0 +1,114 @@
+"""Faultload campaigns: when which fault strikes during a simulation run.
+
+A :class:`FaultLoad` is a reproducible schedule of fault activations,
+generated from per-kind inter-arrival and duration distributions.  The
+telecom dataset builder uses it to place failure-causing episodes into
+long simulation runs; the ground-truth activation times double as labels
+for predictor training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultActivation:
+    """One scheduled fault episode."""
+
+    start: float
+    duration: float
+    kind: str
+    target: str
+
+    @property
+    def end(self) -> float:
+        """Episode end time (start + duration)."""
+        return self.start + self.duration
+
+
+@dataclass
+class FaultLoad:
+    """A generated schedule of fault activations.
+
+    Build with :meth:`generate`; iterate in time order.
+    """
+
+    activations: list[FaultActivation] = field(default_factory=list)
+
+    @classmethod
+    def generate(
+        cls,
+        horizon: float,
+        specs: dict[str, dict[str, float]],
+        targets: list[str],
+        rng: np.random.Generator,
+        min_gap: float = 0.0,
+    ) -> "FaultLoad":
+        """Generate a faultload over ``[0, horizon]``.
+
+        Parameters
+        ----------
+        horizon:
+            Simulation length.
+        specs:
+            ``{kind: {"mtbf": ..., "duration": ...}}`` -- mean time between
+            activations and mean episode duration per fault kind
+            (both exponential).
+        targets:
+            Component names; each activation picks one uniformly.
+        min_gap:
+            Minimum spacing enforced between *any* two activations, so
+            episodes (and thus failure labels) do not pile up.
+        """
+        if horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if not targets:
+            raise ConfigurationError("need at least one target component")
+        raw: list[FaultActivation] = []
+        for kind, spec in specs.items():
+            mtbf = spec.get("mtbf")
+            duration = spec.get("duration")
+            if not mtbf or mtbf <= 0 or not duration or duration <= 0:
+                raise ConfigurationError(
+                    f"spec for {kind!r} needs positive 'mtbf' and 'duration'"
+                )
+            t = rng.exponential(mtbf)
+            while t < horizon:
+                raw.append(
+                    FaultActivation(
+                        start=t,
+                        duration=rng.exponential(duration),
+                        kind=kind,
+                        target=str(rng.choice(targets)),
+                    )
+                )
+                t += rng.exponential(mtbf)
+        raw.sort(key=lambda a: a.start)
+        if min_gap > 0:
+            spaced: list[FaultActivation] = []
+            last_end = -np.inf
+            for activation in raw:
+                if activation.start - last_end >= min_gap:
+                    spaced.append(activation)
+                    last_end = activation.end
+            raw = spaced
+        return cls(activations=raw)
+
+    def within(self, start: float, end: float) -> list[FaultActivation]:
+        """Activations whose episode overlaps ``[start, end]``."""
+        return [a for a in self.activations if a.start < end and a.end > start]
+
+    def kinds(self) -> set[str]:
+        """The distinct fault kinds present in this faultload."""
+        return {a.kind for a in self.activations}
+
+    def __iter__(self):
+        return iter(self.activations)
+
+    def __len__(self) -> int:
+        return len(self.activations)

@@ -1,0 +1,115 @@
+"""Record types for the dependability chain of the paper's Fig. 2.
+
+- :class:`Fault` -- the root cause; dormant until activated.
+- :class:`ErrorRecord` -- an incorrect-state manifestation; *detected*
+  errors are what gets written to the error log (reporting), undetected
+  ones can only be found by auditing.
+- :class:`Symptom` -- out-of-norm behaviour of a monitored variable caused
+  by an (un)detected error.
+- :class:`FailureRecord` -- deviation of the delivered service from the
+  specification, observable from outside.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.faults.classification import CristianFailureMode, FaultPersistence
+
+_fault_ids = itertools.count(1)
+
+
+class FaultState(enum.Enum):
+    """Lifecycle of a fault."""
+
+    DORMANT = "dormant"
+    ACTIVE = "active"
+    REMOVED = "removed"
+
+
+@dataclass
+class Fault:
+    """The adjudged or hypothesized root cause of errors.
+
+    Attributes
+    ----------
+    kind:
+        Free-form fault kind tag (e.g. ``"memory-leak"``).
+    component:
+        Where the fault resides.
+    persistence:
+        Transient / intermittent / permanent.
+    state:
+        Lifecycle state; faults start dormant and are activated by
+        injectors or load.
+    """
+
+    kind: str
+    component: str
+    persistence: FaultPersistence = FaultPersistence.PERMANENT
+    state: FaultState = FaultState.DORMANT
+    fault_id: int = field(default_factory=lambda: next(_fault_ids))
+    activated_at: float | None = None
+
+    def activate(self, time: float) -> None:
+        """Mark the fault active; the first activation time is remembered."""
+        self.state = FaultState.ACTIVE
+        if self.activated_at is None:
+            self.activated_at = time
+
+    def deactivate(self) -> None:
+        """Return an active fault to dormancy (intermittent behaviour)."""
+        if self.state is FaultState.ACTIVE:
+            self.state = FaultState.DORMANT
+
+    def remove(self) -> None:
+        """Permanently remove the fault (repair of the root cause)."""
+        self.state = FaultState.REMOVED
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One error event, as it would appear in a log.
+
+    ``message_id`` is the categorical event type the HSMM predictor
+    consumes (the paper: "error events mostly are discrete, categorical
+    data such as event IDs, component IDs").  ``detected`` distinguishes
+    reported errors from silent ones (auditing-only).
+    """
+
+    time: float
+    message_id: int
+    component: str
+    fault_id: int | None = None
+    severity: int = 1
+    detected: bool = True
+    message: str = ""
+
+
+@dataclass(frozen=True)
+class Symptom:
+    """Out-of-norm behaviour of one monitored variable."""
+
+    time: float
+    variable: str
+    value: float
+    expected: float
+    deviation: float  # (value - expected) in units of the normal spread
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """A service-level failure (the system missed its specification)."""
+
+    time: float
+    mode: CristianFailureMode = CristianFailureMode.TIMING
+    component: str = "system"
+    duration: float = 0.0
+    description: str = ""
+
+    @property
+    def end_time(self) -> float:
+        """When the failure's downtime ends (time + duration)."""
+        return self.time + self.duration

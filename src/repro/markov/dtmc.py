@@ -1,0 +1,142 @@
+"""Discrete-time Markov chains.
+
+A small, numpy-backed DTMC implementation: validation, stationary
+distribution, n-step transition probabilities, absorption analysis and
+sampling.  Used by the rejuvenation baselines and as a building block for
+the hidden Markov models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+_TOL = 1e-9
+
+
+class DTMC:
+    """A finite discrete-time Markov chain.
+
+    Parameters
+    ----------
+    transition_matrix:
+        Row-stochastic matrix ``P`` where ``P[i, j]`` is the probability of
+        moving from state ``i`` to state ``j`` in one step.
+    state_names:
+        Optional human-readable names, one per state.
+    """
+
+    def __init__(
+        self,
+        transition_matrix: np.ndarray | Sequence[Sequence[float]],
+        state_names: Sequence[str] | None = None,
+    ) -> None:
+        matrix = np.asarray(transition_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ModelError(f"transition matrix must be square, got {matrix.shape}")
+        if np.any(matrix < -_TOL):
+            raise ModelError("transition probabilities must be non-negative")
+        row_sums = matrix.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise ModelError(f"rows must sum to 1, got sums {row_sums}")
+        self._matrix = np.clip(matrix, 0.0, None)
+        self._matrix /= self._matrix.sum(axis=1, keepdims=True)
+        if state_names is not None and len(state_names) != matrix.shape[0]:
+            raise ModelError("state_names length must match matrix size")
+        self.state_names = list(state_names) if state_names else [
+            f"S{i}" for i in range(matrix.shape[0])
+        ]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The row-stochastic transition matrix (read-only copy)."""
+        return self._matrix.copy()
+
+    @property
+    def n_states(self) -> int:
+        return self._matrix.shape[0]
+
+    def step_distribution(self, initial: np.ndarray, steps: int = 1) -> np.ndarray:
+        """Distribution after ``steps`` transitions from ``initial``."""
+        dist = np.asarray(initial, dtype=float)
+        if dist.shape != (self.n_states,):
+            raise ModelError("initial distribution has wrong length")
+        for _ in range(steps):
+            dist = dist @ self._matrix
+        return dist
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Solve ``pi P = pi`` with ``sum(pi) = 1``.
+
+        Uses the standard replace-one-equation linear solve; raises
+        :class:`ModelError` when the chain has no unique stationary
+        distribution (singular system).
+        """
+        n = self.n_states
+        a = np.vstack([self._matrix.T - np.eye(n), np.ones((1, n))])
+        b = np.zeros(n + 1)
+        b[-1] = 1.0
+        solution, residuals, rank, _ = np.linalg.lstsq(a, b, rcond=None)
+        if rank < n:
+            raise ModelError("chain has no unique stationary distribution")
+        pi = np.clip(solution, 0.0, None)
+        total = pi.sum()
+        if total <= 0:
+            raise ModelError("stationary solve produced a degenerate distribution")
+        return pi / total
+
+    def absorbing_states(self) -> list[int]:
+        """Indices of states with ``P[i, i] == 1``."""
+        return [i for i in range(self.n_states) if self._matrix[i, i] >= 1.0 - _TOL]
+
+    def absorption_probabilities(self) -> np.ndarray:
+        """Probability of ultimate absorption in each absorbing state.
+
+        Returns a matrix ``B`` with ``B[i, k]`` the probability that the
+        chain started in transient state ``i`` is eventually absorbed in the
+        ``k``-th absorbing state (ordered as :meth:`absorbing_states`).
+        """
+        absorbing = self.absorbing_states()
+        if not absorbing:
+            raise ModelError("chain has no absorbing states")
+        transient = [i for i in range(self.n_states) if i not in absorbing]
+        q = self._matrix[np.ix_(transient, transient)]
+        r = self._matrix[np.ix_(transient, absorbing)]
+        fundamental = np.linalg.inv(np.eye(len(transient)) - q)
+        return fundamental @ r
+
+    def expected_steps_to_absorption(self) -> np.ndarray:
+        """Expected number of steps to absorption from each transient state."""
+        absorbing = self.absorbing_states()
+        if not absorbing:
+            raise ModelError("chain has no absorbing states")
+        transient = [i for i in range(self.n_states) if i not in absorbing]
+        q = self._matrix[np.ix_(transient, transient)]
+        fundamental = np.linalg.inv(np.eye(len(transient)) - q)
+        return fundamental @ np.ones(len(transient))
+
+    def sample_path(
+        self, start: int, steps: int, rng: np.random.Generator
+    ) -> list[int]:
+        """Sample a trajectory of ``steps`` transitions starting in ``start``."""
+        if not 0 <= start < self.n_states:
+            raise ModelError(f"start state {start} out of range")
+        path = [start]
+        state = start
+        for _ in range(steps):
+            state = int(rng.choice(self.n_states, p=self._matrix[state]))
+            path.append(state)
+        return path
+
+    def index_of(self, name: str) -> int:
+        """Index of the state called ``name``."""
+        try:
+            return self.state_names.index(name)
+        except ValueError as exc:
+            raise ModelError(f"unknown state name: {name!r}") from exc
+
+    def __repr__(self) -> str:
+        return f"DTMC(n_states={self.n_states}, states={self.state_names})"

@@ -1,0 +1,203 @@
+"""Discrete hidden Markov models.
+
+A scaled-forward/backward HMM with Baum-Welch training over discrete
+observation alphabets.  Serves two roles in the reproduction:
+
+1. building block and ablation baseline for the HSMM failure predictor
+   (an HSMM with geometric durations is equivalent to an HMM), and
+2. general sequence-likelihood machinery for event-driven failure
+   prediction approaches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ModelError
+
+_EPS = 1e-12
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.clip(matrix, 0.0, None)
+    sums = matrix.sum(axis=1, keepdims=True)
+    sums[sums <= 0] = 1.0
+    return matrix / sums
+
+
+class HiddenMarkovModel:
+    """Discrete-observation HMM.
+
+    Parameters
+    ----------
+    n_states:
+        Number of hidden states.
+    n_symbols:
+        Size of the observation alphabet; observations are integers in
+        ``range(n_symbols)``.
+    rng:
+        Generator used for random initialization (and sampling).
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_symbols: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_states < 1 or n_symbols < 1:
+            raise ModelError("need at least one state and one symbol")
+        self.n_states = int(n_states)
+        self.n_symbols = int(n_symbols)
+        rng = rng or np.random.default_rng(0)
+        self.initial = np.full(n_states, 1.0 / n_states)
+        self.transition = _normalize_rows(rng.random((n_states, n_states)) + 0.5)
+        self.emission = _normalize_rows(rng.random((n_states, n_symbols)) + 0.5)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def _check_sequence(self, sequence: Sequence[int]) -> np.ndarray:
+        obs = np.asarray(sequence, dtype=int)
+        if obs.ndim != 1 or obs.size == 0:
+            raise ModelError("sequence must be a non-empty 1-D array of symbols")
+        if obs.min() < 0 or obs.max() >= self.n_symbols:
+            raise ModelError("sequence contains symbols outside the alphabet")
+        return obs
+
+    def _forward(self, obs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Scaled forward pass; returns (alpha, per-step scale factors)."""
+        n = obs.size
+        alpha = np.zeros((n, self.n_states))
+        scale = np.zeros(n)
+        alpha[0] = self.initial * self.emission[:, obs[0]]
+        scale[0] = alpha[0].sum() + _EPS
+        alpha[0] /= scale[0]
+        for t in range(1, n):
+            alpha[t] = (alpha[t - 1] @ self.transition) * self.emission[:, obs[t]]
+            scale[t] = alpha[t].sum() + _EPS
+            alpha[t] /= scale[t]
+        return alpha, scale
+
+    def _backward(self, obs: np.ndarray, scale: np.ndarray) -> np.ndarray:
+        n = obs.size
+        beta = np.zeros((n, self.n_states))
+        beta[-1] = 1.0
+        for t in range(n - 2, -1, -1):
+            beta[t] = (self.transition @ (self.emission[:, obs[t + 1]] * beta[t + 1]))
+            beta[t] /= scale[t + 1]
+        return beta
+
+    def log_likelihood(self, sequence: Sequence[int]) -> float:
+        """Log-probability of the observation sequence under the model."""
+        obs = self._check_sequence(sequence)
+        _, scale = self._forward(obs)
+        return float(np.log(scale).sum())
+
+    def viterbi(self, sequence: Sequence[int]) -> list[int]:
+        """Most likely hidden-state path (log-space Viterbi)."""
+        obs = self._check_sequence(sequence)
+        n = obs.size
+        log_a = np.log(self.transition + _EPS)
+        log_b = np.log(self.emission + _EPS)
+        delta = np.log(self.initial + _EPS) + log_b[:, obs[0]]
+        backpointer = np.zeros((n, self.n_states), dtype=int)
+        for t in range(1, n):
+            candidates = delta[:, None] + log_a
+            backpointer[t] = np.argmax(candidates, axis=0)
+            delta = candidates[backpointer[t], np.arange(self.n_states)] + log_b[:, obs[t]]
+        path = [int(np.argmax(delta))]
+        for t in range(n - 1, 0, -1):
+            path.append(int(backpointer[t, path[-1]]))
+        path.reverse()
+        return path
+
+    def posterior_states(self, sequence: Sequence[int]) -> np.ndarray:
+        """Per-step posterior ``gamma[t, i] = P(state_t = i | obs)``."""
+        obs = self._check_sequence(sequence)
+        alpha, scale = self._forward(obs)
+        beta = self._backward(obs, scale)
+        gamma = alpha * beta
+        return _normalize_rows(gamma)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        sequences: Sequence[Sequence[int]],
+        max_iter: int = 50,
+        tol: float = 1e-4,
+        pseudocount: float = 1e-3,
+        raise_on_no_converge: bool = False,
+    ) -> list[float]:
+        """Baum-Welch training on a list of sequences.
+
+        Returns the per-iteration total log-likelihood trace.  By default
+        stops silently at ``max_iter`` (set ``raise_on_no_converge`` to get
+        a :class:`ConvergenceError` instead).
+        """
+        observations = [self._check_sequence(seq) for seq in sequences]
+        if not observations:
+            raise ModelError("need at least one training sequence")
+        trace: list[float] = []
+        for _ in range(max_iter):
+            init_acc = np.zeros(self.n_states)
+            trans_acc = np.zeros((self.n_states, self.n_states))
+            emit_acc = np.zeros((self.n_states, self.n_symbols))
+            total_ll = 0.0
+            for obs in observations:
+                alpha, scale = self._forward(obs)
+                beta = self._backward(obs, scale)
+                total_ll += float(np.log(scale).sum())
+                gamma = _normalize_rows(alpha * beta)
+                init_acc += gamma[0]
+                for t in range(obs.size - 1):
+                    xi = (
+                        alpha[t][:, None]
+                        * self.transition
+                        * self.emission[:, obs[t + 1]][None, :]
+                        * beta[t + 1][None, :]
+                    )
+                    total = xi.sum()
+                    if total > 0:
+                        trans_acc += xi / total
+                for t, symbol in enumerate(obs):
+                    emit_acc[:, symbol] += gamma[t]
+            self.initial = (init_acc + pseudocount) / (
+                init_acc.sum() + pseudocount * self.n_states
+            )
+            self.transition = _normalize_rows(trans_acc + pseudocount)
+            self.emission = _normalize_rows(emit_acc + pseudocount)
+            trace.append(total_ll)
+            if len(trace) >= 2 and abs(trace[-1] - trace[-2]) < tol * abs(trace[-2] + _EPS):
+                return trace
+        if raise_on_no_converge:
+            raise ConvergenceError(f"Baum-Welch did not converge in {max_iter} iterations")
+        return trace
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    def sample(
+        self, length: int, rng: np.random.Generator
+    ) -> tuple[list[int], list[int]]:
+        """Sample ``(states, observations)`` of the given length."""
+        if length < 1:
+            raise ModelError("length must be >= 1")
+        states: list[int] = []
+        observations: list[int] = []
+        state = int(rng.choice(self.n_states, p=self.initial))
+        for _ in range(length):
+            states.append(state)
+            observations.append(int(rng.choice(self.n_symbols, p=self.emission[state])))
+            state = int(rng.choice(self.n_states, p=self.transition[state]))
+        return states, observations
+
+    def __repr__(self) -> str:
+        return f"HiddenMarkovModel(n_states={self.n_states}, n_symbols={self.n_symbols})"

@@ -1,0 +1,500 @@
+"""Hidden semi-Markov models with explicit state durations.
+
+This is the pattern-recognition engine behind the paper's HSMM failure
+predictor (Sect. 3.2): error sequences are mapped to discrete-time symbol
+sequences and scored by sequence log-likelihood under two trained models
+(failure vs. non-failure).
+
+The implementation is an explicit-duration ("segment") HSMM:
+
+- hidden states do not self-transition; instead each visit to state ``j``
+  lasts ``d`` time slots with probability ``p_j(d)`` given by a pluggable
+  :class:`~repro.markov.distributions.DiscreteDuration`,
+- one observation symbol is emitted per time slot from the state's
+  categorical emission distribution.
+
+Inference (forward likelihood, Viterbi segmentation) runs in log space in
+``O(T * N^2 * D)``.  Two trainers are provided:
+
+- segmental hard-EM (Viterbi re-estimation) -- fast and robust, the
+  default for the short error sequences the predictor operates on;
+- full Baum-Welch soft EM over segment posteriors (``algorithm="soft"``)
+  -- the textbook explicit-duration HSMM re-estimation, monotone in true
+  sequence likelihood.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.errors import ModelError, NotFittedError
+from repro.markov.distributions import DiscreteDuration, EmpiricalDuration
+
+_EPS = 1e-12
+_LOG_EPS = np.log(_EPS)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of one hidden state in a Viterbi segmentation."""
+
+    state: int
+    start: int  # inclusive slot index
+    end: int  # inclusive slot index
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start + 1
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.clip(matrix, 0.0, None)
+    sums = matrix.sum(axis=1, keepdims=True)
+    sums[sums <= 0] = 1.0
+    return matrix / sums
+
+
+class HiddenSemiMarkovModel:
+    """Explicit-duration HSMM over a discrete observation alphabet.
+
+    Parameters
+    ----------
+    n_states:
+        Number of hidden states.
+    n_symbols:
+        Observation alphabet size.
+    max_duration:
+        Longest representable state duration (in time slots).
+    duration_factory:
+        Callable producing a fresh duration distribution per state;
+        defaults to nonparametric :class:`EmpiricalDuration`.
+    rng:
+        Generator for random initialization and sampling.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_symbols: int,
+        max_duration: int = 10,
+        duration_factory: Callable[[int], DiscreteDuration] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_states < 1 or n_symbols < 1:
+            raise ModelError("need at least one state and one symbol")
+        self.n_states = int(n_states)
+        self.n_symbols = int(n_symbols)
+        self.max_duration = int(max_duration)
+        rng = rng or np.random.default_rng(0)
+        factory = duration_factory or (lambda d: EmpiricalDuration(d))
+        self._duration_factory = factory
+        self.initial = np.full(n_states, 1.0 / n_states)
+        transition = rng.random((n_states, n_states)) + 0.5
+        if n_states > 1:
+            np.fill_diagonal(transition, 0.0)
+        self.transition = _normalize_rows(transition)
+        self.emission = _normalize_rows(rng.random((n_states, n_symbols)) + 0.5)
+        self.durations: list[DiscreteDuration] = [
+            factory(self.max_duration) for _ in range(n_states)
+        ]
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Log-space helpers
+    # ------------------------------------------------------------------
+
+    def _check_sequence(self, sequence: Sequence[int]) -> np.ndarray:
+        obs = np.asarray(sequence, dtype=int)
+        if obs.ndim != 1 or obs.size == 0:
+            raise ModelError("sequence must be a non-empty 1-D array of symbols")
+        if obs.min() < 0 or obs.max() >= self.n_symbols:
+            raise ModelError("sequence contains symbols outside the alphabet")
+        return obs
+
+    def _log_params(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        log_pi = np.log(self.initial + _EPS)
+        log_a = np.log(self.transition + _EPS)
+        log_b = np.log(self.emission + _EPS)
+        log_d = np.log(
+            np.vstack([dist.pmf() for dist in self.durations]) + _EPS
+        )  # (n_states, max_duration)
+        return log_pi, log_a, log_b, log_d
+
+    def _segment_emissions(self, obs: np.ndarray, log_b: np.ndarray) -> np.ndarray:
+        """Cumulative per-state emission log-probs.
+
+        ``cum[t, j]`` is the log-probability that state ``j`` emitted
+        ``obs[0..t]``; segment scores are differences of this array.
+        """
+        step = log_b[:, obs].T  # (T, n_states)
+        return np.cumsum(step, axis=0)
+
+    def _forward_table(self, obs: np.ndarray) -> np.ndarray:
+        """Log forward table: ``alpha[t, j]`` = log P(obs[0..t], segment of
+        state ``j`` ends exactly at slot ``t``)."""
+        log_pi, log_a, log_b, log_d = self._log_params()
+        n = obs.size
+        cum = self._segment_emissions(obs, log_b)
+        alpha = np.full((n, self.n_states), -np.inf)
+        for t in range(n):
+            d_max = min(self.max_duration, t + 1)
+            # Contributions for each admissible duration d (vectorized over states).
+            terms = np.full((d_max, self.n_states), -np.inf)
+            for d in range(1, d_max + 1):
+                start = t - d + 1
+                emis = cum[t] - (cum[start - 1] if start > 0 else 0.0)
+                dur = log_d[:, d - 1]
+                if start == 0:
+                    terms[d - 1] = log_pi + dur + emis
+                else:
+                    prev = logsumexp(
+                        alpha[start - 1][:, None] + log_a, axis=0
+                    )  # (n_states,)
+                    terms[d - 1] = prev + dur + emis
+            alpha[t] = logsumexp(terms, axis=0)
+        return alpha
+
+    def _backward_table(self, obs: np.ndarray) -> np.ndarray:
+        """Log backward table: ``beta[t, j]`` = log P(obs[t+1..] | a segment
+        of state ``j`` ends exactly at slot ``t``)."""
+        _, log_a, log_b, log_d = self._log_params()
+        n = obs.size
+        cum = self._segment_emissions(obs, log_b)
+        beta = np.full((n, self.n_states), -np.inf)
+        beta[n - 1] = 0.0
+        for t in range(n - 2, -1, -1):
+            # eta[j'] = log P(a segment of j' starts at t+1 and the rest
+            # of the sequence follows).
+            d_max = min(self.max_duration, n - 1 - t)
+            terms = np.full((d_max, self.n_states), -np.inf)
+            for d in range(1, d_max + 1):
+                end = t + d
+                emis = cum[end] - cum[t]
+                terms[d - 1] = log_d[:, d - 1] + emis + beta[end]
+            eta = logsumexp(terms, axis=0)  # (n_states,)
+            beta[t] = logsumexp(log_a + eta[None, :], axis=1)
+        return beta
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def log_likelihood(self, sequence: Sequence[int]) -> float:
+        """Log-probability that the model generated ``sequence``.
+
+        A segment boundary is assumed at the end of the sequence (the
+        standard right-boundary convention for segment models).
+        """
+        obs = self._check_sequence(sequence)
+        alpha = self._forward_table(obs)
+        return float(logsumexp(alpha[-1]))
+
+    def viterbi(self, sequence: Sequence[int]) -> list[Segment]:
+        """Most likely segmentation of ``sequence`` into state runs."""
+        obs = self._check_sequence(sequence)
+        log_pi, log_a, log_b, log_d = self._log_params()
+        n = obs.size
+        cum = self._segment_emissions(obs, log_b)
+        delta = np.full((n, self.n_states), -np.inf)
+        best_dur = np.zeros((n, self.n_states), dtype=int)
+        best_prev = np.full((n, self.n_states), -1, dtype=int)
+        for t in range(n):
+            d_max = min(self.max_duration, t + 1)
+            for d in range(1, d_max + 1):
+                start = t - d + 1
+                emis = cum[t] - (cum[start - 1] if start > 0 else 0.0)
+                dur = log_d[:, d - 1]
+                if start == 0:
+                    scores = log_pi + dur + emis
+                    prev_state = np.full(self.n_states, -1, dtype=int)
+                else:
+                    candidates = delta[start - 1][:, None] + log_a
+                    prev_state = np.argmax(candidates, axis=0)
+                    scores = (
+                        candidates[prev_state, np.arange(self.n_states)] + dur + emis
+                    )
+                better = scores > delta[t]
+                delta[t][better] = scores[better]
+                best_dur[t][better] = d
+                best_prev[t][better] = prev_state[better]
+        # Backtrack.
+        segments: list[Segment] = []
+        t = n - 1
+        state = int(np.argmax(delta[t]))
+        while t >= 0:
+            d = int(best_dur[t, state])
+            if d <= 0:
+                raise ModelError("Viterbi backtrack failed (zero duration)")
+            segments.append(Segment(state=state, start=t - d + 1, end=t))
+            prev = int(best_prev[t, state])
+            t -= d
+            state = prev
+        segments.reverse()
+        return segments
+
+    # ------------------------------------------------------------------
+    # Training (segmental hard-EM)
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        sequences: Sequence[Sequence[int]],
+        max_iter: int = 20,
+        tol: float = 1e-4,
+        pseudocount: float = 0.05,
+        n_restarts: int = 1,
+        restart_rng: np.random.Generator | None = None,
+        algorithm: str = "hard",
+    ) -> list[float]:
+        """Train the model; returns the per-iteration score trace.
+
+        ``algorithm="hard"`` runs segmental hard-EM (Viterbi
+        re-estimation; the trace is the total Viterbi-path score);
+        ``algorithm="soft"`` runs full Baum-Welch over segment posteriors
+        (the trace is the true total log-likelihood, non-decreasing).
+        Both converge to local optima, so ``n_restarts > 1`` re-randomizes
+        the parameters and keeps the best-scoring solution.
+        """
+        if algorithm not in ("hard", "soft"):
+            raise ModelError(f"unknown algorithm {algorithm!r}")
+        if n_restarts < 1:
+            raise ModelError("n_restarts must be >= 1")
+        if n_restarts > 1:
+            rng = restart_rng or np.random.default_rng(0)
+            best_score = -np.inf
+            best_state: tuple | None = None
+            best_trace: list[float] = []
+            for _ in range(n_restarts):
+                self._randomize(rng)
+                trace = self.fit(
+                    sequences, max_iter=max_iter, tol=tol,
+                    pseudocount=pseudocount, n_restarts=1,
+                    algorithm=algorithm,
+                )
+                if trace[-1] > best_score:
+                    best_score = trace[-1]
+                    best_trace = trace
+                    best_state = (
+                        self.initial.copy(),
+                        self.transition.copy(),
+                        self.emission.copy(),
+                        copy.deepcopy(self.durations),
+                    )
+            assert best_state is not None
+            self.initial, self.transition, self.emission, self.durations = best_state
+            self._fitted = True
+            return best_trace
+
+        observations = [self._check_sequence(seq) for seq in sequences]
+        if not observations:
+            raise ModelError("need at least one training sequence")
+        if algorithm == "soft":
+            return self._fit_soft(observations, max_iter, tol, pseudocount)
+        trace: list[float] = []
+        for _ in range(max_iter):
+            init_acc = np.zeros(self.n_states)
+            trans_acc = np.zeros((self.n_states, self.n_states))
+            emit_acc = np.zeros((self.n_states, self.n_symbols))
+            dur_acc = np.zeros((self.n_states, self.max_duration))
+            total_score = 0.0
+            for obs in observations:
+                segments = self.viterbi(obs)
+                total_score += self._segmentation_score(obs, segments)
+                init_acc[segments[0].state] += 1.0
+                for prev, cur in zip(segments, segments[1:]):
+                    trans_acc[prev.state, cur.state] += 1.0
+                for seg in segments:
+                    dur_acc[seg.state, seg.duration - 1] += 1.0
+                    for symbol in obs[seg.start : seg.end + 1]:
+                        emit_acc[seg.state, symbol] += 1.0
+            self.initial = (init_acc + pseudocount) / (
+                init_acc.sum() + pseudocount * self.n_states
+            )
+            trans = trans_acc + pseudocount
+            if self.n_states > 1:
+                np.fill_diagonal(trans, 0.0)
+            self.transition = _normalize_rows(trans)
+            self.emission = _normalize_rows(emit_acc + pseudocount)
+            for j, dist in enumerate(self.durations):
+                dist.fit(dur_acc[j])
+            trace.append(total_score)
+            if len(trace) >= 2 and abs(trace[-1] - trace[-2]) <= tol * (
+                abs(trace[-2]) + _EPS
+            ):
+                break
+        self._fitted = True
+        return trace
+
+    def _fit_soft(
+        self,
+        observations: list[np.ndarray],
+        max_iter: int,
+        tol: float,
+        pseudocount: float,
+    ) -> list[float]:
+        """Full Baum-Welch for the explicit-duration HSMM.
+
+        The E-step enumerates candidate segments ``(state j, start s,
+        duration d)`` and weighs each by its posterior probability::
+
+            w(j, s, d) = P(segment | obs)
+                       = in(s, j) * p_j(d) * emis(s..s+d-1, j) * beta[s+d-1, j] / L
+
+        where ``in(s, j)`` is the probability mass of entering state ``j``
+        at slot ``s`` (initial law at s=0, alpha-weighted transitions
+        otherwise).  All segment statistics (durations, emissions,
+        transitions, initial law) are the corresponding weighted sums.
+        """
+        trace: list[float] = []
+        for _ in range(max_iter):
+            init_acc = np.full(self.n_states, pseudocount)
+            trans_acc = np.full((self.n_states, self.n_states), pseudocount)
+            if self.n_states > 1:
+                np.fill_diagonal(trans_acc, 0.0)
+            emit_acc = np.full((self.n_states, self.n_symbols), pseudocount)
+            dur_acc = np.full((self.n_states, self.max_duration), pseudocount)
+            total_ll = 0.0
+            log_pi, log_a, log_b, log_d = self._log_params()
+            for obs in observations:
+                n = obs.size
+                cum = self._segment_emissions(obs, log_b)
+                alpha = self._forward_table(obs)
+                beta = self._backward_table(obs)
+                log_likelihood = float(logsumexp(alpha[-1]))
+                total_ll += log_likelihood
+                # in_log[s, j]: log-mass of entering state j at slot s.
+                in_log = np.full((n, self.n_states), -np.inf)
+                in_log[0] = log_pi
+                for s in range(1, n):
+                    in_log[s] = logsumexp(alpha[s - 1][:, None] + log_a, axis=0)
+                # Segment posteriors.
+                for s in range(n):
+                    d_max = min(self.max_duration, n - s)
+                    for d in range(1, d_max + 1):
+                        end = s + d - 1
+                        emis = cum[end] - (cum[s - 1] if s > 0 else 0.0)
+                        log_w = (
+                            in_log[s]
+                            + log_d[:, d - 1]
+                            + emis
+                            + beta[end]
+                            - log_likelihood
+                        )
+                        w = np.exp(np.clip(log_w, -700.0, 50.0))
+                        if not w.any():
+                            continue
+                        dur_acc[:, d - 1] += w
+                        if s == 0:
+                            init_acc += w
+                        for symbol in obs[s : end + 1]:
+                            emit_acc[:, symbol] += w
+                # Transition posteriors at each boundary t -> t+1.
+                for t in range(n - 1):
+                    # eta[j'] = log P(segment of j' starts at t+1, rest follows).
+                    d_max = min(self.max_duration, n - 1 - t)
+                    terms = np.full((d_max, self.n_states), -np.inf)
+                    for d in range(1, d_max + 1):
+                        end = t + d
+                        terms[d - 1] = (
+                            log_d[:, d - 1] + (cum[end] - cum[t]) + beta[end]
+                        )
+                    eta = logsumexp(terms, axis=0)
+                    log_xi = (
+                        alpha[t][:, None] + log_a + eta[None, :] - log_likelihood
+                    )
+                    trans_acc += np.exp(np.clip(log_xi, -700.0, 50.0))
+            # M-step.
+            self.initial = init_acc / init_acc.sum()
+            if self.n_states > 1:
+                np.fill_diagonal(trans_acc, 0.0)
+            self.transition = _normalize_rows(trans_acc)
+            self.emission = _normalize_rows(emit_acc)
+            for j, dist in enumerate(self.durations):
+                dist.fit(dur_acc[j])
+            trace.append(total_ll)
+            if len(trace) >= 2 and abs(trace[-1] - trace[-2]) <= tol * (
+                abs(trace[-2]) + _EPS
+            ):
+                break
+        self._fitted = True
+        return trace
+
+    def _randomize(self, rng: np.random.Generator) -> None:
+        """Re-randomize all parameters (used between EM restarts).
+
+        Emissions are drawn sharply (Dirichlet with small concentration)
+        so restarts explore genuinely different state/symbol assignments,
+        and durations are reset to fresh factory instances -- otherwise all
+        restarts inherit the previous run's duration model and land in the
+        same basin.
+        """
+        self.initial = np.full(self.n_states, 1.0 / self.n_states)
+        transition = rng.random((self.n_states, self.n_states)) + 0.5
+        if self.n_states > 1:
+            np.fill_diagonal(transition, 0.0)
+        self.transition = _normalize_rows(transition)
+        self.emission = rng.dirichlet(
+            np.full(self.n_symbols, 0.5), size=self.n_states
+        )
+        self.durations = [
+            self._duration_factory(self.max_duration) for _ in range(self.n_states)
+        ]
+
+    def _segmentation_score(self, obs: np.ndarray, segments: list[Segment]) -> float:
+        log_pi, log_a, log_b, log_d = self._log_params()
+        score = log_pi[segments[0].state]
+        for prev, cur in zip(segments, segments[1:]):
+            score += log_a[prev.state, cur.state]
+        for seg in segments:
+            score += log_d[seg.state, seg.duration - 1]
+            score += log_b[seg.state, obs[seg.start : seg.end + 1]].sum()
+        return float(score)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def require_fitted(self) -> None:
+        """Raise :class:`NotFittedError` if :meth:`fit` has not run."""
+        if not self._fitted:
+            raise NotFittedError("HSMM has not been fitted")
+
+    def clone(self) -> "HiddenSemiMarkovModel":
+        """Deep copy (useful for restarts and model comparison)."""
+        return copy.deepcopy(self)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    def sample(
+        self, length: int, rng: np.random.Generator
+    ) -> tuple[list[int], list[int]]:
+        """Sample ``(states_per_slot, observations)`` of exactly ``length``."""
+        if length < 1:
+            raise ModelError("length must be >= 1")
+        states: list[int] = []
+        observations: list[int] = []
+        state = int(rng.choice(self.n_states, p=self.initial))
+        while len(observations) < length:
+            duration = self.durations[state].sample(rng)
+            for _ in range(duration):
+                if len(observations) >= length:
+                    break
+                states.append(state)
+                observations.append(
+                    int(rng.choice(self.n_symbols, p=self.emission[state]))
+                )
+            state = int(rng.choice(self.n_states, p=self.transition[state]))
+        return states, observations
+
+    def __repr__(self) -> str:
+        return (
+            f"HiddenSemiMarkovModel(n_states={self.n_states}, "
+            f"n_symbols={self.n_symbols}, max_duration={self.max_duration})"
+        )

@@ -1,0 +1,151 @@
+"""Semi-Markov processes (SMP).
+
+The rejuvenation literature the paper surveys (Sect. 5.2) moved from
+Huang's CTMC to semi-Markov models precisely because periodic restarting
+is *deterministic*, which exponential sojourns cannot express ("Dohi et
+al. have extended the model to a semi-Markov process to deal more
+appropriately with the deterministic behavior of periodic restarting").
+
+A finite SMP is given by the embedded jump chain ``P`` and a mean sojourn
+time per state; its steady-state occupancy is the jump chain's stationary
+distribution weighted by the mean holding times::
+
+    pi_i = nu_i * m_i / sum_j nu_j * m_j
+
+This is all the rejuvenation comparison needs -- and it lets the
+time-triggered policy be priced with *deterministic* intervals instead of
+the exponential approximation of :mod:`repro.reliability.cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.markov.dtmc import DTMC
+
+
+class SemiMarkovProcess:
+    """A finite SMP: embedded jump chain plus mean sojourn times."""
+
+    def __init__(
+        self,
+        jump_chain: DTMC,
+        mean_sojourns: Sequence[float],
+    ) -> None:
+        sojourns = np.asarray(mean_sojourns, dtype=float)
+        if sojourns.shape != (jump_chain.n_states,):
+            raise ModelError("need one mean sojourn per state")
+        if np.any(sojourns <= 0):
+            raise ModelError("mean sojourn times must be positive")
+        self.jump_chain = jump_chain
+        self.mean_sojourns = sojourns
+
+    @classmethod
+    def from_transitions(
+        cls,
+        state_names: Sequence[str],
+        transitions: Mapping[tuple[str, str], float],
+        mean_sojourns: Mapping[str, float],
+    ) -> "SemiMarkovProcess":
+        """Build from ``{(src, dst): probability}`` and per-state sojourns."""
+        names = list(state_names)
+        index = {name: i for i, name in enumerate(names)}
+        p = np.zeros((len(names), len(names)))
+        for (src, dst), probability in transitions.items():
+            if src not in index or dst not in index:
+                raise ModelError(f"unknown state in ({src!r}, {dst!r})")
+            p[index[src], index[dst]] = probability
+        chain = DTMC(p, names)
+        try:
+            sojourns = [mean_sojourns[name] for name in names]
+        except KeyError as exc:
+            raise ModelError(f"missing sojourn time for state {exc}") from exc
+        return cls(chain, sojourns)
+
+    @property
+    def state_names(self) -> list[str]:
+        return self.jump_chain.state_names
+
+    def steady_state(self) -> np.ndarray:
+        """Long-run fraction of *time* spent in each state."""
+        nu = self.jump_chain.stationary_distribution()
+        weighted = nu * self.mean_sojourns
+        return weighted / weighted.sum()
+
+    def occupancy(self, names: Sequence[str]) -> float:
+        """Total steady-state occupancy of the named states."""
+        pi = self.steady_state()
+        return float(
+            sum(pi[self.jump_chain.index_of(name)] for name in names)
+        )
+
+    def mean_cycle_time(self) -> float:
+        """Expected time between visits to the embedded chain (one jump)."""
+        nu = self.jump_chain.stationary_distribution()
+        return float(nu @ self.mean_sojourns)
+
+    def visit_rate(self, name: str) -> float:
+        """Long-run visits to ``name`` per unit time."""
+        nu = self.jump_chain.stationary_distribution()
+        return float(nu[self.jump_chain.index_of(name)] / self.mean_cycle_time())
+
+
+def deterministic_rejuvenation_smp(
+    mttf_aging: float,
+    maturation_time: float,
+    rejuvenation_interval: float,
+    rejuvenation_downtime: float,
+    repair_downtime: float,
+) -> SemiMarkovProcess:
+    """The Dohi-style SMP for *deterministic* periodic rejuvenation.
+
+    Cycle: the system runs until either the clock (at exactly
+    ``rejuvenation_interval``) or the fault process ends the period.  With
+    exponential aging (rate ``1/mttf_aging``) followed by a maturation
+    delay, the probability that a failure lands before the clock is::
+
+        P(fail first) = P(aging + maturation < T)
+
+    computed from the hypoexponential CDF; the mean up-period is the
+    corresponding truncated expectation.  States: ``up``,
+    ``rejuvenating`` (deterministic downtime), ``failed``.
+    """
+    if min(
+        mttf_aging, maturation_time, rejuvenation_interval,
+        rejuvenation_downtime, repair_downtime,
+    ) <= 0:
+        raise ModelError("all times must be positive")
+    t = rejuvenation_interval
+    lam = 1.0 / mttf_aging
+    mu = 1.0 / maturation_time
+    # Hypoexponential(lam, mu) CDF and truncated mean at T (Monte-Carlo-free).
+    if abs(lam - mu) < 1e-12:
+        mu *= 1.0 + 1e-9
+    p_fail = 1.0 - (
+        (mu * np.exp(-lam * t) - lam * np.exp(-mu * t)) / (mu - lam)
+    )
+    p_fail = float(np.clip(p_fail, 1e-12, 1.0 - 1e-12))
+    # E[min(X, T)] with X ~ hypoexp(lam, mu):
+    # integral of the survival function from 0 to T.
+    surv_integral = (
+        mu / (mu - lam) * (1.0 - np.exp(-lam * t)) / lam
+        - lam / (mu - lam) * (1.0 - np.exp(-mu * t)) / mu
+    )
+    mean_up = float(surv_integral)
+    return SemiMarkovProcess.from_transitions(
+        ["up", "rejuvenating", "failed"],
+        {
+            ("up", "rejuvenating"): 1.0 - p_fail,
+            ("up", "failed"): p_fail,
+            ("rejuvenating", "up"): 1.0,
+            ("failed", "up"): 1.0,
+        },
+        {
+            "up": mean_up,
+            "rejuvenating": rejuvenation_downtime,
+            "failed": repair_downtime,
+        },
+    )

@@ -1,0 +1,107 @@
+"""Runtime-adaptive monitoring.
+
+Sect. 6: "monitoring should be adaptable during runtime.  Failure
+predictors ... should be able to adjust, e.g., the frequency or precision
+of the data for a monitored object."
+
+:class:`AdaptiveMonitor` watches the recent variability of each variable
+and speeds up sampling for volatile variables while slowing it down for
+quiet ones, within configured bounds.  It exposes the same hook a failure
+predictor would call when it decides a variable needs finer data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.monitoring.collectors import PeriodicCollector
+from repro.monitoring.timeseries import TimeSeriesStore
+
+
+class AdaptiveMonitor:
+    """Adjusts a collector's sampling interval from observed volatility.
+
+    Parameters
+    ----------
+    collector:
+        The collector whose interval is managed.
+    store:
+        Where the samples land (used to measure variability).
+    min_interval / max_interval:
+        Bounds for the adapted interval.
+    target_cv:
+        Desired coefficient of variation per window; variables exceeding
+        it pull the interval down proportionally.
+    window:
+        Look-back horizon (in time units) for the variability estimate.
+    """
+
+    def __init__(
+        self,
+        collector: PeriodicCollector,
+        store: TimeSeriesStore,
+        min_interval: float = 5.0,
+        max_interval: float = 300.0,
+        target_cv: float = 0.05,
+        window: float = 600.0,
+    ) -> None:
+        if not 0 < min_interval <= max_interval:
+            raise ConfigurationError("need 0 < min_interval <= max_interval")
+        if target_cv <= 0 or window <= 0:
+            raise ConfigurationError("target_cv and window must be positive")
+        self.collector = collector
+        self.store = store
+        self.min_interval = min_interval
+        self.max_interval = max_interval
+        self.target_cv = target_cv
+        self.window = window
+        self._pinned: dict[str, float] = {}
+
+    def request_precision(self, variable: str, interval: float) -> None:
+        """Predictor hook: pin a variable to at least this sampling rate."""
+        if interval <= 0:
+            raise ConfigurationError("interval must be positive")
+        self._pinned[variable] = max(self.min_interval, interval)
+        self._apply()
+
+    def release_precision(self, variable: str) -> None:
+        """Remove a predictor's precision pin."""
+        self._pinned.pop(variable, None)
+        self._apply()
+
+    def observed_cv(self, variable: str, now: float) -> float:
+        """Coefficient of variation of the variable over the window."""
+        _, values = self.store.series(variable).window(now - self.window, now)
+        if values.size < 3:
+            return 0.0
+        mean = float(np.mean(values))
+        if abs(mean) < 1e-12:
+            return 0.0
+        return float(np.std(values) / abs(mean))
+
+    def adapt(self, now: float) -> float:
+        """Re-evaluate all variables and set the collector interval.
+
+        Returns the interval chosen.  Volatile variables (cv above target)
+        shrink the interval proportionally; all-quiet systems drift back
+        toward ``max_interval``.
+        """
+        worst_ratio = 0.0
+        for gauge in self.collector.gauges:
+            cv = self.observed_cv(gauge.variable, now)
+            worst_ratio = max(worst_ratio, cv / self.target_cv)
+        if worst_ratio <= 1.0:
+            interval = min(self.collector.interval * 1.5, self.max_interval)
+        else:
+            interval = max(self.collector.interval / worst_ratio, self.min_interval)
+        self.collector.set_interval(self._respect_pins(interval))
+        return self.collector.interval
+
+    def _respect_pins(self, interval: float) -> float:
+        if self._pinned:
+            interval = min(interval, min(self._pinned.values()))
+        return float(np.clip(interval, self.min_interval, self.max_interval))
+
+    def _apply(self) -> None:
+        self.collector.set_interval(self._respect_pins(self.collector.interval))

@@ -1,0 +1,72 @@
+"""Pluggable monitoring-source registry.
+
+The blueprint (Sect. 6) requires "a robust and flexible monitoring
+infrastructure ... pluggable such that new monitoring data sources can be
+incorporated easily".  A :class:`MonitoringSource` bundles the gauges and
+error reporting of one component or layer; the :class:`SourceRegistry`
+lets sources appear and disappear at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.monitoring.collectors import Gauge
+
+
+@runtime_checkable
+class MonitoringSource(Protocol):
+    """What a component must implement to be monitorable."""
+
+    name: str
+
+    def gauges(self) -> list[Gauge]:
+        """The numeric variables this source exposes."""
+
+
+class SourceRegistry:
+    """Registry of live monitoring sources (keyed by unique name)."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, MonitoringSource] = {}
+
+    def register(self, source: MonitoringSource) -> None:
+        if source.name in self._sources:
+            raise ConfigurationError(f"source {source.name!r} already registered")
+        self._sources[source.name] = source
+
+    def unregister(self, name: str) -> MonitoringSource:
+        try:
+            return self._sources.pop(name)
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown source {name!r}") from exc
+
+    def get(self, name: str) -> MonitoringSource:
+        try:
+            return self._sources[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown source {name!r}") from exc
+
+    def all_gauges(self) -> list[Gauge]:
+        """Gauges of all registered sources, names prefixed by source."""
+        gauges: list[Gauge] = []
+        for source in self._sources.values():
+            for gauge in source.gauges():
+                gauges.append(
+                    Gauge(
+                        variable=f"{source.name}.{gauge.variable}",
+                        read=gauge.read,
+                    )
+                )
+        return gauges
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __iter__(self) -> Iterator[MonitoringSource]:
+        return iter(self._sources.values())

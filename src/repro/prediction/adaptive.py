@@ -1,0 +1,142 @@
+"""Drift-aware predictor operation (paper Sect. 6).
+
+"If system behavior changes frequently (due to frequent updates and
+upgrades), the failure prediction approaches have to be adopted to the
+changed behavior, too ... it might be necessary to repeat parameter
+determination.  Online change point detection algorithms can be used to
+determine whether the parameters have to be re-adjusted."
+
+:class:`AdaptiveRetrainingPredictor` wraps any symptom predictor with
+exactly that loop: it keeps a sliding buffer of recent labeled
+observations, watches its own score stream with a change-point detector,
+and refits on the buffer whenever drift fires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.prediction.base import SymptomPredictor
+from repro.prediction.changepoint import CUSUM
+
+
+@dataclass(frozen=True)
+class RetrainingEvent:
+    """Record of one drift-triggered refit."""
+
+    alarm_at_sample: int
+    refit_at_sample: int
+    buffer_size: int
+
+
+class AdaptiveRetrainingPredictor:
+    """Wraps a symptom predictor with change-point-triggered retraining.
+
+    Parameters
+    ----------
+    predictor:
+        The wrapped symptom predictor (fitted or not).
+    buffer_size:
+        Number of recent labeled observations kept for refits.
+    detector:
+        Change-point detector over the score stream (two-sided CUSUM by
+        default, so both score inflation and deflation trigger).
+    min_buffer_for_refit:
+        How many *post-alarm* observations to collect before refitting.
+        The alarm marks the change point; only data from the new regime
+        should teach the refit, so detection arms a pending refit that
+        fires once this many fresh samples are buffered.
+    cooldown:
+        Minimum observations between refits.
+    """
+
+    def __init__(
+        self,
+        predictor: SymptomPredictor,
+        buffer_size: int = 2_000,
+        detector: CUSUM | None = None,
+        min_buffer_for_refit: int = 200,
+        cooldown: int = 200,
+    ) -> None:
+        if buffer_size < min_buffer_for_refit:
+            raise ConfigurationError("buffer_size must be >= min_buffer_for_refit")
+        if cooldown < 0:
+            raise ConfigurationError("cooldown must be >= 0")
+        self.predictor = predictor
+        self.buffer_size = buffer_size
+        self.detector = detector or CUSUM(threshold=12.0, drift=0.3)
+        self.min_buffer_for_refit = min_buffer_for_refit
+        self.cooldown = cooldown
+        self._features: deque[np.ndarray] = deque(maxlen=buffer_size)
+        self._targets: deque[float] = deque(maxlen=buffer_size)
+        self._samples_seen = 0
+        self._since_refit = cooldown
+        self._alarm_at: int | None = None
+        self.retraining_events: list[RetrainingEvent] = []
+
+    def observe(self, features: np.ndarray, target: float) -> float:
+        """Score one observation, buffer it, and maybe retrain.
+
+        ``target`` is the (possibly delayed) ground truth for this
+        observation -- the interval availability or failure label that
+        becomes known one lead time later.  Returns the score.
+        """
+        features = np.asarray(features, dtype=float).ravel()
+        score = float(self.predictor.score_samples(features[None, :])[0])
+        self._features.append(features)
+        self._targets.append(float(target))
+        self._samples_seen += 1
+        self._since_refit += 1
+        if self.detector.update(score) and self._alarm_at is None:
+            if self._since_refit >= self.cooldown:
+                self._alarm_at = self._samples_seen
+        if self._alarm_at is not None:
+            fresh = self._samples_seen - self._alarm_at
+            if fresh >= self.min_buffer_for_refit and self._fresh_usable(fresh):
+                self._refit(fresh)
+        return score
+
+    def _fresh_usable(self, fresh: int) -> bool:
+        targets = np.asarray(self._targets)[-fresh:]
+        # Need some variation in the target to fit anything meaningful.
+        return bool(np.ptp(targets) > 0)
+
+    def _refit(self, fresh: int | None = None) -> None:
+        """Refit on the freshest ``fresh`` samples (whole buffer if None)."""
+        take = len(self._features) if fresh is None else min(fresh, len(self._features))
+        x = np.vstack(list(self._features)[-take:])
+        y = np.asarray(self._targets)[-take:]
+        self.predictor.fit(x, y)
+        self.retraining_events.append(
+            RetrainingEvent(
+                alarm_at_sample=self._alarm_at or self._samples_seen,
+                refit_at_sample=self._samples_seen,
+                buffer_size=y.size,
+            )
+        )
+        self._since_refit = 0
+        self._alarm_at = None
+        self.detector.reset()
+
+    def force_refit(self) -> None:
+        """Manual retraining (e.g. after a known configuration change)."""
+        if len(self._features) < 2:
+            raise NotFittedError("buffer too small to refit")
+        self._refit()
+
+    # Pass-throughs ------------------------------------------------------
+
+    def score_samples(self, x: np.ndarray) -> np.ndarray:
+        return self.predictor.score_samples(x)
+
+    @property
+    def threshold(self) -> float:
+        return self.predictor.threshold
+
+    @property
+    def refit_count(self) -> int:
+        return len(self.retraining_events)

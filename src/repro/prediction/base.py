@@ -1,0 +1,165 @@
+"""Predictor interfaces.
+
+The taxonomy's two big implemented families differ in their input data:
+
+- :class:`SymptomPredictor` consumes periodic numeric feature vectors
+  (symptom monitoring; "in most cases real-valued"),
+- :class:`EventPredictor` consumes event-driven error sequences
+  (detected error reporting; "discrete, categorical data").
+
+Both produce a continuous failure-proneness *score* per input; a warning
+is raised when the score crosses the predictor's threshold, which is the
+knob trading precision against recall (Sect. 3.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.monitoring.records import EventSequence
+from repro.prediction.metrics import ContingencyTable, auc
+from repro.prediction.thresholds import max_f_threshold
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One prediction: a score, the warning decision, and its horizon."""
+
+    time: float
+    score: float
+    warning: bool
+    lead_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class PredictorInfo:
+    """Metadata tying a predictor to the Fig. 3 taxonomy."""
+
+    name: str
+    category: str  # taxonomy leaf, e.g. "symptom-monitoring/function-approximation"
+    description: str = ""
+
+
+class _ThresholdMixin:
+    """Shared score-thresholding behaviour."""
+
+    threshold: float = 0.5
+
+    def set_threshold(self, threshold: float) -> None:
+        self.threshold = float(threshold)
+
+    def calibrate_threshold(
+        self, scores: np.ndarray, labels: np.ndarray
+    ) -> float:
+        """Set the threshold to the max-F point on validation data."""
+        threshold, _ = max_f_threshold(scores, labels)
+        self.set_threshold(threshold)
+        return threshold
+
+
+class SymptomPredictor(_ThresholdMixin, abc.ABC):
+    """Predictor over periodic monitoring feature vectors."""
+
+    info: PredictorInfo
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "SymptomPredictor":
+        """Train on feature matrix ``x`` and target ``y``.
+
+        ``y`` may be continuous (e.g. interval availability) or boolean
+        failure labels, depending on the method.
+        """
+
+    @abc.abstractmethod
+    def score_samples(self, x: np.ndarray) -> np.ndarray:
+        """Failure-proneness score per row (higher = more failure-prone)."""
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Boolean warnings at the current threshold."""
+        return self.score_samples(x) >= self.threshold
+
+    def evaluate(self, x: np.ndarray, labels: np.ndarray) -> ContingencyTable:
+        """Contingency table at the current threshold."""
+        return ContingencyTable.from_scores(
+            self.score_samples(x), np.asarray(labels, dtype=bool), self.threshold
+        )
+
+    def auc(self, x: np.ndarray, labels: np.ndarray) -> float:
+        return auc(self.score_samples(x), np.asarray(labels, dtype=bool))
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+
+
+class EventPredictor(_ThresholdMixin, abc.ABC):
+    """Predictor over event-driven error sequences."""
+
+    info: PredictorInfo
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        failure_sequences: list[EventSequence],
+        nonfailure_sequences: list[EventSequence],
+    ) -> "EventPredictor":
+        """Train on labeled error sequences (Fig. 6)."""
+
+    @abc.abstractmethod
+    def score_sequence(self, sequence: EventSequence) -> float:
+        """Failure-proneness score of one sequence (higher = failure-prone)."""
+
+    def score_sequences(self, sequences: list[EventSequence]) -> np.ndarray:
+        return np.asarray([self.score_sequence(s) for s in sequences])
+
+    def predict(self, sequence: EventSequence) -> bool:
+        return self.score_sequence(sequence) >= self.threshold
+
+    def evaluate(
+        self,
+        failure_sequences: list[EventSequence],
+        nonfailure_sequences: list[EventSequence],
+    ) -> ContingencyTable:
+        scores, labels = self._score_labeled(failure_sequences, nonfailure_sequences)
+        return ContingencyTable.from_scores(scores, labels, self.threshold)
+
+    def auc(
+        self,
+        failure_sequences: list[EventSequence],
+        nonfailure_sequences: list[EventSequence],
+    ) -> float:
+        scores, labels = self._score_labeled(failure_sequences, nonfailure_sequences)
+        return auc(scores, labels)
+
+    def _score_labeled(
+        self,
+        failure_sequences: list[EventSequence],
+        nonfailure_sequences: list[EventSequence],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        scores = np.concatenate(
+            [
+                self.score_sequences(failure_sequences),
+                self.score_sequences(nonfailure_sequences),
+            ]
+        )
+        labels = np.concatenate(
+            [
+                np.ones(len(failure_sequences), dtype=bool),
+                np.zeros(len(nonfailure_sequences), dtype=bool),
+            ]
+        )
+        return scores, labels
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")

@@ -1,0 +1,33 @@
+"""Baseline online failure predictors from the taxonomy survey.
+
+One implementation per populated taxonomy branch beyond UBF/HSMM:
+
+- :class:`~repro.prediction.baselines.dft.DispersionFrameTechnique` --
+  Lin & Siewiorek's heuristic error-interval rules,
+- :class:`~repro.prediction.baselines.eventset.EventSetPredictor` --
+  Vilalta-style data mining of failure-indicative event sets,
+- :class:`~repro.prediction.baselines.trend.TrendAnalysisPredictor` --
+  Garg-style resource-exhaustion trend estimation,
+- :class:`~repro.prediction.baselines.mset.MSETPredictor` -- multivariate
+  state estimation with residual scoring,
+- :class:`~repro.prediction.baselines.rate.ErrorRatePredictor` --
+  Nassar-style error-rate and error-type-distribution shifts,
+- :class:`~repro.prediction.baselines.failure_tracking.FailureHistoryPredictor`
+  -- nonparametric prediction from past failure occurrences.
+"""
+
+from repro.prediction.baselines.dft import DispersionFrameTechnique
+from repro.prediction.baselines.eventset import EventSetPredictor
+from repro.prediction.baselines.failure_tracking import FailureHistoryPredictor
+from repro.prediction.baselines.mset import MSETPredictor
+from repro.prediction.baselines.rate import ErrorRatePredictor
+from repro.prediction.baselines.trend import TrendAnalysisPredictor
+
+__all__ = [
+    "DispersionFrameTechnique",
+    "EventSetPredictor",
+    "FailureHistoryPredictor",
+    "MSETPredictor",
+    "ErrorRatePredictor",
+    "TrendAnalysisPredictor",
+]

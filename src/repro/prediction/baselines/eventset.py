@@ -1,0 +1,114 @@
+"""Event-set mining (Vilalta et al., IBM T.J. Watson).
+
+"The authors introduce a concept called event sets and apply data-mining
+techniques to identify sets of events that are indicative of the
+occurrence of failures."
+
+Fit: apriori-style mining of message-id itemsets that are frequent in
+failure windows (support) and discriminative against non-failure windows
+(confidence).  Score: the best confidence among indicative sets fully
+contained in the observed window, with the empirical failure base rate as
+fallback for sequences matching nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.monitoring.records import EventSequence
+from repro.prediction.base import EventPredictor, PredictorInfo
+
+
+class EventSetPredictor(EventPredictor):
+    """Failure-indicative event-set mining over error windows."""
+
+    info = PredictorInfo(
+        name="EventSets",
+        category="detected-error-reporting/rule-based",
+        description="Apriori mining of failure-indicative event-type sets",
+    )
+
+    def __init__(
+        self,
+        min_support: float = 0.3,
+        max_set_size: int = 3,
+        min_confidence: float = 0.5,
+    ) -> None:
+        super().__init__()
+        if not 0 < min_support <= 1:
+            raise ConfigurationError("min_support must be in (0, 1]")
+        if max_set_size < 1:
+            raise ConfigurationError("max_set_size must be >= 1")
+        self.min_support = min_support
+        self.max_set_size = max_set_size
+        self.min_confidence = min_confidence
+        self.rules_: dict[frozenset[int], float] = {}
+        self.base_rate_ = 0.0
+
+    @staticmethod
+    def _itemset(sequence: EventSequence) -> frozenset[int]:
+        return frozenset(int(m) for m in sequence.message_ids)
+
+    def fit(
+        self,
+        failure_sequences: list[EventSequence],
+        nonfailure_sequences: list[EventSequence],
+    ) -> "EventSetPredictor":
+        if not failure_sequences:
+            raise ConfigurationError("need failure sequences to mine from")
+        failure_sets = [self._itemset(s) for s in failure_sequences]
+        nonfailure_sets = [self._itemset(s) for s in nonfailure_sequences]
+        n_fail = len(failure_sets)
+        n_nonfail = max(len(nonfailure_sets), 1)
+        self.base_rate_ = n_fail / (n_fail + n_nonfail)
+
+        # Apriori over failure windows: level-wise candidate growth.
+        def support(candidate: frozenset[int]) -> float:
+            return sum(1 for s in failure_sets if candidate <= s) / n_fail
+
+        singletons = sorted({item for s in failure_sets for item in s})
+        current = [
+            frozenset([item])
+            for item in singletons
+            if support(frozenset([item])) >= self.min_support
+        ]
+        frequent: list[frozenset[int]] = list(current)
+        for _ in range(self.max_set_size - 1):
+            items_in_current = sorted({i for s in current for i in s})
+            candidates = set()
+            for base in current:
+                for item in items_in_current:
+                    if item not in base:
+                        candidates.add(base | {item})
+            current = [c for c in candidates if support(c) >= self.min_support]
+            frequent.extend(current)
+            if not current:
+                break
+
+        # Confidence against non-failure windows.
+        self.rules_ = {}
+        for candidate in frequent:
+            fail_hits = sum(1 for s in failure_sets if candidate <= s)
+            nonfail_hits = sum(1 for s in nonfailure_sets if candidate <= s)
+            confidence = fail_hits / max(fail_hits + nonfail_hits, 1)
+            if confidence >= self.min_confidence:
+                self.rules_[candidate] = confidence
+        self._fitted = True
+        return self
+
+    def score_sequence(self, sequence: EventSequence) -> float:
+        """Best matched-rule confidence (base rate when nothing matches)."""
+        self._require_fitted()
+        observed = self._itemset(sequence)
+        best = self.base_rate_
+        for candidate, confidence in self.rules_.items():
+            if candidate <= observed and confidence > best:
+                best = confidence
+        return best
+
+    def indicative_sets(self, top: int = 10) -> list[tuple[frozenset[int], float]]:
+        """The strongest mined event sets (for inspection)."""
+        return sorted(self.rules_.items(), key=lambda kv: -kv[1])[:top]

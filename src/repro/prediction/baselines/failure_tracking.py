@@ -1,0 +1,87 @@
+"""Failure-tracking prediction (the taxonomy's fourth branch).
+
+"The basic idea of failure prediction based on failure tracking is to draw
+conclusions about upcoming failures from the occurrence of previous
+failures" (Csenki 1990, Pfefferman & Cernuschi-Frias 2002).
+
+:class:`FailureHistoryPredictor` estimates the empirical distribution of
+inter-failure times and scores the probability that the next failure
+arrives within a prediction horizon, given the time elapsed since the last
+failure -- a nonparametric conditional-hazard estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.prediction.base import PredictorInfo
+
+
+class FailureHistoryPredictor:
+    """Nonparametric next-failure estimation from the failure log.
+
+    Unlike the symptom/event predictors this one needs no monitoring data
+    at all -- only past failure times -- which is both its charm (cheap)
+    and its ceiling (it cannot see *why* a failure approaches).
+    """
+
+    info = PredictorInfo(
+        name="FailureHistory",
+        category="failure-tracking/probability-estimation",
+        description="Empirical inter-failure-time conditional probability",
+    )
+
+    def __init__(self, horizon: float = 300.0) -> None:
+        if horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        self.horizon = horizon
+        self.threshold = 0.5
+        self.inter_failure_times_: np.ndarray | None = None
+
+    def fit(self, failure_times: list[float]) -> "FailureHistoryPredictor":
+        times = np.sort(np.asarray(failure_times, dtype=float))
+        if times.size < 2:
+            raise ConfigurationError("need at least two failures to learn from")
+        self.inter_failure_times_ = np.diff(times)
+        return self
+
+    def probability_within_horizon(self, elapsed: float) -> float:
+        """``P(T <= elapsed + horizon | T > elapsed)`` from the empirical
+        inter-failure distribution ``T``."""
+        if self.inter_failure_times_ is None:
+            raise NotFittedError("FailureHistoryPredictor has not been fitted")
+        gaps = self.inter_failure_times_
+        surviving = gaps > elapsed
+        n_surviving = int(surviving.sum())
+        if n_surviving == 0:
+            return 1.0  # beyond all observed gaps: overdue
+        hit = gaps[surviving] <= elapsed + self.horizon
+        return float(hit.sum() / n_surviving)
+
+    def score_times(
+        self, query_times: np.ndarray, known_failures: np.ndarray
+    ) -> np.ndarray:
+        """Score each query time given the failures known *so far*.
+
+        ``known_failures`` must be sorted; for each query time the elapsed
+        time since the most recent earlier failure conditions the estimate.
+        """
+        query_times = np.asarray(query_times, dtype=float)
+        known_failures = np.sort(np.asarray(known_failures, dtype=float))
+        scores = np.zeros(query_times.size)
+        for i, t in enumerate(query_times):
+            earlier = known_failures[known_failures < t]
+            if earlier.size == 0:
+                scores[i] = 0.0
+                continue
+            scores[i] = self.probability_within_horizon(float(t - earlier[-1]))
+        return scores
+
+    def predict(self, elapsed: float) -> bool:
+        return self.probability_within_horizon(elapsed) >= self.threshold
+
+    def mean_time_between_failures(self) -> float:
+        if self.inter_failure_times_ is None:
+            raise NotFittedError("FailureHistoryPredictor has not been fitted")
+        return float(self.inter_failure_times_.mean())

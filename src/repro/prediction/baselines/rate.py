@@ -1,0 +1,89 @@
+"""Error-rate and error-type-distribution shifts (Nassar & Andrews 1985).
+
+"These approaches rely on systematic changes in the distribution of error
+types and on significant increase of error generation rates between
+crashes."
+
+Score of a window = (a) its error rate relative to the quiet-time rate,
+plus (b) the chi-square-style divergence of its message-type distribution
+from the quiet-time distribution, with fitted combination weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.monitoring.records import EventSequence
+from repro.prediction.base import EventPredictor, PredictorInfo
+
+
+class ErrorRatePredictor(EventPredictor):
+    """Rate-increase plus type-distribution-shift scoring."""
+
+    info = PredictorInfo(
+        name="ErrorRate",
+        category="detected-error-reporting/statistical-tests",
+        description="Error generation rate and error-type distribution shifts",
+    )
+
+    def __init__(self, rate_weight: float = 1.0, shift_weight: float = 1.0) -> None:
+        super().__init__()
+        self.rate_weight = rate_weight
+        self.shift_weight = shift_weight
+        self.quiet_rate_: float | None = None
+        self.quiet_distribution_: dict[int, float] | None = None
+
+    @staticmethod
+    def _window_span(sequence: EventSequence) -> float:
+        if len(sequence) == 0:
+            return 1.0
+        return max(float(sequence.times[-1] - sequence.origin), 1.0)
+
+    def fit(
+        self,
+        failure_sequences: list[EventSequence],
+        nonfailure_sequences: list[EventSequence],
+    ) -> "ErrorRatePredictor":
+        """Learn the quiet-time error rate and message-type distribution."""
+        total_events = 0
+        total_span = 0.0
+        counts: dict[int, int] = {}
+        for sequence in nonfailure_sequences:
+            total_events += len(sequence)
+            total_span += self._window_span(sequence)
+            for message_id in sequence.message_ids:
+                counts[int(message_id)] = counts.get(int(message_id), 0) + 1
+        self.quiet_rate_ = total_events / max(total_span, 1.0)
+        total = max(sum(counts.values()), 1)
+        self.quiet_distribution_ = {m: c / total for m, c in counts.items()}
+        self._fitted = True
+        return self
+
+    def _distribution_shift(self, sequence: EventSequence) -> float:
+        """Chi-square-style divergence from the quiet distribution.
+
+        Message types never seen in quiet data get a small floor
+        probability, so novel (symptomatic) types contribute heavily.
+        """
+        if len(sequence) == 0:
+            return 0.0
+        counts: dict[int, int] = {}
+        for message_id in sequence.message_ids:
+            counts[int(message_id)] = counts.get(int(message_id), 0) + 1
+        total = sum(counts.values())
+        floor = 1.0 / (10.0 * total + 10.0)
+        shift = 0.0
+        for message_id, count in counts.items():
+            observed = count / total
+            expected = self.quiet_distribution_.get(message_id, floor)
+            shift += (observed - expected) ** 2 / expected
+        return shift
+
+    def score_sequence(self, sequence: EventSequence) -> float:
+        self._require_fitted()
+        rate = len(sequence) / self._window_span(sequence)
+        rate_ratio = rate / max(self.quiet_rate_, 1e-9)
+        shift = self._distribution_shift(sequence)
+        return self.rate_weight * np.log1p(rate_ratio) + self.shift_weight * np.log1p(
+            shift
+        )

@@ -1,0 +1,124 @@
+"""Online change-point detection for retraining triggers.
+
+Sect. 6: "Online change point detection algorithms such as [Basseville &
+Nikiforov] can be used to determine whether the parameters have to be
+re-adjusted" when system behaviour drifts (updates, reconfigurations).
+
+Two classic detectors are provided -- two-sided CUSUM and Page-Hinkley --
+plus :class:`RetrainingTrigger`, which watches a stream of predictor
+scores (or any drift indicator) and fires a callback when the stream's
+level shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class CUSUM:
+    """Two-sided cumulative-sum detector.
+
+    Detects upward or downward shifts of at least ``drift`` in the mean of
+    a unit-variance-ish stream; alarm when either cumulative statistic
+    exceeds ``threshold``.
+    """
+
+    def __init__(self, threshold: float = 8.0, drift: float = 0.5) -> None:
+        if threshold <= 0 or drift < 0:
+            raise ConfigurationError("need threshold > 0 and drift >= 0")
+        self.threshold = threshold
+        self.drift = drift
+        self.reset()
+
+    def reset(self) -> None:
+        self.positive_sum = 0.0
+        self.negative_sum = 0.0
+        self.samples_seen = 0
+        self._mean = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; returns True when a change is detected.
+
+        The reference level is the running mean of the stream so far,
+        so the detector needs no a-priori normal level.
+        """
+        self.samples_seen += 1
+        # Running reference (before incorporating the new value fully).
+        previous_mean = self._mean
+        self._mean += (value - self._mean) / self.samples_seen
+        deviation = value - previous_mean if self.samples_seen > 1 else 0.0
+        self.positive_sum = max(0.0, self.positive_sum + deviation - self.drift)
+        self.negative_sum = max(0.0, self.negative_sum - deviation - self.drift)
+        if self.positive_sum > self.threshold or self.negative_sum > self.threshold:
+            alarm_reset_mean = self._mean
+            self.reset()
+            self._mean = alarm_reset_mean
+            return True
+        return False
+
+
+class PageHinkley:
+    """Page-Hinkley test for upward mean shifts."""
+
+    def __init__(self, threshold: float = 10.0, delta: float = 0.05) -> None:
+        if threshold <= 0 or delta < 0:
+            raise ConfigurationError("need threshold > 0 and delta >= 0")
+        self.threshold = threshold
+        self.delta = delta
+        self.reset()
+
+    def reset(self) -> None:
+        self.cumulative = 0.0
+        self.minimum = 0.0
+        self.samples_seen = 0
+        self._mean = 0.0
+
+    def update(self, value: float) -> bool:
+        self.samples_seen += 1
+        self._mean += (value - self._mean) / self.samples_seen
+        self.cumulative += value - self._mean - self.delta
+        self.minimum = min(self.minimum, self.cumulative)
+        if self.cumulative - self.minimum > self.threshold:
+            self.reset()
+            return True
+        return False
+
+
+class RetrainingTrigger:
+    """Watches a drift indicator and fires a retraining callback.
+
+    Typical indicator streams: a predictor's score on fresh data, its
+    rolling false-positive rate, or a monitored variable's residual.
+    """
+
+    def __init__(
+        self,
+        on_drift: Callable[[], None],
+        detector: CUSUM | PageHinkley | None = None,
+        cooldown: int = 50,
+    ) -> None:
+        if cooldown < 0:
+            raise ConfigurationError("cooldown must be >= 0")
+        self.on_drift = on_drift
+        self.detector = detector or CUSUM()
+        self.cooldown = cooldown
+        self._since_last = cooldown  # allow an immediate first trigger
+        self.triggers = 0
+
+    def observe(self, value: float) -> bool:
+        """Feed one indicator value; returns True when retraining fired."""
+        self._since_last += 1
+        if self.detector.update(value) and self._since_last >= self.cooldown:
+            self._since_last = 0
+            self.triggers += 1
+            self.on_drift()
+            return True
+        return False
+
+    def observe_many(self, values: np.ndarray) -> int:
+        """Feed a batch; returns the number of retraining events."""
+        return sum(int(self.observe(float(v))) for v in np.asarray(values).ravel())

@@ -1,0 +1,173 @@
+"""Diagnosis: locating and typing the problem behind a failure warning.
+
+Paper Sect. 2: "Evaluation might also include diagnosis in order to
+identify the components that cause the system to be failure-prone.  Note
+that in contrast to traditional diagnosis, in PFM no failure has occurred,
+yet" -- and Sect. 7 lists online root-cause analysis as an open issue.
+
+Two complementary pieces:
+
+- :class:`ComponentRanker` -- ranks components by how anomalous their
+  per-component telemetry is relative to learned healthy baselines
+  (z-score based, no labels needed),
+- :class:`FaultTypeClassifier` -- a naive-Bayes classifier over error-log
+  message histograms that maps a pre-failure window to the most likely
+  fault kind, trainable from faultload ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.monitoring.logbook import ErrorLog
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Suspicion:
+    """One component's anomaly assessment."""
+
+    component: str
+    score: float
+    worst_variable: str
+
+
+class ComponentRanker:
+    """Ranks components by telemetry anomaly vs healthy baselines.
+
+    ``fit`` learns per-variable mean/spread from healthy-period samples;
+    ``rank`` scores fresh per-component readings by their largest
+    standardized deviation.
+    """
+
+    def __init__(self) -> None:
+        self._baselines: dict[str, tuple[float, float]] | None = None
+
+    def fit(self, healthy_samples: dict[str, np.ndarray]) -> "ComponentRanker":
+        """``healthy_samples``: variable name -> samples from quiet periods."""
+        if not healthy_samples:
+            raise ConfigurationError("need at least one variable")
+        baselines = {}
+        for variable, values in healthy_samples.items():
+            values = np.asarray(values, dtype=float)
+            if values.size < 2:
+                raise ConfigurationError(f"variable {variable!r} needs >= 2 samples")
+            baselines[variable] = (float(values.mean()), float(values.std() + _EPS))
+        self._baselines = baselines
+        return self
+
+    def anomaly(self, variable: str, value: float) -> float:
+        """|z|-score of one reading (0 for unknown variables)."""
+        if self._baselines is None:
+            raise NotFittedError("ComponentRanker has not been fitted")
+        if variable not in self._baselines:
+            return 0.0
+        mean, std = self._baselines[variable]
+        return abs(value - mean) / std
+
+    def rank(
+        self, readings: dict[str, dict[str, float]]
+    ) -> list[Suspicion]:
+        """``readings``: component -> {variable: current value}.
+
+        Returns components most-suspect first.
+        """
+        if self._baselines is None:
+            raise NotFittedError("ComponentRanker has not been fitted")
+        suspicions = []
+        for component, values in readings.items():
+            worst_variable, worst = "", 0.0
+            for variable, value in values.items():
+                z = self.anomaly(variable, value)
+                if z > worst:
+                    worst, worst_variable = z, variable
+            suspicions.append(
+                Suspicion(component=component, score=worst, worst_variable=worst_variable)
+            )
+        suspicions.sort(key=lambda s: -s.score)
+        return suspicions
+
+
+class FaultTypeClassifier:
+    """Naive-Bayes fault typing from error-message histograms.
+
+    Trains on (message-id histogram, fault kind) pairs -- obtainable from
+    the faultload ground truth of simulation runs -- and classifies fresh
+    windows.  This answers the practitioner question the paper closes
+    with: "Many practitioners would also like to know the root cause of a
+    looming failure."
+    """
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        if smoothing <= 0:
+            raise ConfigurationError("smoothing must be positive")
+        self.smoothing = smoothing
+        self._log_priors: dict[str, float] | None = None
+        self._log_likelihoods: dict[str, dict[int, float]] | None = None
+        self._vocabulary: set[int] = set()
+
+    def fit(
+        self, windows: list[tuple[Counter, str]]
+    ) -> "FaultTypeClassifier":
+        """``windows``: list of (message-id Counter, fault kind)."""
+        if not windows:
+            raise ConfigurationError("need training windows")
+        kinds = sorted({kind for _, kind in windows})
+        self._vocabulary = {m for counts, _ in windows for m in counts}
+        kind_counts = Counter(kind for _, kind in windows)
+        total = sum(kind_counts.values())
+        self._log_priors = {
+            kind: math.log(kind_counts[kind] / total) for kind in kinds
+        }
+        self._log_likelihoods = {}
+        vocab_size = max(len(self._vocabulary), 1)
+        for kind in kinds:
+            message_totals: Counter = Counter()
+            for counts, window_kind in windows:
+                if window_kind == kind:
+                    message_totals.update(counts)
+            denominator = sum(message_totals.values()) + self.smoothing * vocab_size
+            self._log_likelihoods[kind] = {
+                message: math.log(
+                    (message_totals.get(message, 0) + self.smoothing) / denominator
+                )
+                for message in self._vocabulary
+            }
+        return self
+
+    def log_posteriors(self, counts: Counter) -> dict[str, float]:
+        """Unnormalized log-posterior per fault kind."""
+        if self._log_priors is None or self._log_likelihoods is None:
+            raise NotFittedError("FaultTypeClassifier has not been fitted")
+        posteriors = {}
+        floor = math.log(self.smoothing / (self.smoothing * max(len(self._vocabulary), 1) + 1))
+        for kind, prior in self._log_priors.items():
+            likelihoods = self._log_likelihoods[kind]
+            score = prior
+            for message, count in counts.items():
+                score += count * likelihoods.get(message, floor)
+            posteriors[kind] = score
+        return posteriors
+
+    def classify(self, counts: Counter) -> str:
+        """Most likely fault kind for the window."""
+        posteriors = self.log_posteriors(counts)
+        return max(posteriors, key=posteriors.get)
+
+    def classify_window(
+        self, log: ErrorLog, start: float, end: float
+    ) -> str:
+        """Classify directly from an error log window."""
+        return self.classify(log.counts_by_message(start, end))
+
+    @property
+    def kinds(self) -> list[str]:
+        if self._log_priors is None:
+            raise NotFittedError("FaultTypeClassifier has not been fitted")
+        return sorted(self._log_priors)

@@ -1,0 +1,222 @@
+"""Train/test evaluation harness for failure predictors.
+
+Standardizes the case-study methodology: chronological train/test split
+(no leakage from the future into training), max-F threshold selection on
+the training period, and the Sect. 3.3 metric report (precision, recall,
+false positive rate, F-measure, AUC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.monitoring.records import EventSequence
+from repro.prediction.base import EventPredictor, SymptomPredictor
+from repro.prediction.metrics import ContingencyTable, auc, roc_curve
+from repro.prediction.thresholds import max_f_threshold
+
+
+@dataclass(frozen=True)
+class PredictorReport:
+    """Evaluation summary for one predictor on one test set."""
+
+    name: str
+    precision: float
+    recall: float
+    false_positive_rate: float
+    f_measure: float
+    auc: float
+    threshold: float
+    table: ContingencyTable
+
+    def row(self) -> str:
+        """One formatted table row (used by the benchmark printers)."""
+        return (
+            f"{self.name:<14s} precision={self.precision:.3f} "
+            f"recall={self.recall:.3f} fpr={self.false_positive_rate:.3f} "
+            f"F={self.f_measure:.3f} AUC={self.auc:.3f}"
+        )
+
+
+def report_from_scores(
+    name: str,
+    train_scores: np.ndarray,
+    train_labels: np.ndarray,
+    test_scores: np.ndarray,
+    test_labels: np.ndarray,
+) -> PredictorReport:
+    """Calibrate the threshold on training scores, report on test scores."""
+    threshold, _ = max_f_threshold(train_scores, train_labels)
+    table = ContingencyTable.from_scores(
+        np.asarray(test_scores), np.asarray(test_labels, dtype=bool), threshold
+    )
+    return PredictorReport(
+        name=name,
+        precision=table.precision,
+        recall=table.recall,
+        false_positive_rate=table.false_positive_rate,
+        f_measure=table.f_measure,
+        auc=auc(test_scores, test_labels),
+        threshold=threshold,
+        table=table,
+    )
+
+
+def chronological_split(
+    times: np.ndarray, fraction: float = 0.6
+) -> tuple[np.ndarray, np.ndarray]:
+    """Boolean masks ``(train, test)`` splitting time-ordered samples."""
+    if not 0 < fraction < 1:
+        raise ConfigurationError("fraction must be in (0, 1)")
+    times = np.asarray(times, dtype=float)
+    cutoff = times[0] + fraction * (times[-1] - times[0])
+    train = times <= cutoff
+    return train, ~train
+
+
+def split_sequences(
+    sequences: list[EventSequence], cutoff: float
+) -> tuple[list[EventSequence], list[EventSequence]]:
+    """Split sequences into (before-cutoff, after-cutoff) by window origin."""
+    train = [s for s in sequences if s.origin < cutoff]
+    test = [s for s in sequences if s.origin >= cutoff]
+    return train, test
+
+
+def evaluate_symptom_predictor(
+    predictor: SymptomPredictor,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    labels_train: np.ndarray,
+    x_test: np.ndarray,
+    labels_test: np.ndarray,
+    name: str | None = None,
+) -> PredictorReport:
+    """Fit, calibrate on training labels, evaluate on the test period."""
+    predictor.fit(x_train, y_train)
+    train_scores = predictor.score_samples(x_train)
+    test_scores = predictor.score_samples(x_test)
+    report = report_from_scores(
+        name or predictor.info.name,
+        train_scores,
+        np.asarray(labels_train, dtype=bool),
+        test_scores,
+        np.asarray(labels_test, dtype=bool),
+    )
+    predictor.set_threshold(report.threshold)
+    return report
+
+
+def evaluate_event_predictor(
+    predictor: EventPredictor,
+    train_failure: list[EventSequence],
+    train_nonfailure: list[EventSequence],
+    test_failure: list[EventSequence],
+    test_nonfailure: list[EventSequence],
+    name: str | None = None,
+) -> PredictorReport:
+    """Fit on training sequences, calibrate, evaluate on test sequences."""
+    predictor.fit(train_failure, train_nonfailure)
+    train_scores, train_labels = predictor._score_labeled(
+        train_failure, train_nonfailure
+    )
+    test_scores, test_labels = predictor._score_labeled(test_failure, test_nonfailure)
+    report = report_from_scores(
+        name or predictor.info.name,
+        train_scores,
+        train_labels,
+        test_scores,
+        test_labels,
+    )
+    predictor.set_threshold(report.threshold)
+    return report
+
+
+@dataclass(frozen=True)
+class RollingOriginResult:
+    """Per-fold reports of a rolling-origin evaluation."""
+
+    reports: list[PredictorReport]
+
+    @property
+    def mean_auc(self) -> float:
+        return float(np.mean([r.auc for r in self.reports]))
+
+    @property
+    def worst_auc(self) -> float:
+        return float(min(r.auc for r in self.reports))
+
+    def summary(self) -> str:
+        lines = [report.row() for report in self.reports]
+        lines.append(f"mean AUC = {self.mean_auc:.3f}, worst fold = {self.worst_auc:.3f}")
+        return "\n".join(lines)
+
+
+def rolling_origin_evaluation(
+    predictor_factory,
+    times: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    labels: np.ndarray,
+    n_folds: int = 3,
+    min_train_fraction: float = 0.4,
+) -> RollingOriginResult:
+    """Rolling-origin (walk-forward) evaluation of a symptom predictor.
+
+    Fold ``i`` trains on everything before cut ``i`` and tests on the span
+    up to cut ``i+1`` -- the honest protocol for time-ordered failure data,
+    and a robustness check against lucky single splits.  Skips folds whose
+    test span lacks both classes.
+
+    ``predictor_factory`` must return a *fresh* unfitted predictor per fold.
+    """
+    if n_folds < 2:
+        raise ConfigurationError("need at least 2 folds")
+    if not 0 < min_train_fraction < 1:
+        raise ConfigurationError("min_train_fraction must be in (0, 1)")
+    times = np.asarray(times, dtype=float)
+    labels = np.asarray(labels, dtype=bool)
+    span = times[-1] - times[0]
+    cuts = [
+        times[0] + span * (min_train_fraction + (1 - min_train_fraction) * k / n_folds)
+        for k in range(n_folds + 1)
+    ]
+    reports: list[PredictorReport] = []
+    for k in range(n_folds):
+        train_mask = times <= cuts[k]
+        test_mask = (times > cuts[k]) & (times <= cuts[k + 1])
+        if not labels[test_mask].any() or labels[test_mask].all():
+            continue
+        if not labels[train_mask].any():
+            continue
+        predictor = predictor_factory()
+        reports.append(
+            evaluate_symptom_predictor(
+                predictor,
+                x[train_mask],
+                y[train_mask],
+                labels[train_mask],
+                x[test_mask],
+                labels[test_mask],
+                name=f"fold-{k}",
+            )
+        )
+    if not reports:
+        raise ConfigurationError("no evaluable fold (labels too sparse)")
+    return RollingOriginResult(reports=reports)
+
+
+def roc_points(
+    scores: np.ndarray, labels: np.ndarray, n_points: int = 11
+) -> list[tuple[float, float]]:
+    """A coarse ROC polyline (for text output of ROC 'plots')."""
+    fpr, tpr, _ = roc_curve(np.asarray(scores), np.asarray(labels, dtype=bool))
+    targets = np.linspace(0, 1, n_points)
+    points = []
+    for target in targets:
+        idx = int(np.searchsorted(fpr, target, side="left").clip(0, fpr.size - 1))
+        points.append((float(fpr[idx]), float(tpr[idx])))
+    return points

@@ -1,0 +1,14 @@
+"""HSMM-based event pattern recognition (paper Sect. 3.2).
+
+Error sequences (timestamps + message ids within a data window) are turned
+into discrete symbol sequences by :mod:`~repro.prediction.hsmm.sequences`
+and classified by the two-model hidden-semi-Markov scheme of
+:mod:`~repro.prediction.hsmm.predictor`: one HSMM trained on failure
+sequences, one on non-failure sequences, Bayes decision on the sequence
+log-likelihoods.
+"""
+
+from repro.prediction.hsmm.predictor import HSMMPredictor
+from repro.prediction.hsmm.sequences import SequenceEncoder
+
+__all__ = ["HSMMPredictor", "SequenceEncoder"]

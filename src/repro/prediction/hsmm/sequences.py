@@ -1,0 +1,92 @@
+"""Symbolization of error sequences.
+
+The HSMM operates on discrete time slots; an error sequence is an
+event-driven series of ``(timestamp, message_id)`` pairs.  The encoder
+maps message ids onto a compact alphabet and renders the temporal
+structure explicitly: every quantum of silence between events becomes a
+GAP symbol, so state durations in the HSMM correspond to real time spans
+(the semi-Markov part of the model has timing to work with).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.monitoring.records import EventSequence
+
+
+class SequenceEncoder:
+    """Maps :class:`EventSequence` objects to integer symbol sequences.
+
+    Parameters
+    ----------
+    gap_unit:
+        Seconds of silence represented by one GAP symbol.
+    max_gap_symbols:
+        Cap on consecutive GAP symbols per delay (long silences saturate).
+    min_count:
+        Message ids seen fewer times than this in training map to UNK.
+    """
+
+    def __init__(
+        self,
+        gap_unit: float = 60.0,
+        max_gap_symbols: int = 5,
+        min_count: int = 2,
+    ) -> None:
+        if gap_unit <= 0:
+            raise ConfigurationError("gap_unit must be positive")
+        if max_gap_symbols < 0:
+            raise ConfigurationError("max_gap_symbols must be >= 0")
+        self.gap_unit = gap_unit
+        self.max_gap_symbols = max_gap_symbols
+        self.min_count = min_count
+        self._symbol_of: dict[int, int] | None = None
+        self.gap_symbol: int | None = None
+        self.unk_symbol: int | None = None
+
+    @property
+    def n_symbols(self) -> int:
+        if self._symbol_of is None:
+            raise NotFittedError("encoder has not been fitted")
+        return len(self._symbol_of) + 2  # + GAP + UNK
+
+    def fit(self, sequences: list[EventSequence]) -> "SequenceEncoder":
+        """Build the message-id vocabulary from training sequences."""
+        counts: dict[int, int] = {}
+        for sequence in sequences:
+            for message_id in sequence.message_ids:
+                counts[int(message_id)] = counts.get(int(message_id), 0) + 1
+        vocabulary = sorted(m for m, c in counts.items() if c >= self.min_count)
+        if not vocabulary:
+            raise ConfigurationError("no message id reached min_count in training data")
+        self._symbol_of = {m: i for i, m in enumerate(vocabulary)}
+        self.gap_symbol = len(vocabulary)
+        self.unk_symbol = len(vocabulary) + 1
+        return self
+
+    def encode(self, sequence: EventSequence) -> list[int]:
+        """Symbol sequence: GAP-padded message symbols.
+
+        Empty error sequences encode to a single GAP symbol (pure silence).
+        """
+        if self._symbol_of is None:
+            raise NotFittedError("encoder has not been fitted")
+        symbols: list[int] = []
+        for delay, message_id in zip(sequence.delays, sequence.message_ids):
+            n_gaps = min(int(delay // self.gap_unit), self.max_gap_symbols)
+            symbols.extend([self.gap_symbol] * n_gaps)
+            symbols.append(self._symbol_of.get(int(message_id), self.unk_symbol))
+        if not symbols:
+            symbols = [self.gap_symbol]
+        return symbols
+
+    def encode_many(self, sequences: list[EventSequence]) -> list[list[int]]:
+        return [self.encode(s) for s in sequences]
+
+    def vocabulary(self) -> dict[int, int]:
+        """``{message_id: symbol}`` (copy)."""
+        if self._symbol_of is None:
+            raise NotFittedError("encoder has not been fitted")
+        return dict(self._symbol_of)

@@ -1,0 +1,222 @@
+"""Predictor quality metrics (paper Sect. 3.3, "Metrics").
+
+"The quality of failure predictors is usually assessed by three metrics
+that have an intuitive interpretation: precision, recall, and false
+positive rate" -- plus the F-measure, ROC curve and AUC used to compare
+predictors by a single number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ContingencyTable:
+    """Counts of the four prediction outcomes."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    def __post_init__(self) -> None:
+        if min(self.tp, self.fp, self.tn, self.fn) < 0:
+            raise ConfigurationError("contingency counts must be non-negative")
+
+    @classmethod
+    def from_scores(
+        cls,
+        scores: np.ndarray,
+        labels: np.ndarray,
+        threshold: float,
+    ) -> "ContingencyTable":
+        """Binarize ``scores >= threshold`` against boolean ``labels``."""
+        scores = np.asarray(scores, dtype=float)
+        labels = np.asarray(labels, dtype=bool)
+        if scores.shape != labels.shape:
+            raise ConfigurationError("scores and labels must align")
+        warned = scores >= threshold
+        return cls(
+            tp=int(np.sum(warned & labels)),
+            fp=int(np.sum(warned & ~labels)),
+            tn=int(np.sum(~warned & ~labels)),
+            fn=int(np.sum(~warned & labels)),
+        )
+
+    # Metric definitions exactly as in the paper ------------------------------
+
+    @property
+    def precision(self) -> float:
+        """Correct warnings / all warnings."""
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Correctly predicted failures / all failures (true positive rate)."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def true_positive_rate(self) -> float:
+        return self.recall
+
+    @property
+    def false_positive_rate(self) -> float:
+        """False alarms / all non-failures."""
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    @property
+    def specificity(self) -> float:
+        return 1.0 - self.false_positive_rate
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fp + self.tn + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"fpr={self.false_positive_rate:.3f} F={self.f_measure:.3f}"
+        )
+
+
+def roc_curve(
+    scores: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Receiver-Operating-Characteristic.
+
+    Returns ``(fpr, tpr, thresholds)`` with points ordered by increasing
+    fpr, including the trivial (0, 0) and (1, 1) endpoints.
+    """
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels, dtype=bool)
+    if scores.shape != labels.shape or scores.ndim != 1:
+        raise ConfigurationError("scores and labels must be aligned 1-D arrays")
+    n_pos = int(labels.sum())
+    n_neg = int(labels.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ConfigurationError("need both positive and negative examples")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+    tp_cum = np.cumsum(sorted_labels)
+    fp_cum = np.cumsum(~sorted_labels)
+    # Keep only the last point of each tied-score block.
+    distinct = np.nonzero(np.diff(sorted_scores, append=-np.inf))[0]
+    tpr = np.concatenate([[0.0], tp_cum[distinct] / n_pos])
+    fpr = np.concatenate([[0.0], fp_cum[distinct] / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[distinct]])
+    return fpr, tpr, thresholds
+
+
+def auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, _ = roc_curve(scores, labels)
+    return float(np.trapezoid(tpr, fpr))
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A bootstrap percentile interval for one metric."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return f"{self.point:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+def bootstrap_metric(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    metric,
+    n_resamples: int = 500,
+    confidence: float = 0.95,
+    rng: np.random.Generator | None = None,
+) -> ConfidenceInterval:
+    """Bootstrap percentile CI of any ``(scores, labels) -> float`` metric.
+
+    Case-study accuracies are estimated from finite (often small) test
+    sets; reporting them with intervals separates real effects from split
+    luck.  Resamples that lack both classes are skipped.
+    """
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels, dtype=bool)
+    if scores.shape != labels.shape or scores.ndim != 1:
+        raise ConfigurationError("scores and labels must be aligned 1-D arrays")
+    if not 0 < confidence < 1:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    if n_resamples < 10:
+        raise ConfigurationError("need at least 10 resamples")
+    rng = rng or np.random.default_rng(0)
+    point = float(metric(scores, labels))
+    n = scores.size
+    values = []
+    for _ in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        sample_labels = labels[idx]
+        if not sample_labels.any() or sample_labels.all():
+            continue
+        try:
+            values.append(float(metric(scores[idx], sample_labels)))
+        except ConfigurationError:
+            continue
+    if len(values) < 10:
+        raise ConfigurationError("too few valid bootstrap resamples")
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(values, [tail, 1.0 - tail])
+    return ConfidenceInterval(
+        point=point, low=float(low), high=float(high), confidence=confidence
+    )
+
+
+def auc_confidence_interval(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    n_resamples: int = 500,
+    confidence: float = 0.95,
+    rng: np.random.Generator | None = None,
+) -> ConfidenceInterval:
+    """Bootstrap CI for the AUC (the case study's headline number)."""
+    return bootstrap_metric(
+        scores, labels, auc, n_resamples=n_resamples, confidence=confidence,
+        rng=rng,
+    )
+
+
+def precision_recall_curve(
+    scores: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(precision, recall, thresholds)`` ordered by decreasing threshold."""
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels, dtype=bool)
+    if scores.shape != labels.shape or scores.ndim != 1:
+        raise ConfigurationError("scores and labels must be aligned 1-D arrays")
+    n_pos = int(labels.sum())
+    if n_pos == 0:
+        raise ConfigurationError("need at least one positive example")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+    tp_cum = np.cumsum(sorted_labels)
+    ranks = np.arange(1, scores.size + 1)
+    distinct = np.nonzero(np.diff(sorted_scores, append=-np.inf))[0]
+    precision = tp_cum[distinct] / ranks[distinct]
+    recall = tp_cum[distinct] / n_pos
+    return precision, recall, sorted_scores[distinct]

@@ -1,0 +1,143 @@
+"""The online-failure-prediction taxonomy of the paper's Fig. 3.
+
+A small tree structure mirroring the classification: the four top-level
+branches are derived from the stages at which a flaw can be observed
+(Fig. 2), and each populated leaf is mapped to the predictor classes this
+library implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaxonomyNode:
+    """One node of the classification tree."""
+
+    key: str
+    title: str
+    children: list["TaxonomyNode"] = field(default_factory=list)
+    implementations: list[str] = field(default_factory=list)
+
+    def find(self, key: str) -> "TaxonomyNode | None":
+        if self.key == key:
+            return self
+        for child in self.children:
+            found = child.find(key)
+            if found is not None:
+                return found
+        return None
+
+    def leaves(self) -> list["TaxonomyNode"]:
+        if not self.children:
+            return [self]
+        result: list[TaxonomyNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def walk(self, depth: int = 0):
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+def build_taxonomy() -> TaxonomyNode:
+    """The Fig. 3 tree, annotated with this library's implementations.
+
+    Implementation strings are ``module:Class`` paths under
+    ``repro.prediction``.
+    """
+    return TaxonomyNode(
+        key="online-failure-prediction",
+        title="Online Failure Prediction",
+        children=[
+            TaxonomyNode(
+                key="symptom-monitoring",
+                title="Failure prediction based on symptom monitoring",
+                children=[
+                    TaxonomyNode(
+                        key="symptom-monitoring/function-approximation",
+                        title="Function approximation",
+                        implementations=["ubf.predictor:UBFPredictor"],
+                    ),
+                    TaxonomyNode(
+                        key="symptom-monitoring/system-models",
+                        title="System models (state estimation)",
+                        implementations=["baselines.mset:MSETPredictor"],
+                    ),
+                    TaxonomyNode(
+                        key="symptom-monitoring/time-series-analysis",
+                        title="Time series / trend analysis",
+                        implementations=["baselines.trend:TrendAnalysisPredictor"],
+                    ),
+                ],
+            ),
+            TaxonomyNode(
+                key="undetected-error-auditing",
+                title="Failure prediction based on undetected error auditing",
+                # The paper: "we are not aware of any work pursuing this
+                # approach, hence the branch has no further subdivisions."
+                implementations=[],
+            ),
+            TaxonomyNode(
+                key="detected-error-reporting",
+                title="Failure prediction based on detected error reporting",
+                children=[
+                    TaxonomyNode(
+                        key="detected-error-reporting/pattern-recognition",
+                        title="Pattern recognition over error sequences",
+                        implementations=["hsmm.predictor:HSMMPredictor"],
+                    ),
+                    TaxonomyNode(
+                        key="detected-error-reporting/rule-based",
+                        title="Data mining / event sets",
+                        implementations=["baselines.eventset:EventSetPredictor"],
+                    ),
+                    TaxonomyNode(
+                        key="detected-error-reporting/statistical-tests",
+                        title="Statistical error-report analysis",
+                        implementations=[
+                            "baselines.dft:DispersionFrameTechnique",
+                            "baselines.rate:ErrorRatePredictor",
+                        ],
+                    ),
+                ],
+            ),
+            TaxonomyNode(
+                key="failure-tracking",
+                title="Failure prediction based on failure tracking",
+                children=[
+                    TaxonomyNode(
+                        key="failure-tracking/probability-estimation",
+                        title="Bayesian / nonparametric failure-history models",
+                        implementations=[
+                            "baselines.failure_tracking:FailureHistoryPredictor"
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def implemented_leaves() -> dict[str, list[str]]:
+    """``{leaf key: implementation paths}`` for all populated leaves."""
+    tree = build_taxonomy()
+    return {
+        leaf.key: leaf.implementations
+        for leaf in tree.leaves()
+        if leaf.implementations
+    }
+
+
+def render(tree: TaxonomyNode | None = None) -> str:
+    """ASCII rendering of the taxonomy (used by the Fig. 3 bench)."""
+    tree = tree or build_taxonomy()
+    lines = []
+    for depth, node in tree.walk():
+        marker = "  " * depth + ("- " if depth else "")
+        impl = f"  [{', '.join(node.implementations)}]" if node.implementations else ""
+        lines.append(f"{marker}{node.title}{impl}")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Universal Basis Functions (UBF) failure prediction (paper Sect. 3.2).
+
+UBF is a function-approximation method over symptom-monitoring variables:
+
+1. variable selection by the Probabilistic Wrapper Approach
+   (:mod:`~repro.prediction.ubf.pwa`),
+2. fitting a mixture-kernel network mapping monitoring data onto a failure
+   indicator such as interval service availability
+   (:mod:`~repro.prediction.ubf.network`),
+3. online scoring of fresh monitoring data
+   (:mod:`~repro.prediction.ubf.predictor`).
+"""
+
+from repro.prediction.ubf.kernels import GaussianKernel, SigmoidKernel, UBFKernel
+from repro.prediction.ubf.network import UBFNetwork
+from repro.prediction.ubf.predictor import UBFPredictor
+from repro.prediction.ubf.pwa import (
+    ProbabilisticWrapper,
+    backward_elimination,
+    forward_selection,
+    ridge_cv_fitness,
+)
+
+__all__ = [
+    "GaussianKernel",
+    "SigmoidKernel",
+    "UBFKernel",
+    "UBFNetwork",
+    "UBFPredictor",
+    "ProbabilisticWrapper",
+    "backward_elimination",
+    "forward_selection",
+    "ridge_cv_fitness",
+]

@@ -1,0 +1,250 @@
+"""The UBF function-approximation network.
+
+A linear combination of Eq. 1 mixture kernels plus a bias:
+
+.. math::
+
+    \\hat y(x) = \\beta_0 + \\sum_i \\beta_i k_i(x)
+
+Training:
+
+1. standardize inputs,
+2. place kernel centers by k-means over the training inputs,
+3. alternate: (a) ridge-solve the output weights given kernel parameters,
+   (b) refine kernel parameters (widths, sigmoid offsets, mixtures) by
+   L-BFGS-B on the regularized squared error ("by including m_i in the
+   optimization, UBF can better adapt to specifics of the data").
+
+Setting ``optimize_mixtures=False`` and ``mixture_init=1.0`` degenerates
+the network to a classic Gaussian RBF network -- the ablation baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.cluster.vq
+import scipy.optimize
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.prediction.ubf.kernels import UBFKernel, kernel_matrix
+
+
+class UBFNetwork:
+    """Mixture-kernel regression network.
+
+    Parameters
+    ----------
+    n_kernels:
+        Number of basis functions.
+    ridge:
+        L2 regularization of the output weights.
+    mixture_init:
+        Initial Gaussian/sigmoid mixture weight for every kernel.
+    optimize_mixtures:
+        Whether mixture weights take part in the nonlinear optimization
+        (``False`` + ``mixture_init=1.0`` = plain RBF).
+    max_opt_iter:
+        L-BFGS-B iteration budget for kernel-parameter refinement.
+    rng:
+        Used for k-means initialization.
+    """
+
+    def __init__(
+        self,
+        n_kernels: int = 12,
+        ridge: float = 1e-3,
+        mixture_init: float = 0.5,
+        optimize_mixtures: bool = True,
+        max_opt_iter: int = 40,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_kernels < 1:
+            raise ConfigurationError("n_kernels must be >= 1")
+        if ridge < 0:
+            raise ConfigurationError("ridge must be non-negative")
+        if not 0.0 <= mixture_init <= 1.0:
+            raise ConfigurationError("mixture_init must be in [0, 1]")
+        self.n_kernels = n_kernels
+        self.ridge = ridge
+        self.mixture_init = mixture_init
+        self.optimize_mixtures = optimize_mixtures
+        self.max_opt_iter = max_opt_iter
+        self.rng = rng or np.random.default_rng(0)
+
+        self._fitted = False
+        self._x_mean: np.ndarray | None = None
+        self._x_std: np.ndarray | None = None
+        self.centers: np.ndarray | None = None
+        self.gaussian_widths: np.ndarray | None = None
+        self.sigmoid_widths: np.ndarray | None = None
+        self.sigmoid_offsets: np.ndarray | None = None
+        self.mixtures: np.ndarray | None = None
+        self.weights: np.ndarray | None = None  # [beta_0, beta_1..beta_K]
+        self.training_mse_: float | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "UBFNetwork":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.size:
+            raise ConfigurationError("x and y must have equal length")
+        if x.shape[0] < self.n_kernels:
+            raise ConfigurationError("need at least n_kernels training samples")
+
+        self._x_mean = x.mean(axis=0)
+        self._x_std = np.where(x.std(axis=0) > 1e-12, x.std(axis=0), 1.0)
+        xs = self._standardize(x)
+
+        self._init_kernels(xs)
+        self._optimize_kernels(xs, y)
+        self.weights = self._solve_weights(xs, y)
+        residual = self._predict_standardized(xs) - y
+        self.training_mse_ = float(np.mean(residual**2))
+        self._fitted = True
+        return self
+
+    def _standardize(self, x: np.ndarray) -> np.ndarray:
+        return (np.atleast_2d(x) - self._x_mean) / self._x_std
+
+    def _init_kernels(self, xs: np.ndarray) -> None:
+        seed = int(self.rng.integers(0, 2**31 - 1))
+        centers, _ = scipy.cluster.vq.kmeans2(
+            xs, self.n_kernels, minit="++", seed=seed
+        )
+        self.centers = centers
+        if self.n_kernels > 1:
+            diffs = centers[:, None, :] - centers[None, :, :]
+            dists = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+            np.fill_diagonal(dists, np.inf)
+            nearest = dists.min(axis=1)
+            nearest[~np.isfinite(nearest)] = 1.0
+        else:
+            nearest = np.ones(1)
+        base = np.maximum(nearest, 0.1)
+        self.gaussian_widths = base.copy()
+        self.sigmoid_widths = 0.5 * base
+        self.sigmoid_offsets = base.copy()
+        self.mixtures = np.full(self.n_kernels, self.mixture_init)
+
+    def _design(self, xs: np.ndarray) -> np.ndarray:
+        k = kernel_matrix(
+            xs,
+            self.centers,
+            self.gaussian_widths,
+            self.sigmoid_widths,
+            self.sigmoid_offsets,
+            self.mixtures,
+        )
+        return np.column_stack([np.ones(k.shape[0]), k])
+
+    def _solve_weights(self, xs: np.ndarray, y: np.ndarray) -> np.ndarray:
+        design = self._design(xs)
+        gram = design.T @ design
+        gram += self.ridge * np.eye(gram.shape[0])
+        return np.linalg.solve(gram, design.T @ y)
+
+    def _pack_params(self) -> np.ndarray:
+        parts = [self.gaussian_widths, self.sigmoid_widths, self.sigmoid_offsets]
+        if self.optimize_mixtures:
+            parts.append(self.mixtures)
+        return np.concatenate(parts)
+
+    def _unpack_params(self, theta: np.ndarray) -> None:
+        k = self.n_kernels
+        self.gaussian_widths = theta[0:k]
+        self.sigmoid_widths = theta[k : 2 * k]
+        self.sigmoid_offsets = theta[2 * k : 3 * k]
+        if self.optimize_mixtures:
+            self.mixtures = theta[3 * k : 4 * k]
+
+    def _optimize_kernels(self, xs: np.ndarray, y: np.ndarray) -> None:
+        if self.max_opt_iter <= 0:
+            return
+        k = self.n_kernels
+
+        def objective(theta: np.ndarray) -> float:
+            self._unpack_params(theta)
+            weights = self._solve_weights(xs, y)
+            design = self._design(xs)
+            residual = design @ weights - y
+            return float(np.mean(residual**2))
+
+        bounds = (
+            [(1e-3, 50.0)] * k  # gaussian widths
+            + [(1e-3, 50.0)] * k  # sigmoid widths
+            + [(0.0, 50.0)] * k  # sigmoid offsets
+        )
+        if self.optimize_mixtures:
+            bounds += [(0.0, 1.0)] * k
+        result = scipy.optimize.minimize(
+            objective,
+            self._pack_params(),
+            method="L-BFGS-B",
+            bounds=bounds,
+            options={"maxiter": self.max_opt_iter},
+        )
+        self._unpack_params(result.x)
+
+    def refine(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        max_opt_iter: int | None = None,
+        optimize_mixtures: bool | None = None,
+    ) -> "UBFNetwork":
+        """Continue kernel-parameter optimization from the current fit.
+
+        Useful for warm starts -- e.g. fit a pure-Gaussian RBF first, then
+        enable mixture optimization and refine: because L-BFGS performs
+        monotone descent from the current parameters, the refined training
+        error can only improve.
+        """
+        if not self._fitted:
+            raise NotFittedError("refine() requires a fitted network")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if max_opt_iter is not None:
+            self.max_opt_iter = max_opt_iter
+        if optimize_mixtures is not None:
+            self.optimize_mixtures = optimize_mixtures
+        xs = self._standardize(x)
+        self._optimize_kernels(xs, y)
+        self.weights = self._solve_weights(xs, y)
+        residual = self._predict_standardized(xs) - y
+        self.training_mse_ = float(np.mean(residual**2))
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted target values for rows of ``x``."""
+        if not self._fitted:
+            raise NotFittedError("UBFNetwork has not been fitted")
+        return self._predict_standardized(self._standardize(x))
+
+    def _predict_standardized(self, xs: np.ndarray) -> np.ndarray:
+        return self._design(xs) @ self.weights
+
+    def kernels(self) -> list[UBFKernel]:
+        """The fitted kernels as individual objects (for inspection)."""
+        if self.centers is None:
+            raise NotFittedError("UBFNetwork has not been fitted")
+        return [
+            UBFKernel(
+                self.centers[i],
+                self.gaussian_widths[i],
+                self.sigmoid_widths[i],
+                self.sigmoid_offsets[i],
+                float(np.clip(self.mixtures[i], 0.0, 1.0)),
+            )
+            for i in range(self.n_kernels)
+        ]
+
+    def __repr__(self) -> str:
+        status = "fitted" if self._fitted else "unfitted"
+        return f"UBFNetwork(n_kernels={self.n_kernels}, {status})"

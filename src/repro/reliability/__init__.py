@@ -1,0 +1,90 @@
+"""CTMC-based assessment of proactive fault management (paper Sect. 5).
+
+The central objects are:
+
+- :class:`~repro.reliability.rates.PredictionQuality` -- precision / recall /
+  false-positive rate of a failure predictor (Sect. 3.3 metrics),
+- :class:`~repro.reliability.rates.PFMParameters` -- the full parameter set
+  of the paper's Table 2 plus time scales,
+- :class:`~repro.reliability.pfm_model.PFMModel` -- the 7-state CTMC of
+  Fig. 9 with availability (Eq. 8), reliability and hazard rate (Eqs. 9-13),
+- :mod:`~repro.reliability.baseline` -- comparators without PFM,
+- :mod:`~repro.reliability.sensitivity` -- parameter sweeps.
+"""
+
+from repro.reliability.availability import closed_form_availability
+from repro.reliability.cost import (
+    CostModel,
+    PolicyCost,
+    deterministic_rejuvenation_policy_cost,
+    no_action_policy_cost,
+    optimal_rejuvenation_interval,
+    pfm_policy_cost,
+    policy_comparison,
+    rejuvenation_policy_cost,
+)
+from repro.reliability.from_measurements import (
+    parameters_from_report,
+    scales_from_failure_log,
+)
+from repro.reliability.baseline import (
+    TwoStateModel,
+    RejuvenationModel,
+    without_pfm_availability,
+    without_pfm_reliability,
+)
+from repro.reliability.pfm_model import PFMModel, STATE_NAMES
+from repro.reliability.rates import (
+    PFMParameters,
+    PredictionQuality,
+    PredictionRates,
+    derive_rates,
+)
+from repro.reliability.reliability_fn import (
+    asymptotic_unavailability_ratio,
+    hazard_curves,
+    reliability_curves,
+    unavailability_ratio,
+)
+from repro.reliability.sensitivity import (
+    sweep_availability,
+    sweep_unavailability_ratio,
+)
+from repro.reliability.threshold_opt import (
+    ThresholdOperatingPoint,
+    dependability_optimal_threshold,
+    threshold_ratio_curve,
+)
+
+__all__ = [
+    "closed_form_availability",
+    "CostModel",
+    "PolicyCost",
+    "deterministic_rejuvenation_policy_cost",
+    "no_action_policy_cost",
+    "optimal_rejuvenation_interval",
+    "pfm_policy_cost",
+    "policy_comparison",
+    "rejuvenation_policy_cost",
+    "parameters_from_report",
+    "scales_from_failure_log",
+    "TwoStateModel",
+    "RejuvenationModel",
+    "without_pfm_availability",
+    "without_pfm_reliability",
+    "PFMModel",
+    "STATE_NAMES",
+    "PFMParameters",
+    "PredictionQuality",
+    "PredictionRates",
+    "derive_rates",
+    "asymptotic_unavailability_ratio",
+    "hazard_curves",
+    "reliability_curves",
+    "unavailability_ratio",
+    "sweep_availability",
+    "sweep_unavailability_ratio",
+    "ThresholdOperatingPoint",
+    "dependability_optimal_threshold",
+    "threshold_ratio_curve",
+]

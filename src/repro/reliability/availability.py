@@ -1,0 +1,34 @@
+"""Closed-form steady-state availability -- the paper's Eq. 8.
+
+.. math::
+
+    A = \\frac{(r_A + r_p)\\, k\\, r_F}
+             {k r_F (r_A + r_p) +
+              r_A (P_{FP} r_{FP} + P_{TP} r_{TP} + k P_{TN} r_{TN} + k r_{FN})}
+
+with ``rp = rTP + rFP + rTN + rFN`` the total prediction rate and
+``rR = k rF``.  This formula follows from the global balance equations of
+the Fig. 9 CTMC (the derivation is spelled out in DESIGN.md);
+:class:`~repro.reliability.pfm_model.PFMModel` cross-checks it against a
+numeric steady-state solve.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.rates import PFMParameters
+
+
+def closed_form_availability(params: PFMParameters) -> float:
+    """Evaluate Eq. 8 for the given parameter set."""
+    p = params
+    rates = p.rates()
+    r_a, r_f, k = p.r_a, p.r_f, p.k
+    r_p = rates.total
+    numerator = (r_a + r_p) * k * r_f
+    denominator = k * r_f * (r_a + r_p) + r_a * (
+        p.p_fp * rates.r_fp
+        + p.p_tp * rates.r_tp
+        + k * p.p_tn * rates.r_tn
+        + k * rates.r_fn
+    )
+    return numerator / denominator

@@ -1,0 +1,141 @@
+"""Comparator models without proactive fault management.
+
+Two comparators from the paper:
+
+- availability: "a simple CTMC with two states (up and down) and the same
+  failure and repair rates as for the case with PFM" (Sect. 5.5) --
+  :class:`TwoStateModel` / :func:`without_pfm_availability`;
+- reliability / hazard: the same underlying fault process, but positive
+  predictions trigger no countermeasures, i.e. every failure-prone
+  situation turns into an unprepared failure after the action-time delay --
+  :func:`without_pfm_reliability`.
+
+Additionally :class:`RejuvenationModel` implements the classic Huang et
+al. (1995) time-triggered rejuvenation CTMC that the paper's model extends,
+so the two policies can be compared head to head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.markov.ctmc import CTMC
+from repro.markov.phase_type import PhaseTypeDistribution
+from repro.reliability.rates import PFMParameters
+
+
+class TwoStateModel:
+    """Minimal up/down CTMC: failure rate ``lam``, repair rate ``mu``."""
+
+    def __init__(self, failure_rate: float, repair_rate: float) -> None:
+        if failure_rate <= 0 or repair_rate <= 0:
+            raise ConfigurationError("rates must be positive")
+        self.failure_rate = failure_rate
+        self.repair_rate = repair_rate
+        self.ctmc = CTMC.from_rates(
+            ["up", "down"],
+            {("up", "down"): failure_rate, ("down", "up"): repair_rate},
+        )
+
+    def availability(self) -> float:
+        """``A = mu / (lam + mu)``."""
+        return self.repair_rate / (self.failure_rate + self.repair_rate)
+
+    def unavailability(self) -> float:
+        return 1.0 - self.availability()
+
+
+def without_pfm_availability(params: PFMParameters) -> float:
+    """Availability of the unprotected system (Sect. 5.5 comparator).
+
+    The effective failure rate is ``1 / (MTTF + action_time)``: a
+    failure-prone situation arises after MTTF on average and evolves into
+    the failure over the same delay the PFM model uses, so both systems see
+    an identical fault process.  Repair is always unprepared (rate ``rF``).
+    """
+    effective_failure_rate = 1.0 / (params.mttf + params.action_time)
+    return TwoStateModel(effective_failure_rate, params.r_f).availability()
+
+
+def without_pfm_reliability(params: PFMParameters) -> PhaseTypeDistribution:
+    """First-passage distribution to failure without countermeasures.
+
+    The fault process is identical to the PFM model's (failure-prone
+    situations at rate ``F``, maturing into failures at rate ``rA``), but no
+    prediction-driven action intervenes, so every failure-prone situation is
+    absorbed into the failure state: a hypoexponential(F, rA) distribution.
+    """
+    transient = np.array(
+        [
+            [-params.failure_rate, params.failure_rate],
+            [0.0, -params.r_a],
+        ]
+    )
+    return PhaseTypeDistribution(transient, np.array([1.0, 0.0]))
+
+
+class RejuvenationModel:
+    """Huang et al. (1995) software-rejuvenation CTMC (related work, Sect. 5.2).
+
+    States: ``up`` (S0), ``failure_probable`` (SP, aged), ``rejuvenating``
+    (forced downtime), ``failed`` (unplanned downtime).
+
+    Parameters
+    ----------
+    aging_rate:
+        Rate ``r2`` of entering the failure-probable state.
+    failure_rate:
+        Rate ``lam`` of failing from the failure-probable state.
+    rejuvenation_rate:
+        Rate ``r4`` of triggering rejuvenation from the failure-probable
+        state (exponential approximation of the periodic schedule).
+    rejuvenation_repair_rate:
+        Rate ``r3`` of completing rejuvenation.
+    repair_rate:
+        Rate ``r1`` of repairing an unplanned failure.
+    """
+
+    def __init__(
+        self,
+        aging_rate: float,
+        failure_rate: float,
+        rejuvenation_rate: float,
+        rejuvenation_repair_rate: float,
+        repair_rate: float,
+    ) -> None:
+        for name, value in {
+            "aging_rate": aging_rate,
+            "failure_rate": failure_rate,
+            "rejuvenation_repair_rate": rejuvenation_repair_rate,
+            "repair_rate": repair_rate,
+        }.items():
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if rejuvenation_rate < 0:
+            raise ConfigurationError("rejuvenation_rate must be non-negative")
+        self.ctmc = CTMC.from_rates(
+            ["up", "failure_probable", "rejuvenating", "failed"],
+            {
+                ("up", "failure_probable"): aging_rate,
+                ("failure_probable", "failed"): failure_rate,
+                ("failure_probable", "rejuvenating"): rejuvenation_rate,
+                ("rejuvenating", "up"): rejuvenation_repair_rate,
+                ("failed", "up"): repair_rate,
+            },
+        )
+
+    def availability(self) -> float:
+        """Steady-state probability of the two operational states."""
+        pi = self.ctmc.steady_state()
+        up = self.ctmc.index_of("up")
+        probable = self.ctmc.index_of("failure_probable")
+        return float(pi[up] + pi[probable])
+
+    def downtime_split(self) -> dict[str, float]:
+        """Steady-state mass of rejuvenation vs unplanned downtime."""
+        pi = self.ctmc.steady_state()
+        return {
+            "rejuvenating": float(pi[self.ctmc.index_of("rejuvenating")]),
+            "failed": float(pi[self.ctmc.index_of("failed")]),
+        }

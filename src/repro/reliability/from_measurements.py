@@ -1,0 +1,73 @@
+"""Build model parameters from measured predictor quality.
+
+Closes the loop between the case study (Sect. 3.3) and the dependability
+model (Sect. 5): take a :class:`~repro.prediction.evaluation.PredictorReport`
+measured on real (or simulated) data plus observed system time scales, and
+produce the :class:`~repro.reliability.rates.PFMParameters` the CTMC
+needs -- exactly what the paper does when it plugs the HSMM's
+precision/recall/fpr into Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.prediction.evaluation import PredictorReport
+from repro.reliability.rates import PFMParameters, PredictionQuality
+
+
+def parameters_from_report(
+    report: PredictorReport,
+    mttf: float,
+    mttr: float,
+    action_time: float = 100.0,
+    p_tp: float = 0.25,
+    p_fp: float = 0.1,
+    p_tn: float = 0.001,
+    k: float = 2.0,
+) -> PFMParameters:
+    """PFMParameters from a measured evaluation report.
+
+    Degenerate measured values (precision or recall of exactly 0 or 1,
+    fpr of 0) are nudged into the model's open domain.
+    """
+    precision = float(np.clip(report.precision, 1e-3, 1.0))
+    recall = float(np.clip(report.recall, 1e-3, 1.0))
+    fpr = float(np.clip(report.false_positive_rate, 1e-4, 1.0 - 1e-4))
+    return PFMParameters(
+        quality=PredictionQuality(precision=precision, recall=recall, fpr=fpr),
+        p_tp=p_tp,
+        p_fp=p_fp,
+        p_tn=p_tn,
+        k=k,
+        mttf=mttf,
+        action_time=action_time,
+        mttr=mttr,
+    )
+
+
+def scales_from_failure_log(
+    failure_times: list[float],
+    horizon: float,
+    repair_downtime: float,
+) -> tuple[float, float]:
+    """Estimate ``(mttf, mttr)`` from an observed failure log.
+
+    MTTF is the mean gap between failure *episodes* (breaches closer than
+    the repair downtime are one episode); MTTR is the supplied per-episode
+    downtime (the simulated SCP repairs via restart of known duration).
+    """
+    if horizon <= 0:
+        raise ConfigurationError("horizon must be positive")
+    times = sorted(failure_times)
+    if len(times) < 2:
+        raise ConfigurationError("need at least two failures to estimate MTTF")
+    episodes = [times[0]]
+    for t in times[1:]:
+        if t - episodes[-1] > repair_downtime:
+            episodes.append(t)
+    if len(episodes) < 2:
+        raise ConfigurationError("all failures collapse into one episode")
+    mttf = float(np.mean(np.diff(episodes)))
+    return mttf, float(repair_downtime)

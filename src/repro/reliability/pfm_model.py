@@ -1,0 +1,145 @@
+"""The 7-state CTMC availability/reliability model of the paper's Fig. 9.
+
+States::
+
+    S0   -- system up, no prediction pending
+    STP  -- true positive prediction in progress (failure really imminent)
+    SFP  -- false positive prediction in progress (false alarm)
+    STN  -- true negative prediction in progress (correctly quiet)
+    SFN  -- false negative prediction in progress (missed failure looming)
+    SR   -- down, prepared / forced downtime (repair rate rR = k rF)
+    SF   -- down, unprepared downtime (repair rate rF)
+
+Transitions (rates), exactly as described in Sect. 5.3::
+
+    S0  -> STP : rTP          S0  -> SFP : rFP
+    S0  -> STN : rTN          S0  -> SFN : rFN
+    STP -> SR  : PTP  * rA    STP -> S0 : (1 - PTP) * rA
+    SFP -> SR  : PFP  * rA    SFP -> S0 : (1 - PFP) * rA
+    STN -> SF  : PTN  * rA    STN -> S0 : (1 - PTN) * rA
+    SFN -> SF  : rA           (an unpredicted failure always strikes)
+    SR  -> S0  : rR           SF  -> S0 : rF
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.ctmc import CTMC
+from repro.markov.phase_type import PhaseTypeDistribution
+from repro.reliability.availability import closed_form_availability
+from repro.reliability.rates import PFMParameters
+
+STATE_UP = "S0"
+STATE_TP = "STP"
+STATE_FP = "SFP"
+STATE_TN = "STN"
+STATE_FN = "SFN"
+STATE_PREPARED_DOWN = "SR"
+STATE_UNPREPARED_DOWN = "SF"
+
+STATE_NAMES = (
+    STATE_UP,
+    STATE_TP,
+    STATE_FP,
+    STATE_TN,
+    STATE_FN,
+    STATE_PREPARED_DOWN,
+    STATE_UNPREPARED_DOWN,
+)
+
+UP_STATES = (STATE_UP, STATE_TP, STATE_FP, STATE_TN, STATE_FN)
+DOWN_STATES = (STATE_PREPARED_DOWN, STATE_UNPREPARED_DOWN)
+
+
+class PFMModel:
+    """Availability / reliability / hazard-rate model for a PFM system."""
+
+    def __init__(self, params: PFMParameters) -> None:
+        self.params = params
+        self._ctmc = self._build_ctmc()
+
+    def _build_ctmc(self) -> CTMC:
+        p = self.params
+        rates = p.rates()
+        transition_rates = {
+            (STATE_UP, STATE_TP): rates.r_tp,
+            (STATE_UP, STATE_FP): rates.r_fp,
+            (STATE_UP, STATE_TN): rates.r_tn,
+            (STATE_UP, STATE_FN): rates.r_fn,
+            (STATE_TP, STATE_PREPARED_DOWN): p.p_tp * p.r_a,
+            (STATE_TP, STATE_UP): (1.0 - p.p_tp) * p.r_a,
+            (STATE_FP, STATE_PREPARED_DOWN): p.p_fp * p.r_a,
+            (STATE_FP, STATE_UP): (1.0 - p.p_fp) * p.r_a,
+            (STATE_TN, STATE_UNPREPARED_DOWN): p.p_tn * p.r_a,
+            (STATE_TN, STATE_UP): (1.0 - p.p_tn) * p.r_a,
+            (STATE_FN, STATE_UNPREPARED_DOWN): p.r_a,
+            (STATE_PREPARED_DOWN, STATE_UP): p.r_r,
+            (STATE_UNPREPARED_DOWN, STATE_UP): p.r_f,
+        }
+        return CTMC.from_rates(STATE_NAMES, transition_rates)
+
+    @property
+    def ctmc(self) -> CTMC:
+        """The underlying 7-state CTMC."""
+        return self._ctmc
+
+    # ------------------------------------------------------------------
+    # Availability (Sect. 5.3)
+    # ------------------------------------------------------------------
+
+    def steady_state(self) -> dict[str, float]:
+        """Steady-state probability of each named state."""
+        pi = self._ctmc.steady_state()
+        return dict(zip(STATE_NAMES, pi))
+
+    def availability(self) -> float:
+        """Steady-state availability: probability mass in the up states (Eq. 7)."""
+        pi = self.steady_state()
+        return sum(pi[name] for name in UP_STATES)
+
+    def availability_closed_form(self) -> float:
+        """Eq. 8 evaluated directly (cross-check for :meth:`availability`)."""
+        return closed_form_availability(self.params)
+
+    def unavailability(self) -> float:
+        """``1 - A``: probability mass in the down states."""
+        return 1.0 - self.availability()
+
+    def downtime_split(self) -> dict[str, float]:
+        """Steady-state mass of prepared (SR) vs unprepared (SF) downtime."""
+        pi = self.steady_state()
+        return {name: pi[name] for name in DOWN_STATES}
+
+    # ------------------------------------------------------------------
+    # Reliability and hazard rate (Sect. 5.4)
+    # ------------------------------------------------------------------
+
+    def failure_time_distribution(self) -> PhaseTypeDistribution:
+        """First-passage distribution into any down state (Eqs. 11-13).
+
+        The two down states are merged and made absorbing; the initial
+        distribution is ``alpha = [1, 0, 0, 0, 0]`` over the up states.
+        """
+        return PhaseTypeDistribution.from_ctmc(
+            self._ctmc, list(DOWN_STATES), STATE_UP
+        )
+
+    def reliability(self, t: float) -> float:
+        """``R(t)`` (Eq. 9)."""
+        return self.failure_time_distribution().survival(t)
+
+    def hazard_rate(self, t: float) -> float:
+        """``h(t)`` (Eq. 10)."""
+        return self.failure_time_distribution().hazard(t)
+
+    def mttf_effective(self) -> float:
+        """Mean time to the first failure under PFM."""
+        return self.failure_time_distribution().mean()
+
+    def evaluate_curves(self, times: np.ndarray) -> dict[str, np.ndarray]:
+        """Reliability / pdf / hazard series over ``times`` (Fig. 10 data)."""
+        return self.failure_time_distribution().evaluate(times)
+
+    def __repr__(self) -> str:
+        return f"PFMModel(availability={self.availability():.6f})"

@@ -1,0 +1,190 @@
+"""Parameters of the PFM dependability model and rate derivation.
+
+The paper's Fig. 9 CTMC is parameterized by prediction rates ``rTP``,
+``rFP``, ``rTN``, ``rFN``, an action rate ``rA``, repair rates ``rF`` /
+``rR = k rF`` and the conditional failure probabilities ``PTP``, ``PFP``,
+``PTN``.  The paper states these rates "can be determined from precision,
+recall, false positive rate and a few additional assumptions" (citing
+Salfner's thesis, Chap. 10).  We reconstruct that derivation:
+
+Given the rate ``F = 1 / MTTF`` at which failure-prone situations arise,
+
+- recall splits the failure-prone situations into predicted and missed:
+  ``rTP = recall * F``  and  ``rFN = (1 - recall) * F``,
+- precision ties false positives to true positives:
+  ``precision = rTP / (rTP + rFP)``  =>  ``rFP = rTP (1 - precision) / precision``,
+- the false positive rate ties true negatives to false positives:
+  ``fpr = rFP / (rFP + rTN)``  =>  ``rTN = rFP (1 - fpr) / fpr``.
+
+Substituting these rates into the balance equations of the Fig. 9 chain
+yields exactly the paper's Eq. 8 with ``rp = rTP + rFP + rTN + rFN``
+(see :mod:`repro.reliability.availability`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PredictionQuality:
+    """Accuracy metrics of a failure predictor (paper Sect. 3.3).
+
+    Attributes
+    ----------
+    precision:
+        Fraction of failure warnings that are correct.
+    recall:
+        Fraction of actual failures that are predicted (true positive rate).
+    fpr:
+        Fraction of non-failures falsely classified as failure-prone.
+    """
+
+    precision: float
+    recall: float
+    fpr: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.precision <= 1.0:
+            raise ConfigurationError(f"precision must be in (0, 1], got {self.precision}")
+        if not 0.0 < self.recall <= 1.0:
+            raise ConfigurationError(f"recall must be in (0, 1], got {self.recall}")
+        if not 0.0 < self.fpr < 1.0:
+            raise ConfigurationError(f"fpr must be in (0, 1), got {self.fpr}")
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of precision and recall."""
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+
+@dataclass(frozen=True)
+class PredictionRates:
+    """Rates of the four prediction outcomes (events per unit time)."""
+
+    r_tp: float
+    r_fp: float
+    r_tn: float
+    r_fn: float
+
+    @property
+    def total(self) -> float:
+        """Total prediction rate ``rp`` appearing in Eq. 8."""
+        return self.r_tp + self.r_fp + self.r_tn + self.r_fn
+
+    @property
+    def failure_prone_rate(self) -> float:
+        """Rate of truly failure-prone situations (``F`` in the derivation)."""
+        return self.r_tp + self.r_fn
+
+
+def derive_rates(quality: PredictionQuality, failure_rate: float) -> PredictionRates:
+    """Derive the four prediction rates from metrics and the failure rate.
+
+    ``failure_rate`` is the rate at which truly failure-prone situations
+    arise (``1 / MTTF`` of the unprotected system).
+    """
+    if failure_rate <= 0:
+        raise ConfigurationError("failure_rate must be positive")
+    r_tp = quality.recall * failure_rate
+    r_fn = (1.0 - quality.recall) * failure_rate
+    r_fp = r_tp * (1.0 - quality.precision) / quality.precision
+    r_tn = r_fp * (1.0 - quality.fpr) / quality.fpr
+    return PredictionRates(r_tp=r_tp, r_fp=r_fp, r_tn=r_tn, r_fn=r_fn)
+
+
+@dataclass(frozen=True)
+class PFMParameters:
+    """Full parameter set of the Sect. 5 model.
+
+    Attributes
+    ----------
+    quality:
+        Predictor accuracy metrics (Table 2: precision, recall, fpr).
+    p_tp:
+        ``P(failure | true positive prediction)`` -- probability that the
+        failure occurs despite countermeasures (Eq. 3).
+    p_fp:
+        ``P(failure | false positive prediction)`` -- probability that an
+        unnecessary action *induces* a failure (Eq. 4).
+    p_tn:
+        ``P(failure | true negative prediction)`` -- probability that the
+        prediction overhead itself induces a failure (Eq. 5).
+    k:
+        Repair time improvement factor ``MTTR / MTTR_prepared`` (Eq. 6).
+    mttf:
+        Mean time between failure-prone situations (seconds); ``F = 1/mttf``.
+    action_time:
+        Mean time from start of a prediction to resolution (``1 / rA``);
+        also the prediction lead-time scale.
+    mttr:
+        Mean time to repair after an *unprepared* failure (``1 / rF``).
+    """
+
+    quality: PredictionQuality
+    p_tp: float = 0.25
+    p_fp: float = 0.1
+    p_tn: float = 0.001
+    k: float = 2.0
+    mttf: float = 12_500.0
+    action_time: float = 100.0
+    mttr: float = 600.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_tp", "p_fp", "p_tn"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.k <= 0:
+            raise ConfigurationError("k must be positive")
+        for name in ("mttf", "action_time", "mttr"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @classmethod
+    def paper_example(cls) -> "PFMParameters":
+        """The exact parameter values of the paper's Table 2.
+
+        Time scales (MTTF, action time, MTTR) are not given in the paper;
+        the defaults here are chosen so the Fig. 10 axes are matched
+        (hazard asymptote ~8e-5 1/s, knee within 0-1000 s) -- see DESIGN.md.
+        """
+        return cls(
+            quality=PredictionQuality(precision=0.70, recall=0.62, fpr=0.016),
+            p_tp=0.25,
+            p_fp=0.1,
+            p_tn=0.001,
+            k=2.0,
+        )
+
+    def with_quality(self, **kwargs: float) -> "PFMParameters":
+        """Copy with some quality metrics replaced (for sweeps)."""
+        return replace(self, quality=replace(self.quality, **kwargs))
+
+    # Convenience rate accessors -------------------------------------------------
+
+    @property
+    def failure_rate(self) -> float:
+        """``F = 1 / MTTF`` -- rate of failure-prone situations."""
+        return 1.0 / self.mttf
+
+    @property
+    def r_a(self) -> float:
+        """Action rate ``rA = 1 / action_time``."""
+        return 1.0 / self.action_time
+
+    @property
+    def r_f(self) -> float:
+        """Unprepared repair rate ``rF = 1 / MTTR``."""
+        return 1.0 / self.mttr
+
+    @property
+    def r_r(self) -> float:
+        """Prepared repair rate ``rR = k * rF`` (Eq. 6)."""
+        return self.k * self.r_f
+
+    def rates(self) -> PredictionRates:
+        """The four prediction-outcome rates derived from the metrics."""
+        return derive_rates(self.quality, self.failure_rate)

@@ -1,0 +1,80 @@
+"""Reliability / hazard-rate curves and the unavailability ratio.
+
+These helpers regenerate the data behind the paper's Fig. 10 (reliability
+and hazard rate, with vs. without PFM) and Eq. 14 (the unavailability
+ratio, ~0.488 for the Table 2 parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.reliability.baseline import (
+    without_pfm_availability,
+    without_pfm_reliability,
+)
+from repro.reliability.pfm_model import PFMModel
+from repro.reliability.rates import PFMParameters
+
+
+def reliability_curves(
+    params: PFMParameters, times: Sequence[float]
+) -> dict[str, np.ndarray]:
+    """``R(t)`` with and without PFM over ``times`` (Fig. 10a).
+
+    Returns a dict with keys ``t``, ``with_pfm`` and ``without_pfm``.
+    """
+    ts = np.asarray(times, dtype=float)
+    model = PFMModel(params)
+    with_pfm = model.evaluate_curves(ts)["reliability"]
+    baseline = without_pfm_reliability(params)
+    without = baseline.evaluate(ts)["reliability"]
+    return {"t": ts, "with_pfm": with_pfm, "without_pfm": without}
+
+
+def hazard_curves(
+    params: PFMParameters, times: Sequence[float]
+) -> dict[str, np.ndarray]:
+    """``h(t)`` with and without PFM over ``times`` (Fig. 10b)."""
+    ts = np.asarray(times, dtype=float)
+    model = PFMModel(params)
+    with_pfm = model.evaluate_curves(ts)["hazard"]
+    baseline = without_pfm_reliability(params)
+    without = baseline.evaluate(ts)["hazard"]
+    return {"t": ts, "with_pfm": with_pfm, "without_pfm": without}
+
+
+def unavailability_ratio(params: PFMParameters) -> float:
+    """``(1 - A_PFM) / (1 - A)`` -- the paper's Eq. 14.
+
+    Values below 1 mean PFM reduces unavailability; the paper reports
+    ~0.488 for the Table 2 parameters ("unavailability is roughly cut
+    down by half").  The exact value depends on the absolute time scales
+    (MTTF, MTTR, action time), which the paper does not publish; see
+    :func:`asymptotic_unavailability_ratio` for the scale-free limit.
+    """
+    a_pfm = PFMModel(params).availability()
+    a_plain = without_pfm_availability(params)
+    return (1.0 - a_pfm) / (1.0 - a_plain)
+
+
+def asymptotic_unavailability_ratio(params: PFMParameters) -> float:
+    """Eq. 14 in the high-availability limit (scale-free form).
+
+    As downtime and prediction overhead become small relative to uptime
+    (``F * MTTR -> 0``, ``F / rA -> 0``), the ratio converges to
+
+    .. math::
+
+        \\frac{(P_{TP} r_{TP} + P_{FP} r_{FP}) / k + P_{TN} r_{TN} + r_{FN}}{F}
+
+    which depends only on the Table 2 parameters.  For the paper's values
+    this evaluates to 0.487, matching the reported ~0.488.
+    """
+    rates = params.rates()
+    failure_rate = rates.failure_prone_rate
+    prepared = (params.p_tp * rates.r_tp + params.p_fp * rates.r_fp) / params.k
+    unprepared = params.p_tn * rates.r_tn + rates.r_fn
+    return (prepared + unprepared) / failure_rate

@@ -1,0 +1,70 @@
+"""Parameter sweeps over the PFM dependability model.
+
+The paper's Sect. 5 motivates assessing *how much* predictor accuracy and
+action effectiveness matter; these sweeps quantify it.  They power the
+sensitivity benchmark (bench S1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.reliability.pfm_model import PFMModel
+from repro.reliability.rates import PFMParameters
+from repro.reliability.reliability_fn import unavailability_ratio
+
+_QUALITY_FIELDS = {"precision", "recall", "fpr"}
+_PARAM_FIELDS = {"p_tp", "p_fp", "p_tn", "k", "mttf", "action_time", "mttr"}
+
+
+def _with_value(params: PFMParameters, field: str, value: float) -> PFMParameters:
+    if field in _QUALITY_FIELDS:
+        return params.with_quality(**{field: value})
+    if field in _PARAM_FIELDS:
+        return replace(params, **{field: value})
+    raise ConfigurationError(f"unknown sweep field: {field!r}")
+
+
+def sweep_availability(
+    params: PFMParameters, field: str, values: Sequence[float]
+) -> list[tuple[float, float]]:
+    """Steady-state availability as ``field`` sweeps over ``values``.
+
+    Returns ``[(value, availability), ...]``.
+    """
+    return [
+        (value, PFMModel(_with_value(params, field, value)).availability())
+        for value in values
+    ]
+
+
+def sweep_unavailability_ratio(
+    params: PFMParameters, field: str, values: Sequence[float]
+) -> list[tuple[float, float]]:
+    """Eq. 14 ratio as ``field`` sweeps over ``values``."""
+    return [
+        (value, unavailability_ratio(_with_value(params, field, value)))
+        for value in values
+    ]
+
+
+def break_even_p_fp(params: PFMParameters, tolerance: float = 1e-6) -> float:
+    """Find the induced-failure probability at which PFM stops paying off.
+
+    Bisects ``p_fp`` in [0, 1] for the point where the unavailability ratio
+    crosses 1.  Returns 1.0 if PFM wins even at ``p_fp = 1``.
+    """
+    low, high = 0.0, 1.0
+    if unavailability_ratio(replace(params, p_fp=high)) < 1.0:
+        return 1.0
+    if unavailability_ratio(replace(params, p_fp=low)) >= 1.0:
+        return 0.0
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if unavailability_ratio(replace(params, p_fp=mid)) < 1.0:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)

@@ -1,0 +1,101 @@
+"""Dependability-optimal predictor thresholds.
+
+The paper keeps the two halves separate: Sect. 3.3 picks thresholds by
+F-measure, Sect. 5 evaluates the resulting (precision, recall, fpr) in the
+CTMC.  Closing the loop gives a better rule: **pick the threshold whose
+resulting quality minimizes modeled unavailability** (or cost).  The
+F-measure weighs false alarms and misses equally; the model knows that a
+missed failure costs unprepared downtime while a false alarm costs only
+``P_FP``-induced risk -- so the optimal operating point generally differs
+from max-F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.prediction.metrics import ContingencyTable
+from repro.reliability.rates import PFMParameters, PredictionQuality
+from repro.reliability.reliability_fn import asymptotic_unavailability_ratio
+
+_EPS = 1e-4
+
+
+def quality_at_threshold(
+    scores: np.ndarray, labels: np.ndarray, threshold: float
+) -> PredictionQuality | None:
+    """Measured quality at one threshold (None when degenerate).
+
+    Degenerate = no warnings at all, or zero precision/recall, which the
+    model's domain excludes.
+    """
+    table = ContingencyTable.from_scores(
+        np.asarray(scores), np.asarray(labels, dtype=bool), threshold
+    )
+    if table.tp == 0:
+        return None
+    precision = min(max(table.precision, _EPS), 1.0)
+    recall = min(max(table.recall, _EPS), 1.0)
+    fpr = min(max(table.false_positive_rate, _EPS), 1.0 - _EPS)
+    return PredictionQuality(precision=precision, recall=recall, fpr=fpr)
+
+
+@dataclass(frozen=True)
+class ThresholdOperatingPoint:
+    """One candidate threshold with its measured quality and modeled ratio."""
+
+    threshold: float
+    quality: PredictionQuality
+    unavailability_ratio: float
+
+
+def threshold_ratio_curve(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    params: PFMParameters,
+    n_candidates: int = 50,
+) -> list[ThresholdOperatingPoint]:
+    """The modeled unavailability ratio as a function of the threshold.
+
+    Candidate thresholds are score quantiles; degenerate operating points
+    are skipped.
+    """
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels, dtype=bool)
+    if scores.size == 0 or not labels.any():
+        raise ConfigurationError("need scores with at least one positive label")
+    candidates = np.unique(
+        np.quantile(scores, np.linspace(0.02, 0.98, n_candidates))
+    )
+    points: list[ThresholdOperatingPoint] = []
+    for threshold in candidates:
+        quality = quality_at_threshold(scores, labels, float(threshold))
+        if quality is None:
+            continue
+        ratio = asymptotic_unavailability_ratio(
+            replace(params, quality=quality)
+        )
+        points.append(
+            ThresholdOperatingPoint(
+                threshold=float(threshold),
+                quality=quality,
+                unavailability_ratio=ratio,
+            )
+        )
+    if not points:
+        raise ConfigurationError("no usable operating point found")
+    return points
+
+
+def dependability_optimal_threshold(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    params: PFMParameters,
+    n_candidates: int = 50,
+) -> ThresholdOperatingPoint:
+    """The threshold minimizing the modeled unavailability ratio."""
+    points = threshold_ratio_curve(scores, labels, params, n_candidates)
+    return min(points, key=lambda p: p.unavailability_ratio)

@@ -1,0 +1,47 @@
+"""Named, reproducible random-number streams.
+
+Every stochastic component of a simulation draws from its own named stream
+so that (a) runs are reproducible from a single root seed and (b) changing
+one component's draws does not perturb the others -- a standard requirement
+for credible simulation experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RandomStreams:
+    """Factory of independent :class:`numpy.random.Generator` instances.
+
+    Streams are keyed by name; the same ``(root_seed, name)`` pair always
+    yields an identically-seeded generator.
+    """
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def _derive_seed(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self.root_seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def get(self, name: str) -> np.random.Generator:
+        """The stream for ``name`` (created on first use, then cached)."""
+        if name not in self._streams:
+            self._streams[name] = np.random.default_rng(self._derive_seed(name))
+        return self._streams[name]
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """A brand-new generator for ``name`` (not cached; always restarts)."""
+        return np.random.default_rng(self._derive_seed(name))
+
+    def spawn(self, prefix: str) -> "RandomStreams":
+        """A child factory whose streams are namespaced under ``prefix``."""
+        child = RandomStreams(self._derive_seed(prefix))
+        return child
+
+    def __repr__(self) -> str:
+        return f"RandomStreams(root_seed={self.root_seed}, streams={sorted(self._streams)})"

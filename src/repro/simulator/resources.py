@@ -1,0 +1,159 @@
+"""Queued resources for the simulation engine.
+
+:class:`Resource` models ``capacity`` interchangeable servers with a FIFO
+wait queue (think: worker threads in a container).  :class:`Store` models a
+FIFO buffer of items (think: a message queue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class _Request:
+    """Internal: what ``resource.request()`` yields to the engine."""
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+
+    def _register_waiter(self, process: Any) -> None:
+        self.resource._enqueue(process)
+
+
+class Resource:
+    """``capacity`` servers with FIFO queueing.
+
+    Usage inside a process::
+
+        yield resource.request()
+        try:
+            yield Timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, engine: Any, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.engine = engine
+        self.capacity = int(capacity)
+        self.name = name or "resource"
+        self.in_use = 0
+        self._waiting: deque[Any] = deque()
+        # Simple occupancy accounting for utilization metrics.
+        self._busy_time = 0.0
+        self._last_change = engine.now
+
+    def request(self) -> _Request:
+        """Yieldable request; the process resumes once a server is free."""
+        return _Request(self)
+
+    def _account(self) -> None:
+        now = self.engine.now
+        self._busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def _enqueue(self, process: Any) -> None:
+        if self.in_use < self.capacity:
+            self._account()
+            self.in_use += 1
+            self.engine.schedule(0.0, lambda: process.resume(self))
+        else:
+            self._waiting.append(process)
+
+    def release(self) -> None:
+        """Free one server; hands it to the longest-waiting process."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._account()
+        if self._waiting:
+            process = self._waiting.popleft()
+            self.engine.schedule(0.0, lambda: process.resume(self))
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity in use since engine start."""
+        elapsed = self.engine.now
+        if elapsed <= 0:
+            return 0.0
+        busy = self._busy_time + self.in_use * (self.engine.now - self._last_change)
+        return busy / (elapsed * self.capacity)
+
+    def drain_queue(self) -> int:
+        """Drop all waiting requests (used by 'clear queues' clean-up
+        countermeasures); returns the number of dropped waiters."""
+        dropped = len(self._waiting)
+        self._waiting.clear()
+        return dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"Resource({self.name!r}, in_use={self.in_use}/{self.capacity}, "
+            f"queued={len(self._waiting)})"
+        )
+
+
+class _GetRequest:
+    def __init__(self, store: "Store") -> None:
+        self.store = store
+
+    def _register_waiter(self, process: Any) -> None:
+        self.store._enqueue_getter(process)
+
+
+class Store:
+    """Unbounded (or bounded) FIFO buffer of items."""
+
+    def __init__(self, engine: Any, capacity: int | None = None, name: str = "") -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError("store capacity must be >= 1 or None")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name or "store"
+        self._items: deque[Any] = deque()
+        self._getters: deque[Any] = deque()
+        self.dropped = 0
+
+    def put(self, item: Any) -> bool:
+        """Add an item; returns False (and counts a drop) when full."""
+        if self._getters:
+            process = self._getters.popleft()
+            self.engine.schedule(0.0, lambda: process.resume(item))
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> _GetRequest:
+        """Yieldable request; resumes with the next item."""
+        return _GetRequest(self)
+
+    def _enqueue_getter(self, process: Any) -> None:
+        if self._items:
+            item = self._items.popleft()
+            self.engine.schedule(0.0, lambda: process.resume(item))
+        else:
+            self._getters.append(process)
+
+    def clear(self) -> int:
+        """Drop all buffered items; returns how many were dropped."""
+        count = len(self._items)
+        self._items.clear()
+        return count
+
+    @property
+    def level(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"Store({self.name!r}, level={len(self._items)})"

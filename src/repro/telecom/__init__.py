@@ -1,0 +1,56 @@
+"""Synthetic telecom Service Control Point (SCP) -- the case-study system.
+
+The paper's case study (Sect. 3.3) applied UBF and HSMM to data of a
+commercial telecommunication platform: a multi-tier, component-based SCP
+handling MOC / SMS / GPRS service requests over RADIUS / SS7 / IP, with
+performance failures defined by Eq. 2 (interval service availability over
+five-minute windows: at most 0.01% of requests slower than 250 ms).
+
+That platform and its data are proprietary, so this package builds the
+closest synthetic equivalent (see DESIGN.md): a discrete-event simulated
+SCP with
+
+- :mod:`~repro.telecom.workload` -- MOC/SMS/GPRS request streams with
+  diurnal modulation,
+- :mod:`~repro.telecom.components` -- frontends, service-logic containers
+  and a database tier, each a fault-injection target and monitoring source,
+- :mod:`~repro.telecom.system` -- the assembled SCP with an aggregate
+  queueing model and countermeasure hooks,
+- :mod:`~repro.telecom.sla` -- the Eq. 2 failure definition,
+- :mod:`~repro.telecom.aging` -- background software-aging processes,
+- :mod:`~repro.telecom.dataset` -- labeled dataset generation for
+  predictor training and evaluation.
+"""
+
+from repro.telecom.aging import NaturalAgingProcess
+from repro.telecom.components import Component, Tier
+from repro.telecom.dataset import DatasetConfig, TelecomDataset, generate_dataset
+from repro.telecom.sla import SLAChecker, WindowStats
+from repro.telecom.system import SCPConfig, SCPSystem
+from repro.telecom.traces import LoadedTraces, export_traces, load_traces
+from repro.telecom.workload import (
+    Protocol,
+    ServiceType,
+    WorkloadConfig,
+    WorkloadModel,
+)
+
+__all__ = [
+    "NaturalAgingProcess",
+    "Component",
+    "Tier",
+    "DatasetConfig",
+    "TelecomDataset",
+    "generate_dataset",
+    "SLAChecker",
+    "WindowStats",
+    "SCPConfig",
+    "SCPSystem",
+    "LoadedTraces",
+    "export_traces",
+    "load_traces",
+    "Protocol",
+    "ServiceType",
+    "WorkloadConfig",
+    "WorkloadModel",
+]

@@ -1,0 +1,374 @@
+"""The assembled Service Control Point simulator.
+
+Architecture (mirroring the case study's description): protocol frontends
+(RADIUS / SS7 / IP), a pool of replicated service-logic containers behind a
+load balancer, and a database tier.  The performance model is evaluated in
+fixed ticks: per tick the workload model yields Poisson arrival counts,
+each tier contributes a stretched service time, the end-to-end response
+time distribution is log-normal around that mean, and deadline violations
+are drawn binomially.  Violation counts feed the Eq. 2 SLA checker, whose
+window breaches are the system's (performance) failures.
+
+Countermeasure hooks -- restart, clean-up, admission control, load
+migration -- are the interface the :mod:`repro.actions` package drives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.detectors import TimingCheck
+from repro.monitoring.collectors import Gauge
+from repro.monitoring.logbook import ErrorLog, FailureLog
+from repro.simulator.engine import Engine
+from repro.simulator.events import Timeout
+from repro.simulator.random_streams import RandomStreams
+from repro.telecom.aging import NaturalAgingProcess
+from repro.telecom.components import Component, Tier
+from repro.telecom.sla import SLAChecker
+from repro.telecom.workload import (
+    Protocol,
+    WorkloadConfig,
+    WorkloadModel,
+)
+
+
+@dataclass(frozen=True)
+class SCPConfig:
+    """Configuration of the simulated SCP."""
+
+    n_containers: int = 4
+    tick: float = 5.0
+    # Nominal per-request service times per tier (seconds).
+    frontend_service: float = 0.005
+    container_service: float = 0.020
+    db_service: float = 0.010
+    # Capacities (parallel workers per component).
+    frontend_capacity: int = 8
+    container_capacity: int = 10
+    db_capacity: int = 16
+    # Memory provisioning (MB).
+    frontend_memory: float = 2_048.0
+    container_memory: float = 4_096.0
+    db_memory: float = 8_192.0
+    # Response-time dispersion (log-normal sigma).
+    rt_sigma: float = 0.35
+    # Fraction of requests touching the database.
+    db_visit_prob: float = 0.7
+    # SLA (Eq. 2).
+    sla_window: float = 300.0
+    required_availability: float = 0.9999
+    deadline: float = 0.250
+    # Natural aging.
+    enable_aging: bool = True
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_containers < 1:
+            raise ConfigurationError("need at least one container")
+        if self.tick <= 0:
+            raise ConfigurationError("tick must be positive")
+        if not 0 <= self.db_visit_prob <= 1:
+            raise ConfigurationError("db_visit_prob must be in [0, 1]")
+
+
+class SCPSystem:
+    """The simulated Service Control Point."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        streams: RandomStreams,
+        config: SCPConfig | None = None,
+    ) -> None:
+        self.engine = engine
+        self.streams = streams
+        self.config = config or SCPConfig()
+        self.error_log = ErrorLog()
+        self.failure_log = FailureLog()
+        self.workload = WorkloadModel(self.config.workload, streams.get("workload"))
+        self.sla = SLAChecker(
+            window=self.config.sla_window,
+            required_availability=self.config.required_availability,
+            deadline=self.config.deadline,
+            on_failure=self.failure_log.report,
+        )
+        self._rt_rng = streams.get("response-times")
+        self._timing_check = TimingCheck("scp", deadline=self.config.deadline)
+
+        # Build the component inventory.
+        self.frontends: dict[Protocol, Component] = {
+            protocol: self._make_component(
+                f"frontend-{protocol.value}",
+                Tier.FRONTEND,
+                self.config.frontend_capacity,
+                self.config.frontend_service,
+                self.config.frontend_memory,
+            )
+            for protocol in Protocol
+        }
+        self.containers: list[Component] = [
+            self._make_component(
+                f"container-{i}",
+                Tier.SERVICE_LOGIC,
+                self.config.container_capacity,
+                self.config.container_service,
+                self.config.container_memory,
+            )
+            for i in range(self.config.n_containers)
+        ]
+        self.database = self._make_component(
+            "database",
+            Tier.DATABASE,
+            self.config.db_capacity,
+            self.config.db_service,
+            self.config.db_memory,
+        )
+        # Load-balancer weights over containers (normalized on use).
+        self.weights: dict[str, float] = {c.name: 1.0 for c in self.containers}
+        # Admission control: fraction of arrivals accepted.
+        self.admission_fraction = 1.0
+
+        # Last-tick aggregate telemetry.
+        self.last_request_rate = 0.0
+        self.last_mean_rt = 0.0
+        self.last_violation_prob = 0.0
+        self.rejected_requests = 0
+        self.ticks_run = 0
+
+        self._aging: list[NaturalAgingProcess] = []
+        self._started = False
+
+    def _make_component(
+        self,
+        name: str,
+        tier: Tier,
+        capacity: int,
+        service_time: float,
+        memory_mb: float,
+    ) -> Component:
+        component = Component(
+            name=name,
+            tier=tier,
+            capacity=capacity,
+            service_time=service_time,
+            memory_mb=memory_mb,
+            error_sink=self.error_log.report,
+        )
+        component.bind_clock(lambda: self.engine.now)
+        return component
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the tick loop (and aging processes); idempotent."""
+        if self._started:
+            return
+        self._started = True
+        if self.config.enable_aging:
+            for component in self.all_components():
+                aging = NaturalAgingProcess(
+                    component, self.streams.get(f"aging:{component.name}")
+                )
+                aging.start(self.engine)
+                self._aging.append(aging)
+        self.engine.process(self._tick_loop(), name="scp-ticks")
+
+    def _tick_loop(self):
+        while True:
+            self._do_tick()
+            yield Timeout(self.config.tick)
+
+    def all_components(self) -> list[Component]:
+        return [*self.frontends.values(), *self.containers, self.database]
+
+    def component(self, name: str) -> Component:
+        for candidate in self.all_components():
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(f"unknown component {name!r}")
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+
+    def _do_tick(self) -> None:
+        now = self.engine.now
+        dt = self.config.tick
+        for component in self.all_components():
+            component.finish_restart_if_due(now)
+
+        counts = self.workload.arrivals(now, dt)
+        total = sum(counts.values())
+        admitted = total
+        if self.admission_fraction < 1.0 and total > 0:
+            admitted = int(self._rt_rng.binomial(total, self.admission_fraction))
+            self.rejected_requests += total - admitted
+        self.last_request_rate = admitted / dt
+
+        if admitted == 0:
+            self.sla.record_batch(now, 0, 0)
+            self.ticks_run += 1
+            return
+
+        # Frontend tier: protocol split drives each frontend's stretch.
+        scale = admitted / total
+        protocol_counts = {
+            p: int(round(n * scale))
+            for p, n in self.workload.protocol_split(counts).items()
+        }
+        frontend_time = 0.0
+        for protocol, n in protocol_counts.items():
+            frontend = self.frontends[protocol]
+            stretch = frontend.stretch_factor(n, dt)
+            share = n / max(sum(protocol_counts.values()), 1)
+            frontend_time += share * frontend.service_time * stretch
+
+        # Database tier (shared).
+        db_demand = admitted * self.config.db_visit_prob
+        db_stretch = self.database.stretch_factor(db_demand, dt)
+        db_time = self.config.db_visit_prob * self.database.service_time * db_stretch
+
+        # Container tier: split admitted demand by load-balancer weights
+        # over components that are actually up.
+        demand = self.workload.demand(counts) * scale
+        up = [c for c in self.containers if c.restarting_until is None]
+        violations = 0
+        mean_rt_acc = 0.0
+        if not up:
+            # Whole service-logic tier down: every request fails its deadline.
+            violations = admitted
+            mean_rt_acc = self.config.deadline * 4
+            self.last_violation_prob = 1.0
+        else:
+            weights = np.array([max(self.weights[c.name], 0.0) for c in up])
+            if weights.sum() <= 0:
+                weights = np.ones(len(up))
+            weights = weights / weights.sum()
+            request_split = self._rt_rng.multinomial(admitted, weights)
+            prob_acc = 0.0
+            for component, n_requests, weight in zip(up, request_split, weights):
+                stretch = component.stretch_factor(demand * weight, dt)
+                mean_rt = (
+                    frontend_time + component.service_time * stretch + db_time
+                )
+                p_violate = self._violation_probability(mean_rt)
+                if n_requests > 0:
+                    violations += int(self._rt_rng.binomial(n_requests, p_violate))
+                mean_rt_acc += weight * mean_rt
+                prob_acc += weight * p_violate
+            self.last_violation_prob = prob_acc
+        self.last_mean_rt = mean_rt_acc
+
+        # A timing check on observed latency reports detected errors.
+        if self.last_violation_prob > 5e-5 and self._rt_rng.random() < min(
+            800 * self.last_violation_prob, 0.5
+        ):
+            worst = max(self.containers, key=lambda c: c.last_stretch)
+            record = self._timing_check.check(
+                now, self.last_mean_rt * math.exp(self._rt_rng.normal(0.3, 0.2))
+            )
+            if record is not None:
+                worst.emit_error(record.message_id, None, severity=2)
+
+        self.sla.record_batch(now, admitted, violations)
+        self.ticks_run += 1
+
+    def _violation_probability(self, mean_rt: float) -> float:
+        """P(RT > deadline) for a log-normal RT around ``mean_rt``."""
+        if mean_rt <= 0:
+            return 0.0
+        z = (math.log(self.config.deadline) - math.log(mean_rt)) / self.config.rt_sigma
+        # Survival function of the standard normal.
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+    # ------------------------------------------------------------------
+    # Monitoring surface
+    # ------------------------------------------------------------------
+
+    def system_gauges(self) -> list[Gauge]:
+        """Aggregate, SAR-flavoured system variables."""
+        return [
+            Gauge("request_rate", lambda: self.last_request_rate),
+            Gauge("response_time_ms", lambda: self.last_mean_rt * 1000.0),
+            Gauge("violation_prob", lambda: self.last_violation_prob),
+            Gauge(
+                "cpu_utilization",
+                lambda: float(np.mean([c.utilization for c in self.containers])),
+            ),
+            Gauge(
+                "memory_free_mb",
+                lambda: float(np.sum([c.memory_free_mb for c in self.containers])),
+            ),
+            Gauge(
+                "swap_activity",
+                lambda: float(np.max([c.swap_activity for c in self.containers])),
+            ),
+            Gauge(
+                "max_stretch",
+                lambda: float(np.max([c.last_stretch for c in self.containers])),
+            ),
+            Gauge("db_utilization", lambda: self.database.utilization),
+            Gauge(
+                "error_rate",
+                lambda: self.error_log.rate(
+                    max(self.engine.now - 300.0, 0.0), self.engine.now + 1e-9
+                ),
+            ),
+        ]
+
+    def all_gauges(self) -> list[Gauge]:
+        """System gauges plus per-component gauges (prefixed)."""
+        gauges = list(self.system_gauges())
+        for component in self.all_components():
+            for gauge in component.gauges():
+                gauges.append(
+                    Gauge(f"{component.name}.{gauge.variable}", gauge.read)
+                )
+        return gauges
+
+    # ------------------------------------------------------------------
+    # Countermeasure hooks (driven by repro.actions)
+    # ------------------------------------------------------------------
+
+    def restart_component(self, name: str, duration: float) -> None:
+        """Take a component down for ``duration`` seconds, then rejuvenate."""
+        self.component(name).begin_restart(self.engine.now, duration)
+
+    def cleanup_component(self, name: str, effectiveness: float = 0.7) -> None:
+        """On-line state clean-up (no downtime)."""
+        self.component(name).cleanup(effectiveness)
+
+    def set_admission_fraction(self, fraction: float) -> None:
+        """Admission control: accept only ``fraction`` of new requests."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("fraction must be in [0, 1]")
+        self.admission_fraction = fraction
+
+    def set_weight(self, name: str, weight: float) -> None:
+        """Adjust the load-balancer weight of one container."""
+        if name not in self.weights:
+            raise ConfigurationError(f"unknown container {name!r}")
+        if weight < 0:
+            raise ConfigurationError("weight must be >= 0")
+        self.weights[name] = weight
+
+    def migrate_load(self, source: str, target: str, fraction: float = 1.0) -> None:
+        """Shift ``fraction`` of a container's weight to another container."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("fraction must be in [0, 1]")
+        moved = self.weights[source] * fraction
+        self.set_weight(source, self.weights[source] - moved)
+        self.set_weight(target, self.weights[target] + moved)
+
+    def __repr__(self) -> str:
+        return (
+            f"SCPSystem(containers={len(self.containers)}, "
+            f"failures={len(self.failure_log)}, errors={len(self.error_log)})"
+        )

@@ -1,0 +1,192 @@
+"""Trace export / import: shareable failure data.
+
+Paper Sect. 7: "more field data for reference and benchmarking purposes is
+needed but it is very difficult to make it available to the research
+community ... the academic/industrial efforts such as AMBER and USENIX to
+collect failure rates and traces are highly commendable."
+
+This module writes a generated dataset to plain CSV traces (monitoring
+samples, error log, failure log, faultload ground truth) and reads them
+back -- so experiments can be archived, shared and re-analyzed without
+rerunning the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.classification import CristianFailureMode
+from repro.faults.faultload import FaultActivation, FaultLoad
+from repro.faults.model import ErrorRecord, FailureRecord
+from repro.monitoring.logbook import ErrorLog, FailureLog
+from repro.monitoring.timeseries import TimeSeriesStore
+
+MONITORING_FILE = "monitoring.csv"
+ERRORS_FILE = "errors.csv"
+FAILURES_FILE = "failures.csv"
+FAULTLOAD_FILE = "faultload.csv"
+META_FILE = "meta.json"
+
+
+def export_traces(dataset, directory: str | Path) -> Path:
+    """Write a :class:`~repro.telecom.dataset.TelecomDataset` as CSV traces.
+
+    Returns the directory written.  Files: ``monitoring.csv`` (time,
+    variable, value), ``errors.csv``, ``failures.csv``, ``faultload.csv``
+    (ground truth) and ``meta.json`` (horizon, seed, SLA parameters).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / MONITORING_FILE, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "variable", "value"])
+        for variable in dataset.store.variables:
+            series = dataset.store.series(variable)
+            for t, v in zip(series.times, series.values):
+                writer.writerow([f"{t:.3f}", variable, f"{v:.6g}"])
+
+    with open(directory / ERRORS_FILE, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "message_id", "component", "severity"])
+        for record in dataset.error_log:
+            writer.writerow(
+                [f"{record.time:.3f}", record.message_id, record.component,
+                 record.severity]
+            )
+
+    with open(directory / FAILURES_FILE, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "mode", "duration", "description"])
+        for record in dataset.failure_log:
+            writer.writerow(
+                [f"{record.time:.3f}", record.mode.name, f"{record.duration:.3f}",
+                 record.description]
+            )
+
+    with open(directory / FAULTLOAD_FILE, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["start", "duration", "kind", "target"])
+        for activation in dataset.faultload:
+            writer.writerow(
+                [f"{activation.start:.3f}", f"{activation.duration:.3f}",
+                 activation.kind, activation.target]
+            )
+
+    meta = {
+        "horizon": dataset.config.horizon,
+        "seed": dataset.config.seed,
+        "sample_interval": dataset.config.sample_interval,
+        "lead_time": dataset.config.lead_time,
+        "data_window": dataset.config.data_window,
+        "sla_window": dataset.config.scp.sla_window,
+        "required_availability": dataset.config.scp.required_availability,
+        "deadline": dataset.config.scp.deadline,
+        "n_failures": len(dataset.failure_log),
+        "n_errors": len(dataset.error_log),
+    }
+    (directory / META_FILE).write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+class LoadedTraces:
+    """Traces read back from an exported directory.
+
+    Provides the same access surface predictors need: a time-series store,
+    error / failure logs, the faultload ground truth and the metadata.
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        error_log: ErrorLog,
+        failure_log: FailureLog,
+        faultload: FaultLoad,
+        meta: dict,
+    ) -> None:
+        self.store = store
+        self.error_log = error_log
+        self.failure_log = failure_log
+        self.faultload = faultload
+        self.meta = meta
+
+    @property
+    def failure_times(self) -> list[float]:
+        return self.failure_log.failure_times()
+
+    @property
+    def variables(self) -> list[str]:
+        return self.store.variables
+
+
+def load_traces(directory: str | Path) -> LoadedTraces:
+    """Read traces written by :func:`export_traces`."""
+    directory = Path(directory)
+    for required in (MONITORING_FILE, ERRORS_FILE, FAILURES_FILE, META_FILE):
+        if not (directory / required).exists():
+            raise ConfigurationError(f"missing trace file: {required}")
+
+    store = TimeSeriesStore()
+    # Monitoring rows are grouped per variable in export order; collect and
+    # insert per variable so in-order appends hold.
+    per_variable: dict[str, list[tuple[float, float]]] = {}
+    with open(directory / MONITORING_FILE, newline="") as handle:
+        for row in csv.DictReader(handle):
+            per_variable.setdefault(row["variable"], []).append(
+                (float(row["time"]), float(row["value"]))
+            )
+    for variable, samples in per_variable.items():
+        samples.sort(key=lambda pair: pair[0])
+        for t, v in samples:
+            store.record(t, variable, v)
+
+    error_log = ErrorLog()
+    with open(directory / ERRORS_FILE, newline="") as handle:
+        for row in csv.DictReader(handle):
+            error_log.report(
+                ErrorRecord(
+                    time=float(row["time"]),
+                    message_id=int(row["message_id"]),
+                    component=row["component"],
+                    severity=int(row["severity"]),
+                )
+            )
+
+    failure_log = FailureLog()
+    with open(directory / FAILURES_FILE, newline="") as handle:
+        for row in csv.DictReader(handle):
+            failure_log.report(
+                FailureRecord(
+                    time=float(row["time"]),
+                    mode=CristianFailureMode[row["mode"]],
+                    duration=float(row["duration"]),
+                    description=row["description"],
+                )
+            )
+
+    activations = []
+    faultload_path = directory / FAULTLOAD_FILE
+    if faultload_path.exists():
+        with open(faultload_path, newline="") as handle:
+            for row in csv.DictReader(handle):
+                activations.append(
+                    FaultActivation(
+                        start=float(row["start"]),
+                        duration=float(row["duration"]),
+                        kind=row["kind"],
+                        target=row["target"],
+                    )
+                )
+    meta = json.loads((directory / META_FILE).read_text())
+    return LoadedTraces(
+        store=store,
+        error_log=error_log,
+        failure_log=failure_log,
+        faultload=FaultLoad(activations=activations),
+        meta=meta,
+    )

@@ -1,0 +1,136 @@
+"""Workload model: MOC / SMS / GPRS request streams.
+
+The SCP "has to respond to a large variety of different service requests
+regarding accounts, billing, etc. submitted to the system over various
+protocols such as RADIUS, SS7, or IP".  The workload model produces
+per-tick Poisson request counts for each service type with diurnal
+modulation and weekly weekday/weekend structure.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+DAY = 86_400.0
+WEEK = 7 * DAY
+
+
+class ServiceType(enum.Enum):
+    """Service classes handled by the Service Control Functions."""
+
+    MOC = "mobile-originated-call"
+    SMS = "short-message-service"
+    GPRS = "general-packet-radio-service"
+
+
+class Protocol(enum.Enum):
+    """Ingress protocols of the SCP."""
+
+    RADIUS = "radius"
+    SS7 = "ss7"
+    IP = "ip"
+
+
+#: Which protocol carries which service type (simplified mapping).
+SERVICE_PROTOCOL = {
+    ServiceType.MOC: Protocol.SS7,
+    ServiceType.SMS: Protocol.SS7,
+    ServiceType.GPRS: Protocol.RADIUS,
+}
+
+#: Relative processing demand per service type (MOC is heaviest).
+SERVICE_DEMAND = {
+    ServiceType.MOC: 1.0,
+    ServiceType.SMS: 0.6,
+    ServiceType.GPRS: 0.8,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Arrival-process parameters.
+
+    Attributes
+    ----------
+    base_rate:
+        Mean total arrivals per second, averaged over the day.
+    mix:
+        Fraction of traffic per service type (must sum to 1).
+    diurnal_amplitude:
+        Relative day/night swing in [0, 1): rate(t) oscillates between
+        ``base * (1 - a)`` and ``base * (1 + a)``.
+    weekend_factor:
+        Multiplier applied on days 5 and 6 of each week.
+    peak_hour:
+        Hour of day (0-24) at which the diurnal curve peaks.
+    """
+
+    base_rate: float = 120.0
+    mix: dict[ServiceType, float] = field(
+        default_factory=lambda: {
+            ServiceType.MOC: 0.5,
+            ServiceType.SMS: 0.3,
+            ServiceType.GPRS: 0.2,
+        }
+    )
+    diurnal_amplitude: float = 0.35
+    weekend_factor: float = 0.7
+    peak_hour: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ConfigurationError("base_rate must be positive")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ConfigurationError("diurnal_amplitude must be in [0, 1)")
+        if self.weekend_factor <= 0:
+            raise ConfigurationError("weekend_factor must be positive")
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigurationError(f"service mix must sum to 1, got {total}")
+
+
+class WorkloadModel:
+    """Generates per-tick arrival counts from a :class:`WorkloadConfig`."""
+
+    def __init__(self, config: WorkloadConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous total arrival rate (requests/second) at ``time``."""
+        hour = (time % DAY) / 3600.0
+        phase = 2.0 * math.pi * (hour - self.config.peak_hour) / 24.0
+        diurnal = 1.0 + self.config.diurnal_amplitude * math.cos(phase)
+        day_of_week = int(time % WEEK // DAY)
+        weekly = self.config.weekend_factor if day_of_week >= 5 else 1.0
+        return self.config.base_rate * diurnal * weekly
+
+    def arrivals(self, time: float, dt: float) -> dict[ServiceType, int]:
+        """Poisson arrival counts per service type over ``[time, time+dt)``."""
+        expected_total = self.rate_at(time + dt / 2.0) * dt
+        counts: dict[ServiceType, int] = {}
+        for service, fraction in self.config.mix.items():
+            counts[service] = int(self.rng.poisson(expected_total * fraction))
+        return counts
+
+    def demand(self, counts: dict[ServiceType, int]) -> float:
+        """Total processing demand of an arrival batch (request-equivalents)."""
+        return sum(SERVICE_DEMAND[svc] * n for svc, n in counts.items())
+
+    def protocol_split(
+        self, counts: dict[ServiceType, int]
+    ) -> dict[Protocol, int]:
+        """Arrival counts per ingress protocol."""
+        split: dict[Protocol, int] = {p: 0 for p in Protocol}
+        for service, n in counts.items():
+            split[SERVICE_PROTOCOL[service]] += n
+        # A slice of all traffic arrives over plain IP management interfaces.
+        ip_share = int(0.1 * sum(counts.values()))
+        split[Protocol.IP] += ip_share
+        return split

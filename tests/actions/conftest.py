@@ -1,0 +1,15 @@
+import pytest
+
+from repro.simulator import Engine, RandomStreams
+from repro.telecom import SCPConfig, SCPSystem
+
+
+@pytest.fixture()
+def scp():
+    engine = Engine()
+    system = SCPSystem(
+        engine, RandomStreams(5), SCPConfig(enable_aging=False, n_containers=3)
+    )
+    system.start()
+    engine.run(until=60.0)  # a few ticks so telemetry is populated
+    return system

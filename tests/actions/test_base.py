@@ -1,0 +1,54 @@
+"""Tests for the Action base machinery."""
+
+import pytest
+
+from repro.actions import Action, ActionCategory, ActionOutcome
+
+
+class NoopAction(Action):
+    name = "noop"
+    category = ActionCategory.DOWNTIME_AVOIDANCE
+    cost = 0.3
+    complexity = 0.7
+    success_probability = 0.9
+
+    def execute(self, system, target):
+        return self._outcome(system, target, success=True, note="done")
+
+
+class TestActionBase:
+    def test_class_defaults_used(self, scp):
+        action = NoopAction()
+        assert action.cost == 0.3
+        assert action.complexity == 0.7
+        assert action.success_probability == 0.9
+
+    def test_constructor_overrides(self, scp):
+        action = NoopAction(cost=5.0, complexity=2.0, success_probability=0.1)
+        assert action.cost == 5.0
+        assert action.complexity == 2.0
+        assert action.success_probability == 0.1
+        # Class attributes untouched for other instances.
+        assert NoopAction().cost == 0.3
+
+    def test_outcome_records_time_and_details(self, scp):
+        action = NoopAction()
+        outcome = action.execute(scp, "container-0")
+        assert isinstance(outcome, ActionOutcome)
+        assert outcome.time == scp.engine.now
+        assert outcome.action == "noop"
+        assert outcome.target == "container-0"
+        assert outcome.details["note"] == "done"
+        assert outcome.downtime_incurred == 0.0
+
+    def test_execution_counter_increments(self, scp):
+        action = NoopAction()
+        action.execute(scp, "container-0")
+        action.execute(scp, "container-1")
+        assert action.executions == 2
+
+    def test_default_applicable_is_true(self, scp):
+        assert NoopAction().applicable(scp, "container-0")
+
+    def test_repr_mentions_parameters(self):
+        assert "p_success" in repr(NoopAction())

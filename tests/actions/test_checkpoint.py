@@ -1,0 +1,112 @@
+import pytest
+
+from repro.actions import (
+    CheckpointStore,
+    PreparedRepairAction,
+    RepairTimeModel,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCheckpointStore:
+    def test_latest_trusted(self):
+        store = CheckpointStore()
+        store.save(10.0)
+        store.save(20.0, trusted=False)
+        store.save(30.0)
+        assert store.latest_trusted().time == 30.0
+
+    def test_latest_trusted_before(self):
+        store = CheckpointStore()
+        store.save(10.0)
+        store.save(30.0)
+        assert store.latest_trusted(before=25.0).time == 10.0
+
+    def test_untrusted_skipped(self):
+        store = CheckpointStore()
+        store.save(10.0)
+        store.save(30.0, trusted=False)
+        assert store.latest_trusted().time == 10.0
+
+    def test_empty(self):
+        assert CheckpointStore().latest_trusted() is None
+
+    def test_capacity_evicts_oldest(self):
+        store = CheckpointStore(capacity=2)
+        for t in [1.0, 2.0, 3.0]:
+            store.save(t)
+        assert len(store) == 2
+        assert store.latest_trusted(before=2.5).time == 2.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(capacity=0)
+
+
+class TestRepairTimeModel:
+    def model(self):
+        return RepairTimeModel(
+            reconfiguration_time=240.0,
+            prepared_reconfiguration_time=40.0,
+            recompute_factor=0.8,
+        )
+
+    def test_classical_breakdown(self):
+        breakdown = self.model().classical(checkpoint_age=600.0)
+        assert breakdown.reconfiguration == 240.0
+        assert breakdown.recomputation == pytest.approx(480.0)
+        assert breakdown.total == pytest.approx(720.0)
+
+    def test_prepared_shrinks_both_terms(self):
+        """Fig. 8: preparation shortens reconfiguration AND (via a fresh
+        checkpoint) recomputation."""
+        model = self.model()
+        classical = model.classical(checkpoint_age=600.0)
+        prepared = model.prepared(checkpoint_age=60.0)
+        assert prepared.reconfiguration < classical.reconfiguration
+        assert prepared.recomputation < classical.recomputation
+        assert prepared.total < classical.total
+
+    def test_improvement_factor_is_eq6_k(self):
+        model = self.model()
+        k = model.improvement_factor(600.0, 60.0)
+        assert k == pytest.approx(720.0 / 88.0)
+        assert k > 1.0
+
+
+class TestPreparedRepairAction:
+    def test_warning_saves_checkpoint_and_boots_spare(self, scp):
+        action = PreparedRepairAction()
+        now = scp.engine.now
+        outcome = action.execute(scp, "container-0")
+        assert outcome.success
+        assert outcome.details["checkpoint_trusted"]
+        assert action.spare_ready_at == pytest.approx(
+            now + action.model.prepared_reconfiguration_time
+        )
+
+    def test_corrupted_state_checkpoint_untrusted(self, scp):
+        scp.containers[0].corrupt_state(1.0)
+        action = PreparedRepairAction(corruption_trust_limit=0.2)
+        outcome = action.execute(scp, "container-0")
+        assert not outcome.details["checkpoint_trusted"]
+        assert action.store.latest_trusted() is None
+
+    def test_prepared_repair_faster_than_unprepared(self, scp):
+        prepared_action = PreparedRepairAction()
+        prepared_action.store.save(scp.engine.now - 1000.0)  # periodic ckpt
+        prepared_action.execute(scp, "container-0")
+        scp.engine.run(until=scp.engine.now + 100.0)  # spare gets ready
+        failure_time = scp.engine.now
+        prepared = prepared_action.repair(scp, "container-0", failure_time)
+
+        unprepared_action = PreparedRepairAction()
+        unprepared_action.store.save(failure_time - 1000.0)
+        unprepared = unprepared_action.repair(scp, "container-1", failure_time)
+        assert prepared.total < unprepared.total
+
+    def test_repair_restarts_component(self, scp):
+        action = PreparedRepairAction()
+        action.store.save(scp.engine.now)
+        action.repair(scp, "container-0", scp.engine.now)
+        assert scp.containers[0].restarting_until is not None

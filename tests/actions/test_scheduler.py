@@ -1,0 +1,67 @@
+import pytest
+
+from repro.actions import ActionScheduler, StateCleanupAction
+from repro.errors import ConfigurationError
+
+
+class TestActionScheduler:
+    def test_executes_immediately_when_quiet(self, scp):
+        for container in scp.containers:
+            container.utilization = 0.1
+        scheduler = ActionScheduler(scp, utilization_threshold=0.5)
+        scp.containers[0].leak_memory(100.0)
+        record = scheduler.schedule(StateCleanupAction(), "container-0", lead_time=300.0)
+        start = scp.engine.now
+        scp.engine.run(until=start + 30.0)
+        assert record.executed_at is not None
+        assert record.executed_at <= start + 15.0
+        assert record.outcome is not None
+
+    def test_defers_until_utilization_drops(self, scp):
+        for container in scp.containers:
+            container.utilization = 0.9
+        scheduler = ActionScheduler(scp, utilization_threshold=0.5, poll_interval=10.0)
+        scp.containers[0].leak_memory(100.0)
+        record = scheduler.schedule(StateCleanupAction(), "container-0", lead_time=500.0)
+        start = scp.engine.now
+        # Quiet down after 100 s. (Ticks recompute utilization from real
+        # load, which is low in this config, so pin it each step.)
+        def hold_busy():
+            if scp.engine.now < start + 100.0:
+                for container in scp.containers:
+                    container.utilization = 0.9
+        for k in range(1, 30):
+            scp.engine.schedule(k * 5.0, hold_busy)
+        scp.engine.run(until=start + 400.0)
+        assert record.executed_at is not None
+        assert record.executed_at >= start + 100.0
+
+    def test_deadline_forces_execution(self, scp):
+        scheduler = ActionScheduler(scp, utilization_threshold=0.01, poll_interval=10.0)
+
+        # Keep utilization above the (impossibly low) threshold forever.
+        def busy():
+            for container in scp.containers:
+                container.utilization = 0.9
+        start = scp.engine.now
+        for k in range(1, 60):
+            scp.engine.schedule(k * 5.0, busy)
+        scp.containers[0].leak_memory(100.0)
+        record = scheduler.schedule(StateCleanupAction(), "container-0", lead_time=120.0)
+        scp.engine.run(until=start + 300.0)
+        assert record.executed_at is not None
+        assert record.executed_at <= start + 130.0
+
+    def test_execute_now(self, scp):
+        scheduler = ActionScheduler(scp)
+        scp.containers[0].leak_memory(100.0)
+        record = scheduler.execute_now(StateCleanupAction(), "container-0")
+        assert record.executed_at == scp.engine.now
+        assert scheduler.executed == [record]
+
+    def test_validation(self, scp):
+        with pytest.raises(ConfigurationError):
+            ActionScheduler(scp, utilization_threshold=0.0)
+        scheduler = ActionScheduler(scp)
+        with pytest.raises(ConfigurationError):
+            scheduler.schedule(StateCleanupAction(), "container-0", lead_time=0.0)

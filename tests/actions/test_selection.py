@@ -1,0 +1,105 @@
+import pytest
+
+from repro.actions import (
+    ActionSelector,
+    LowerLoadAction,
+    PreventiveFailoverAction,
+    PreventiveRestartAction,
+    SelectionContext,
+    StateCleanupAction,
+)
+from repro.errors import ConfigurationError
+
+
+def full_selector():
+    return ActionSelector(
+        [
+            StateCleanupAction(),
+            PreventiveFailoverAction(),
+            LowerLoadAction(),
+            PreventiveRestartAction(),
+        ]
+    )
+
+
+class TestObjectiveFunction:
+    def test_utility_grows_with_confidence(self, scp):
+        selector = full_selector()
+        action = selector.repertoire[0]
+        low = selector.utility(action, SelectionContext(confidence=0.2, target="container-0"))
+        high = selector.utility(action, SelectionContext(confidence=0.9, target="container-0"))
+        assert high > low
+
+    def test_utility_penalizes_cost_and_complexity(self, scp):
+        context = SelectionContext(confidence=0.8, target="container-0")
+        cheap = StateCleanupAction(cost=0.1, complexity=0.1, success_probability=0.6)
+        expensive = StateCleanupAction(cost=5.0, complexity=5.0, success_probability=0.6)
+        selector = ActionSelector([cheap, expensive])
+        assert selector.utility(cheap, context) > selector.utility(expensive, context)
+
+    def test_low_confidence_selects_nothing(self, scp):
+        """The 'do nothing' branch: acting on weak warnings costs more
+        than the risk it removes (Table 1's FP mitigation)."""
+        selector = full_selector()
+        context = SelectionContext(
+            confidence=0.01, target="container-0", failure_cost=10.0
+        )
+        assert selector.select(scp, context) is None
+
+    def test_high_confidence_selects_something(self, scp):
+        scp.containers[0].leak_memory(500.0)
+        selector = full_selector()
+        context = SelectionContext(
+            confidence=0.95, target="container-0", failure_cost=12.0
+        )
+        assert selector.select(scp, context) is not None
+
+
+class TestRanking:
+    def test_rank_orders_applicable_first(self, scp):
+        # Make clean-up inapplicable (nothing to clean).
+        scp.containers[0].leaked_mb = 0.0
+        scp.containers[0].corruption = 0.0
+        selector = full_selector()
+        ranked = selector.rank(
+            scp, SelectionContext(confidence=0.9, target="container-0")
+        )
+        applicable_flags = [s.applicable for s in ranked]
+        # Once we see an inapplicable entry no applicable ones follow.
+        seen_inapplicable = False
+        for flag in applicable_flags:
+            if not flag:
+                seen_inapplicable = True
+            assert not (seen_inapplicable and flag)
+
+    def test_rank_by_utility_within_applicable(self, scp):
+        scp.containers[0].leak_memory(500.0)
+        selector = full_selector()
+        ranked = selector.rank(
+            scp, SelectionContext(confidence=0.9, target="container-0")
+        )
+        applicable = [s for s in ranked if s.applicable]
+        utilities = [s.utility for s in applicable]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_selected_equals_top_positive(self, scp):
+        scp.containers[0].leak_memory(500.0)
+        selector = full_selector()
+        context = SelectionContext(confidence=0.9, target="container-0")
+        best = selector.select(scp, context)
+        ranked = selector.rank(scp, context)
+        top = next(s for s in ranked if s.applicable and s.utility > 0)
+        assert best is top.action
+
+
+class TestValidation:
+    def test_context_validation(self):
+        with pytest.raises(ConfigurationError):
+            SelectionContext(confidence=1.5, target="x")
+        with pytest.raises(ConfigurationError):
+            SelectionContext(confidence=0.5, target="x", failure_cost=-1.0)
+
+    def test_add_chains(self):
+        selector = ActionSelector()
+        selector.add(StateCleanupAction()).add(LowerLoadAction())
+        assert len(selector.repertoire) == 2

@@ -1,0 +1,30 @@
+"""Shared fixtures.
+
+The telecom dataset fixtures are session-scoped because generating them
+runs a discrete-event simulation; one day of simulated time is enough for
+most assertions and takes ~2 seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telecom import DatasetConfig, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """One simulated day with the default faultload."""
+    return generate_dataset(DatasetConfig(horizon=86_400.0, seed=5))
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """Four simulated days -- enough failures for predictor training."""
+    return generate_dataset(DatasetConfig(horizon=4 * 86_400.0, seed=7))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.core import BlueprintArchitecture, Layer, LayerPredictor
+from repro.errors import ConfigurationError, NotFittedError
+from repro.prediction.baselines import MSETPredictor
+
+
+@pytest.fixture()
+def layered_problem(rng):
+    """Hardware vars (0, 1) drive half the failures, app vars (2, 3) the
+    other half -- no single layer sees everything."""
+    n = 800
+    x = rng.standard_normal((n, 4))
+    hw_failure = x[:, 0] > 1.5
+    app_failure = x[:, 2] > 1.5
+    labels = hw_failure | app_failure
+    y = 1.0 - 0.01 * labels
+    return x, y, labels
+
+
+def make_blueprint(rng):
+    return BlueprintArchitecture(
+        [
+            LayerPredictor(
+                layer=Layer.HARDWARE,
+                predictor=MSETPredictor(n_exemplars=12, rng=rng),
+                variable_indices=[0, 1],
+            ),
+            LayerPredictor(
+                layer=Layer.APPLICATION,
+                predictor=MSETPredictor(n_exemplars=12, rng=rng),
+                variable_indices=[2, 3],
+            ),
+        ]
+    )
+
+
+class TestBlueprint:
+    def test_fused_beats_single_layer(self, layered_problem, rng):
+        from repro.prediction.metrics import auc
+
+        x, y, labels = layered_problem
+        blueprint = make_blueprint(rng)
+        blueprint.fit(x, y, labels)
+        fused = blueprint.score_samples(x)
+        layer_scores = blueprint.layer_scores(x)
+        fused_auc = auc(fused, labels)
+        best_single = max(
+            auc(layer_scores[:, 0], labels), auc(layer_scores[:, 1], labels)
+        )
+        assert fused_auc > best_single
+
+    def test_layer_scores_shape(self, layered_problem, rng):
+        x, y, labels = layered_problem
+        blueprint = make_blueprint(rng)
+        blueprint.fit(x, y, labels)
+        assert blueprint.layer_scores(x).shape == (x.shape[0], 2)
+
+    def test_layer_report_names(self, layered_problem, rng):
+        x, y, labels = layered_problem
+        blueprint = make_blueprint(rng)
+        blueprint.fit(x, y, labels)
+        report = blueprint.layer_report()
+        assert set(report) == {"hardware", "application"}
+
+    def test_duplicate_layer_rejected(self, rng):
+        layer = LayerPredictor(
+            layer=Layer.OS,
+            predictor=MSETPredictor(rng=rng),
+            variable_indices=[0],
+        )
+        with pytest.raises(ConfigurationError):
+            BlueprintArchitecture([layer, layer])
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlueprintArchitecture([])
+
+    def test_score_before_fit(self, rng):
+        blueprint = make_blueprint(rng)
+        with pytest.raises(NotFittedError):
+            blueprint.score_samples(np.zeros((1, 4)))
+
+    def test_bad_holdout_fraction(self, layered_problem, rng):
+        x, y, labels = layered_problem
+        with pytest.raises(ConfigurationError):
+            make_blueprint(rng).fit(x, y, labels, holdout_fraction=1.0)

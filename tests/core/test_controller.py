@@ -1,0 +1,183 @@
+import numpy as np
+import pytest
+
+from repro.core.controller import PFMController, default_repertoire
+from repro.errors import ConfigurationError
+from repro.simulator import Engine, RandomStreams
+from repro.telecom import SCPConfig, SCPSystem
+
+
+class ThresholdPredictor:
+    """Deterministic stand-in: scores the first variable directly."""
+
+    threshold = 0.5
+
+    def score_samples(self, x):
+        return np.atleast_2d(x)[:, 0]
+
+    def set_threshold(self, threshold):
+        self.threshold = threshold
+
+
+@pytest.fixture()
+def scp_and_controller():
+    engine = Engine()
+    system = SCPSystem(
+        engine, RandomStreams(5), SCPConfig(enable_aging=False, n_containers=3)
+    )
+    controller = PFMController(
+        system=system,
+        predictor=ThresholdPredictor(),
+        variables=["swap_activity", "cpu_utilization"],
+        eval_period=30.0,
+        cooldown=60.0,
+    )
+    return system, controller
+
+
+class TestControllerWiring:
+    def test_unknown_variable_rejected(self):
+        engine = Engine()
+        system = SCPSystem(engine, RandomStreams(5), SCPConfig())
+        with pytest.raises(ConfigurationError):
+            PFMController(
+                system=system,
+                predictor=ThresholdPredictor(),
+                variables=["no-such-gauge"],
+            )
+
+    def test_empty_variables_rejected(self):
+        engine = Engine()
+        system = SCPSystem(engine, RandomStreams(5), SCPConfig())
+        with pytest.raises(ConfigurationError):
+            PFMController(
+                system=system, predictor=ThresholdPredictor(), variables=[]
+            )
+
+    def test_default_repertoire_covers_both_goals(self):
+        from repro.actions import ActionCategory
+
+        categories = {a.category for a in default_repertoire()}
+        assert ActionCategory.DOWNTIME_AVOIDANCE in categories
+        assert ActionCategory.DOWNTIME_MINIMIZATION in categories
+
+
+class TestControllerBehaviour:
+    def test_quiet_system_raises_no_warnings(self, scp_and_controller):
+        system, controller = scp_and_controller
+        system.start()
+        controller.start()
+        system.engine.run(until=1_800.0)
+        assert controller.mea.warnings_raised == 0
+        assert all(not w for _, _, w in controller.evaluations)
+
+    def test_degradation_triggers_warning_and_action(self, scp_and_controller):
+        system, controller = scp_and_controller
+        controller.calibrate_confidence(np.array([0.5, 1.0]))
+        system.start()
+        controller.start()
+        # Exhaust memory on container-0 -> swap_activity > threshold 0.5.
+        def degrade():
+            container = system.containers[0]
+            container.leak_memory(0.72 * container.memory_mb)
+        system.engine.schedule(300.0, degrade)
+        system.engine.run(until=1_200.0)
+        assert controller.mea.warnings_raised > 0
+        acted = [w for w in controller.warnings if w.action]
+        assert acted, "no countermeasure executed"
+        assert acted[0].target == "container-0"
+
+    def test_cooldown_limits_action_rate(self, scp_and_controller):
+        system, controller = scp_and_controller
+        controller.calibrate_confidence(np.array([0.5, 1.0]))
+        system.start()
+        controller.start()
+        def degrade():
+            container = system.containers[0]
+            container.leaked_mb = 0.72 * container.memory_mb
+        # Keep it degraded so every evaluation warns.
+        for k in range(1, 40):
+            system.engine.schedule(k * 30.0, degrade)
+        system.engine.run(until=600.0)
+        actions = [w for w in controller.warnings if w.action]
+        # eval every 30s but cooldown 60s -> at most ~1 action per 60 s.
+        assert len(actions) <= 600.0 / 60.0 + 1
+
+    def test_confidence_calibration_maps_scores(self, scp_and_controller):
+        _, controller = scp_and_controller
+        controller.predictor.set_threshold(0.5)
+        controller.calibrate_confidence(np.array([0.2, 0.5, 1.5]))
+        assert controller._confidence(0.5) == pytest.approx(0.0)
+        assert controller._confidence(1.5) == pytest.approx(1.0)
+        assert controller._confidence(1.0) == pytest.approx(0.5)
+
+    def test_outcome_matrix_keys(self, scp_and_controller):
+        system, controller = scp_and_controller
+        system.start()
+        controller.start()
+        system.engine.run(until=300.0)
+        matrix = controller.outcome_matrix()
+        assert set(matrix) == {"TP", "FP", "TN", "FN"}
+        assert matrix["TN"]["count"] > 0  # quiet run -> negatives
+
+    def test_suspect_is_most_degraded(self, scp_and_controller):
+        system, controller = scp_and_controller
+        system.containers[2].corrupt_state(1.5)
+        assert controller._suspect() == "container-2"
+
+    def test_platt_calibrated_confidence(self, scp_and_controller):
+        _, controller = scp_and_controller
+        rng = np.random.default_rng(0)
+        scores = rng.normal(0.0, 1.0, 500)
+        labels = scores + 0.5 * rng.standard_normal(500) > 1.0
+        controller.calibrate_confidence(scores, labels)
+        # Calibrated probability is monotone and spans (0, 1).
+        low = controller._confidence(-3.0)
+        high = controller._confidence(3.0)
+        assert low < 0.2 and high > 0.8
+
+    def test_event_scorer_fusion_raises_warning(self):
+        from repro.faults import ErrorRecord
+        from repro.monitoring.records import EventSequence
+        from repro.prediction.base import EventPredictor, PredictorInfo
+        from repro.prediction.online import OnlineEventScorer
+
+        class BurstDetector(EventPredictor):
+            info = PredictorInfo(name="burst", category="test")
+
+            def fit(self, f, n):
+                self._fitted = True
+                return self
+
+            def score_sequence(self, sequence: EventSequence) -> float:
+                return float(len(sequence))
+
+        engine = Engine()
+        system = SCPSystem(
+            engine, RandomStreams(5), SCPConfig(enable_aging=False, n_containers=3)
+        )
+        detector = BurstDetector().fit([], [])
+        detector.set_threshold(5.0)
+        controller = PFMController(
+            system=system,
+            predictor=ThresholdPredictor(),  # symptom side stays quiet
+            variables=["swap_activity"],
+            eval_period=30.0,
+            event_scorer=OnlineEventScorer(
+                detector, data_window=300.0, lead_time=300.0
+            ),
+        )
+        system.start()
+        controller.start()
+
+        def burst():
+            for k in range(10):
+                system.error_log.report(
+                    ErrorRecord(
+                        time=engine.now + k * 0.1, message_id=200, component="c"
+                    )
+                )
+
+        engine.schedule(200.0, burst)
+        engine.run(until=400.0)
+        assert controller.mea.warnings_raised > 0

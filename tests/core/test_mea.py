@@ -1,0 +1,83 @@
+import pytest
+
+from repro.core import EvaluationResult, MEACycle
+from repro.errors import ConfigurationError
+from repro.simulator import Engine
+
+
+def make_cycle(engine, score_fn, act_log, period=10.0):
+    return MEACycle(
+        engine=engine,
+        monitor=lambda: engine.now,
+        evaluate=lambda obs: EvaluationResult(
+            score=score_fn(obs),
+            warning=score_fn(obs) >= 0.5,
+            confidence=score_fn(obs),
+            target="c1",
+        ),
+        act=lambda ev: act_log.append(ev.confidence) or "acted",
+        period=period,
+    )
+
+
+class TestCycle:
+    def test_repeats_at_period(self):
+        engine = Engine()
+        cycle = make_cycle(engine, lambda obs: 0.0, [], period=10.0)
+        cycle.start()
+        engine.run(until=55.0)
+        assert len(cycle.history) == 6  # t = 0, 10, ..., 50
+
+    def test_act_only_on_warning(self):
+        engine = Engine()
+        acted = []
+        # Warn after t = 30.
+        cycle = make_cycle(
+            engine, lambda obs: 1.0 if obs >= 30.0 else 0.0, acted, period=10.0
+        )
+        cycle.start()
+        engine.run(until=55.0)
+        assert len(acted) == 3  # at t = 30, 40, 50
+        assert cycle.warnings_raised == 3
+        assert cycle.actions_taken == 3
+
+    def test_act_may_decline(self):
+        engine = Engine()
+        cycle = MEACycle(
+            engine=engine,
+            monitor=lambda: None,
+            evaluate=lambda obs: EvaluationResult(score=1.0, warning=True),
+            act=lambda ev: None,  # selector said "do nothing"
+            period=10.0,
+        )
+        cycle.start()
+        engine.run(until=25.0)
+        assert cycle.warnings_raised == 3
+        assert cycle.actions_taken == 0
+
+    def test_stop(self):
+        engine = Engine()
+        cycle = make_cycle(engine, lambda obs: 0.0, [], period=10.0)
+        cycle.start()
+        engine.schedule(25.0, cycle.stop)
+        engine.run(until=100.0)
+        assert len(cycle.history) <= 4
+
+    def test_step_records_observation(self):
+        engine = Engine()
+        cycle = make_cycle(engine, lambda obs: 0.0, [])
+        record = cycle.step()
+        assert record.observation == 0.0
+        assert record.action_taken is None
+
+    def test_start_idempotent(self):
+        engine = Engine()
+        cycle = make_cycle(engine, lambda obs: 0.0, [], period=10.0)
+        cycle.start()
+        cycle.start()
+        engine.run(until=25.0)
+        assert len(cycle.history) == 3
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            make_cycle(Engine(), lambda obs: 0.0, [], period=0.0)

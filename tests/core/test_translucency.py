@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlueprintArchitecture,
+    Layer,
+    LayerPredictor,
+    TranslucencyReport,
+)
+from repro.errors import ConfigurationError
+from repro.prediction.baselines import MSETPredictor
+from repro.reliability import PFMParameters
+
+
+@pytest.fixture()
+def fitted_blueprint(rng):
+    n = 600
+    x = rng.standard_normal((n, 4))
+    hw_failure = x[:, 0] > 1.5
+    app_failure = x[:, 2] > 1.5
+    labels = hw_failure | app_failure
+    y = 1.0 - 0.01 * labels
+    blueprint = BlueprintArchitecture(
+        [
+            LayerPredictor(
+                layer=Layer.HARDWARE,
+                predictor=MSETPredictor(n_exemplars=12, rng=rng),
+                variable_indices=[0, 1],
+            ),
+            LayerPredictor(
+                layer=Layer.APPLICATION,
+                predictor=MSETPredictor(n_exemplars=12, rng=rng),
+                variable_indices=[2, 3],
+            ),
+        ]
+    )
+    blueprint.fit(x, y, labels)
+    return blueprint, x, labels
+
+
+VARIABLES = ["hw_temp", "hw_volt", "app_latency", "app_errors"]
+
+
+class TestTranslucencyReport:
+    def test_layer_insights_populated(self, fitted_blueprint):
+        blueprint, x, labels = fitted_blueprint
+        report = TranslucencyReport.from_blueprint(
+            blueprint, x, labels, VARIABLES
+        )
+        assert {i.layer for i in report.layers} == {"hardware", "application"}
+        for insight in report.layers:
+            assert 0.0 <= insight.auc <= 1.0
+            assert len(insight.variables) == 2
+        assert 0.0 <= report.fused_auc <= 1.0
+
+    def test_variables_mapped_per_layer(self, fitted_blueprint):
+        blueprint, x, labels = fitted_blueprint
+        report = TranslucencyReport.from_blueprint(
+            blueprint, x, labels, VARIABLES
+        )
+        hardware = next(i for i in report.layers if i.layer == "hardware")
+        assert hardware.variables == ["hw_temp", "hw_volt"]
+
+    def test_highest_payoff_layer_is_a_layer(self, fitted_blueprint):
+        blueprint, x, labels = fitted_blueprint
+        report = TranslucencyReport.from_blueprint(
+            blueprint, x, labels, VARIABLES
+        )
+        assert report.highest_payoff_layer() in {"hardware", "application"}
+
+    def test_render_includes_everything(self, fitted_blueprint):
+        blueprint, x, labels = fitted_blueprint
+        report = TranslucencyReport.from_blueprint(
+            blueprint,
+            x,
+            labels,
+            VARIABLES,
+            action_counts={"state-cleanup": 3},
+            model_params=PFMParameters.paper_example(),
+        )
+        text = report.render()
+        assert "fused AUC" in text
+        assert "highest-payoff layer" in text
+        assert "state-cleanup: 3" in text
+        assert "unavailability ratio" in text
+
+    def test_requires_both_classes(self, fitted_blueprint):
+        blueprint, x, _ = fitted_blueprint
+        with pytest.raises(ConfigurationError):
+            TranslucencyReport.from_blueprint(
+                blueprint, x, np.zeros(x.shape[0], dtype=bool), VARIABLES
+            )
+
+    def test_empty_report_guards(self):
+        with pytest.raises(ConfigurationError):
+            TranslucencyReport().highest_payoff_layer()

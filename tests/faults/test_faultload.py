@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultLoad
+
+
+SPECS = {
+    "memory-leak": {"mtbf": 1000.0, "duration": 100.0},
+    "overload": {"mtbf": 2000.0, "duration": 50.0},
+}
+
+
+class TestGeneration:
+    def test_activations_within_horizon(self, rng):
+        load = FaultLoad.generate(50_000.0, SPECS, ["c1", "c2"], rng)
+        assert all(0 <= a.start < 50_000.0 for a in load)
+
+    def test_time_ordered(self, rng):
+        load = FaultLoad.generate(50_000.0, SPECS, ["c1"], rng)
+        starts = [a.start for a in load]
+        assert starts == sorted(starts)
+
+    def test_expected_count_scales_with_mtbf(self, rng):
+        load = FaultLoad.generate(100_000.0, SPECS, ["c1"], rng)
+        kinds = [a.kind for a in load]
+        # mtbf 1000 -> ~100 activations; mtbf 2000 -> ~50.
+        assert kinds.count("memory-leak") > kinds.count("overload")
+
+    def test_targets_drawn_from_list(self, rng):
+        load = FaultLoad.generate(20_000.0, SPECS, ["a", "b", "c"], rng)
+        assert {a.target for a in load} <= {"a", "b", "c"}
+
+    def test_min_gap_enforced(self, rng):
+        load = FaultLoad.generate(
+            100_000.0, SPECS, ["c1"], rng, min_gap=500.0
+        )
+        activations = list(load)
+        for prev, cur in zip(activations, activations[1:]):
+            assert cur.start - prev.end >= 500.0
+
+    def test_reproducible(self):
+        a = FaultLoad.generate(10_000.0, SPECS, ["c1"], np.random.default_rng(3))
+        b = FaultLoad.generate(10_000.0, SPECS, ["c1"], np.random.default_rng(3))
+        assert [(x.start, x.kind) for x in a] == [(x.start, x.kind) for x in b]
+
+
+class TestValidation:
+    def test_rejects_bad_horizon(self, rng):
+        with pytest.raises(ConfigurationError):
+            FaultLoad.generate(0.0, SPECS, ["c1"], rng)
+
+    def test_rejects_empty_targets(self, rng):
+        with pytest.raises(ConfigurationError):
+            FaultLoad.generate(1000.0, SPECS, [], rng)
+
+    def test_rejects_missing_spec_fields(self, rng):
+        with pytest.raises(ConfigurationError):
+            FaultLoad.generate(1000.0, {"x": {"mtbf": 10.0}}, ["c1"], rng)
+
+
+class TestQueries:
+    def test_within_overlap_semantics(self, rng):
+        load = FaultLoad.generate(100_000.0, SPECS, ["c1"], rng)
+        some = load.activations[3]
+        hits = load.within(some.start + 1e-6, some.start + 2e-6)
+        assert some in hits
+
+    def test_kinds(self, rng):
+        load = FaultLoad.generate(100_000.0, SPECS, ["c1"], rng)
+        assert load.kinds() == {"memory-leak", "overload"}
+
+    def test_len_and_iter(self, rng):
+        load = FaultLoad.generate(50_000.0, SPECS, ["c1"], rng)
+        assert len(load) == len(list(load))
+
+    def test_activation_end(self, rng):
+        load = FaultLoad.generate(50_000.0, SPECS, ["c1"], rng)
+        activation = load.activations[0]
+        assert activation.end == activation.start + activation.duration

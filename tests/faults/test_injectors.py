@@ -1,0 +1,181 @@
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultState,
+    IntermittentErrorInjector,
+    MemoryLeakInjector,
+    OverloadInjector,
+    ProcessHangInjector,
+    StateCorruptionInjector,
+)
+from repro.simulator import Engine
+
+
+class FakeTarget:
+    """Minimal InjectionTarget implementation for tests."""
+
+    def __init__(self, name="c1"):
+        self.name = name
+        self.leaked = 0.0
+        self.capacity_lost = 0.0
+        self.corruption = 0.0
+        self.load = 0.0
+        self.errors = []
+
+    def leak_memory(self, megabytes):
+        self.leaked += megabytes
+
+    def degrade_capacity(self, fraction):
+        self.capacity_lost += fraction
+
+    def restore_capacity(self):
+        self.capacity_lost = 0.0
+
+    def corrupt_state(self, amount):
+        self.corruption += amount
+
+    def add_background_load(self, delta):
+        self.load += delta
+
+    def emit_error(self, message_id, fault_id, severity):
+        self.errors.append((message_id, fault_id, severity))
+
+
+@pytest.fixture()
+def target():
+    return FakeTarget()
+
+
+def run_injector(injector, engine, until, stop_at=None):
+    injector.start(engine)
+    if stop_at is not None:
+        engine.schedule_at(stop_at, injector.stop)
+    engine.run(until=until)
+
+
+class TestMemoryLeak:
+    def test_memory_accumulates(self, target, rng):
+        engine = Engine()
+        injector = MemoryLeakInjector(target, rng, rate_mb=10, period=10)
+        run_injector(injector, engine, until=1000.0)
+        assert target.leaked > 100.0
+
+    def test_warnings_only_after_threshold(self, target, rng):
+        engine = Engine()
+        injector = MemoryLeakInjector(
+            target, rng, rate_mb=1.0, period=10, warn_after_mb=1e9
+        )
+        run_injector(injector, engine, until=500.0)
+        assert target.errors == []
+
+    def test_warning_message_ids_in_block(self, target, rng):
+        engine = Engine()
+        injector = MemoryLeakInjector(
+            target, rng, rate_mb=50, period=5, warn_after_mb=10
+        )
+        run_injector(injector, engine, until=500.0)
+        assert target.errors, "expected allocation warnings"
+        assert all(100 <= mid < 110 for mid, _, _ in target.errors)
+
+    def test_fault_activated(self, target, rng):
+        engine = Engine()
+        injector = MemoryLeakInjector(target, rng)
+        injector.start(engine)
+        assert injector.fault.state is FaultState.ACTIVE
+
+    def test_stop_halts_leaking(self, target, rng):
+        engine = Engine()
+        injector = MemoryLeakInjector(target, rng, rate_mb=10, period=10)
+        run_injector(injector, engine, until=2000.0, stop_at=100.0)
+        leaked_at_stop = target.leaked
+        # No further leaking happened after stop (already ran to 2000).
+        assert target.leaked == leaked_at_stop
+        assert injector.fault.state is FaultState.DORMANT
+
+
+class TestProcessHang:
+    def test_progressive_capacity_loss(self, target, rng):
+        engine = Engine()
+        injector = ProcessHangInjector(
+            target, rng, initial_loss=0.2, step_loss=0.1, max_loss=0.6,
+            step_period=10.0,
+        )
+        run_injector(injector, engine, until=30.0)
+        assert target.capacity_lost >= 0.2
+
+    def test_loss_capped_at_max(self, target, rng):
+        engine = Engine()
+        injector = ProcessHangInjector(
+            target, rng, initial_loss=0.2, step_loss=0.2, max_loss=0.5,
+            step_period=5.0,
+        )
+        run_injector(injector, engine, until=500.0, stop_at=400.0)
+        # After stop, capacity restored.
+        assert target.capacity_lost == 0.0
+
+    def test_emits_initial_and_followup_errors(self, target, rng):
+        engine = Engine()
+        injector = ProcessHangInjector(target, rng, step_period=10.0)
+        run_injector(injector, engine, until=200.0)
+        assert len(target.errors) >= 2
+        assert target.errors[0][0] == 200  # the initial hang report
+        assert target.errors[0][2] == 3  # high severity
+
+
+class TestStateCorruption:
+    def test_corruption_grows(self, target, rng):
+        engine = Engine()
+        injector = StateCorruptionInjector(target, rng, growth=0.05, period=10)
+        run_injector(injector, engine, until=1000.0)
+        assert target.corruption > 0.2
+
+    def test_bursts_after_threshold(self, target, rng):
+        engine = Engine()
+        injector = StateCorruptionInjector(
+            target, rng, growth=0.2, period=5, burst_threshold=0.3
+        )
+        run_injector(injector, engine, until=500.0)
+        assert target.errors
+        assert all(300 <= mid < 310 for mid, _, _ in target.errors)
+
+
+class TestOverload:
+    def test_ramp_and_removal(self, target, rng):
+        engine = Engine()
+        injector = OverloadInjector(
+            target, rng, extra_load=1.0, ramp_steps=4, step_period=10.0
+        )
+        run_injector(injector, engine, until=500.0, stop_at=100.0)
+        assert target.load == pytest.approx(0.0)
+
+    def test_full_ramp_applied_while_active(self, target, rng):
+        engine = Engine()
+        injector = OverloadInjector(
+            target, rng, extra_load=1.0, ramp_steps=4, step_period=10.0
+        )
+        injector.start(engine)
+        engine.run(until=60.0)
+        assert target.load == pytest.approx(1.0)
+
+
+class TestIntermittentNoise:
+    def test_emits_background_errors(self, target, rng):
+        engine = Engine()
+        injector = IntermittentErrorInjector(target, rng, period=10)
+        run_injector(injector, engine, until=1000.0)
+        assert len(target.errors) > 50
+        assert all(500 <= mid < 520 for mid, _, _ in target.errors)
+
+    def test_no_state_damage(self, target, rng):
+        engine = Engine()
+        injector = IntermittentErrorInjector(target, rng, period=10)
+        run_injector(injector, engine, until=500.0)
+        assert target.leaked == 0.0
+        assert target.capacity_lost == 0.0
+        assert target.corruption == 0.0
+
+    def test_kind_names(self, target, rng):
+        assert MemoryLeakInjector.kind() == "memoryleak"
+        injector = IntermittentErrorInjector(target, rng)
+        assert injector.fault.kind == "intermittenterror"

@@ -1,0 +1,63 @@
+from repro.faults import (
+    CristianFailureMode,
+    ErrorRecord,
+    FailureRecord,
+    Fault,
+    FaultPersistence,
+    FaultState,
+)
+
+
+class TestFaultLifecycle:
+    def test_starts_dormant(self):
+        fault = Fault(kind="memory-leak", component="c1")
+        assert fault.state is FaultState.DORMANT
+        assert fault.activated_at is None
+
+    def test_activate_records_first_time_only(self):
+        fault = Fault(kind="leak", component="c1")
+        fault.activate(10.0)
+        fault.deactivate()
+        fault.activate(20.0)
+        assert fault.activated_at == 10.0
+        assert fault.state is FaultState.ACTIVE
+
+    def test_deactivate_only_from_active(self):
+        fault = Fault(kind="leak", component="c1")
+        fault.remove()
+        fault.deactivate()
+        assert fault.state is FaultState.REMOVED
+
+    def test_unique_ids(self):
+        a = Fault(kind="x", component="c")
+        b = Fault(kind="x", component="c")
+        assert a.fault_id != b.fault_id
+
+    def test_default_persistence(self):
+        assert Fault(kind="x", component="c").persistence is FaultPersistence.PERMANENT
+
+
+class TestRecords:
+    def test_error_record_defaults(self):
+        record = ErrorRecord(time=1.0, message_id=100, component="c1")
+        assert record.detected
+        assert record.severity == 1
+
+    def test_failure_record_end_time(self):
+        record = FailureRecord(time=100.0, duration=25.0)
+        assert record.end_time == 125.0
+
+    def test_failure_default_mode_is_timing(self):
+        # The case study's failures are performance (timing) failures.
+        assert FailureRecord(time=0.0).mode is CristianFailureMode.TIMING
+
+
+class TestCristianHierarchy:
+    def test_ordering(self):
+        assert CristianFailureMode.CRASH < CristianFailureMode.OMISSION
+        assert CristianFailureMode.TIMING < CristianFailureMode.BYZANTINE
+
+    def test_covers_is_reflexive_and_downward(self):
+        assert CristianFailureMode.BYZANTINE.covers(CristianFailureMode.CRASH)
+        assert CristianFailureMode.TIMING.covers(CristianFailureMode.TIMING)
+        assert not CristianFailureMode.CRASH.covers(CristianFailureMode.TIMING)

@@ -1,0 +1,111 @@
+"""End-to-end integration: the paper's full pipeline on one dataset.
+
+Sect. 3.3 (measure a predictor) -> Sect. 5 (feed its quality into the
+CTMC) -> Eq. 14 (predict the dependability payoff), all on the simulated
+SCP, exercising the seams between the prediction, reliability and telecom
+packages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.prediction.evaluation import chronological_split, report_from_scores
+from repro.prediction.metrics import auc
+from repro.prediction.online import OnlineEventScorer
+from repro.prediction.ubf import ProbabilisticWrapper, UBFNetwork, UBFPredictor
+from repro.reliability import (
+    PFMModel,
+    asymptotic_unavailability_ratio,
+    parameters_from_report,
+    scales_from_failure_log,
+)
+
+VARIABLES = [
+    "cpu_utilization", "memory_free_mb", "swap_activity", "max_stretch",
+    "response_time_ms", "error_rate",
+]
+
+
+@pytest.fixture(scope="module")
+def pipeline(medium_dataset):
+    """Train a fast UBF on the shared 4-day dataset and report on test."""
+    dataset = medium_dataset
+    grid, x, y_avail, y_fail = dataset.ubf_samples(variables=VARIABLES)
+    train, test = chronological_split(grid, fraction=0.6)
+    predictor = UBFPredictor(
+        network=UBFNetwork(n_kernels=8, max_opt_iter=15, rng=np.random.default_rng(0)),
+        wrapper=ProbabilisticWrapper(n_rounds=5, samples_per_round=8,
+                                     rng=np.random.default_rng(1)),
+    )
+    predictor.fit(x[train], y_avail[train])
+    report = report_from_scores(
+        "UBF",
+        predictor.score_samples(x[train]), y_fail[train],
+        predictor.score_samples(x[test]), y_fail[test],
+    )
+    return dataset, predictor, report
+
+
+class TestMeasureThenModel:
+    def test_predictor_is_informative(self, pipeline):
+        _, _, report = pipeline
+        assert report.auc > 0.75
+
+    def test_quality_flows_into_model(self, pipeline):
+        dataset, _, report = pipeline
+        mttf, mttr = scales_from_failure_log(
+            dataset.failure_times,
+            horizon=dataset.config.horizon,
+            repair_downtime=dataset.config.post_failure_repair_downtime,
+        )
+        params = parameters_from_report(report, mttf=mttf, mttr=mttr)
+        model = PFMModel(params)
+        availability = model.availability()
+        ratio = asymptotic_unavailability_ratio(params)
+        assert 0.5 < availability < 1.0
+        assert 0.0 < ratio < 1.0, "measured quality must predict a PFM payoff"
+
+    def test_better_measured_quality_means_better_payoff(self, pipeline):
+        dataset, _, report = pipeline
+        mttf, mttr = scales_from_failure_log(
+            dataset.failure_times,
+            horizon=dataset.config.horizon,
+            repair_downtime=dataset.config.post_failure_repair_downtime,
+        )
+        measured = parameters_from_report(report, mttf=mttf, mttr=mttr)
+        worse = measured.with_quality(recall=max(report.recall * 0.3, 0.01))
+        assert asymptotic_unavailability_ratio(measured) < (
+            asymptotic_unavailability_ratio(worse)
+        )
+
+
+class TestOnlineEventScoring:
+    def test_online_hsmm_scores_track_failures(self, medium_dataset):
+        """The HSMM applied online (sliding window over the raw error log)
+        must still rank pre-failure instants above quiet ones."""
+        from repro.prediction.evaluation import split_sequences
+        from repro.prediction.hsmm import HSMMPredictor
+
+        dataset = medium_dataset
+        cfg = dataset.config
+        cutoff = cfg.warmup + 0.6 * (cfg.horizon - cfg.warmup)
+        failure_seqs, nonfailure_seqs = dataset.error_sequences()
+        train_f, _ = split_sequences(failure_seqs, cutoff)
+        train_n, _ = split_sequences(nonfailure_seqs, cutoff)
+        if len(train_f) < 3:
+            pytest.skip("too few training sequences in this dataset")
+        predictor = HSMMPredictor(max_iter=6, seed=3)
+        predictor.fit(train_f, train_n)
+        scorer = OnlineEventScorer(
+            predictor, data_window=cfg.data_window, lead_time=cfg.lead_time
+        )
+        times = np.arange(cutoff, cfg.horizon - cfg.lead_time - 300.0, 600.0)
+        scores, labels = scorer.evaluate_against_failures(
+            dataset.error_log,
+            times,
+            np.asarray(dataset.failure_times),
+            prediction_period=cfg.prediction_window + cfg.scp.sla_window,
+        )
+        if not labels.any() or labels.all():
+            pytest.skip("degenerate online labels on this seed")
+        assert auc(scores, labels) > 0.7

@@ -1,0 +1,184 @@
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.markov import CTMC
+
+
+def updown(lam=0.1, mu=1.0):
+    return CTMC.from_rates(
+        ["up", "down"], {("up", "down"): lam, ("down", "up"): mu}
+    )
+
+
+class TestConstruction:
+    def test_from_rates_builds_generator(self):
+        chain = updown(0.1, 1.0)
+        q = chain.generator
+        assert q[0, 1] == pytest.approx(0.1)
+        assert q[0, 0] == pytest.approx(-0.1)
+        assert q[1, 0] == pytest.approx(1.0)
+
+    def test_diagonal_recomputed(self):
+        chain = CTMC([[5.0, 2.0], [3.0, -7.0]])  # junk diagonal supplied
+        np.testing.assert_allclose(chain.generator.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_rejects_negative_offdiagonal(self):
+        with pytest.raises(ModelError):
+            CTMC([[0.0, -1.0], [1.0, 0.0]])
+
+    def test_rejects_self_loop_rate(self):
+        with pytest.raises(ModelError):
+            CTMC.from_rates(["a"], {("a", "a"): 1.0})
+
+    def test_rejects_unknown_state_in_rates(self):
+        with pytest.raises(ModelError):
+            CTMC.from_rates(["a"], {("a", "zz"): 1.0})
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ModelError):
+            CTMC.from_rates(["a", "a"], {})
+
+    def test_rates_accumulate(self):
+        chain = CTMC.from_rates(
+            ["a", "b"], {("a", "b"): 1.0}
+        )
+        chain2 = CTMC.from_rates(
+            ["a", "b"], {("a", "b"): 0.6}
+        )
+        assert chain.generator[0, 1] > chain2.generator[0, 1]
+
+
+class TestSteadyState:
+    def test_updown_closed_form(self):
+        chain = updown(0.1, 1.0)
+        pi = chain.steady_state()
+        assert pi[0] == pytest.approx(1.0 / 1.1)
+        assert pi[1] == pytest.approx(0.1 / 1.1)
+
+    def test_balance_equations_hold(self):
+        chain = CTMC.from_rates(
+            ["a", "b", "c"],
+            {
+                ("a", "b"): 2.0,
+                ("b", "c"): 1.0,
+                ("c", "a"): 0.5,
+                ("b", "a"): 0.3,
+            },
+        )
+        pi = chain.steady_state()
+        np.testing.assert_allclose(pi @ chain.generator, 0.0, atol=1e-10)
+        assert pi.sum() == pytest.approx(1.0)
+
+
+class TestTransient:
+    def test_initial_condition_preserved_at_t0(self):
+        chain = updown()
+        dist = chain.transient_distribution([1.0, 0.0], 0.0)
+        np.testing.assert_allclose(dist, [1.0, 0.0], atol=1e-12)
+
+    def test_converges_to_steady_state(self):
+        chain = updown()
+        dist = chain.transient_distribution([0.0, 1.0], 200.0)
+        np.testing.assert_allclose(dist, chain.steady_state(), atol=1e-8)
+
+    def test_pure_decay_matches_exponential(self):
+        chain = CTMC.from_rates(["a", "b"], {("a", "b"): 0.5})
+        dist = chain.transient_distribution([1.0, 0.0], 3.0)
+        assert dist[0] == pytest.approx(np.exp(-1.5))
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ModelError):
+            updown().transient_distribution([1.0, 0.0], -1.0)
+
+
+class TestStructure:
+    def test_uniformized_dtmc_preserves_stationary(self):
+        chain = updown()
+        dtmc, rate = chain.uniformized_dtmc()
+        assert rate > 0
+        np.testing.assert_allclose(
+            dtmc.stationary_distribution(), chain.steady_state(), atol=1e-8
+        )
+
+    def test_uniformization_rate_must_dominate(self):
+        with pytest.raises(ModelError):
+            updown(0.1, 1.0).uniformized_dtmc(rate=0.5)
+
+    def test_embedded_jump_chain_rows(self):
+        chain = CTMC.from_rates(
+            ["a", "b", "c"], {("a", "b"): 3.0, ("a", "c"): 1.0, ("b", "a"): 1.0,
+                              ("c", "a"): 1.0}
+        )
+        jump = chain.embedded_jump_chain()
+        np.testing.assert_allclose(jump.matrix[0], [0.0, 0.75, 0.25])
+
+    def test_absorbing_states(self):
+        chain = CTMC.from_rates(["a", "b"], {("a", "b"): 1.0})
+        assert chain.absorbing_states() == [1]
+
+    def test_mean_first_passage_updown(self):
+        chain = updown(0.1, 1.0)
+        assert chain.mean_first_passage_time(0, [1]) == pytest.approx(10.0)
+        assert chain.mean_first_passage_time(1, [1]) == 0.0
+
+
+class TestAccumulatedOccupancy:
+    def test_absorbing_down_closed_form(self):
+        """For pure decay up->down at rate lam, expected down time over
+        [0, T] is T - (1 - e^{-lam T}) / lam."""
+        lam = 0.2
+        chain = CTMC.from_rates(["up", "down"], {("up", "down"): lam})
+        horizon = 10.0
+        expected = horizon - (1 - np.exp(-lam * horizon)) / lam
+        value = chain.accumulated_occupancy([1.0, 0.0], horizon, ["down"])
+        assert value == pytest.approx(expected, rel=1e-4)
+
+    def test_long_horizon_matches_steady_state(self):
+        chain = updown(0.1, 1.0)
+        horizon = 5_000.0
+        value = chain.accumulated_occupancy([1.0, 0.0], horizon, ["down"])
+        assert value / horizon == pytest.approx(
+            chain.steady_state()[1], rel=0.01
+        )
+
+    def test_total_occupancy_is_horizon(self):
+        chain = updown()
+        value = chain.accumulated_occupancy([1.0, 0.0], 100.0, ["up", "down"])
+        assert value == pytest.approx(100.0, rel=1e-6)
+
+    def test_zero_horizon(self):
+        assert updown().accumulated_occupancy([1.0, 0.0], 0.0, ["down"]) == 0.0
+
+    def test_state_names_accepted(self):
+        chain = updown()
+        by_name = chain.accumulated_occupancy([1.0, 0.0], 50.0, ["down"])
+        by_index = chain.accumulated_occupancy([1.0, 0.0], 50.0, [1])
+        assert by_name == pytest.approx(by_index)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            updown().accumulated_occupancy([1.0, 0.0], -1.0, ["down"])
+        with pytest.raises(ModelError):
+            updown().accumulated_occupancy([1.0], 1.0, ["down"])
+
+
+class TestSampling:
+    def test_path_starts_at_start(self, rng):
+        path = updown().sample_path(0, horizon=100.0, rng=rng)
+        assert path[0] == (0.0, 0)
+
+    def test_path_respects_horizon(self, rng):
+        path = updown().sample_path(0, horizon=50.0, rng=rng)
+        assert all(t < 50.0 for t, _ in path)
+
+    def test_occupancy_matches_steady_state_long_run(self, rng):
+        chain = updown(0.5, 1.0)
+        path = chain.sample_path(0, horizon=20_000.0, rng=rng)
+        occupancy = chain.occupancy_fractions(path, 20_000.0)
+        np.testing.assert_allclose(occupancy, chain.steady_state(), atol=0.02)
+
+    def test_absorbing_sample_stops(self, rng):
+        chain = CTMC.from_rates(["a", "b"], {("a", "b"): 1.0})
+        path = chain.sample_path(0, horizon=1e9, rng=rng)
+        assert path[-1][1] == 1

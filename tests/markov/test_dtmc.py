@@ -1,0 +1,117 @@
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.markov import DTMC
+
+
+def two_state(p01=0.3, p10=0.6):
+    return DTMC([[1 - p01, p01], [p10, 1 - p10]], ["a", "b"])
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(ModelError):
+            DTMC([[0.5, 0.5]])
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(ModelError):
+            DTMC([[1.2, -0.2], [0.5, 0.5]])
+
+    def test_rejects_rows_not_summing_to_one(self):
+        with pytest.raises(ModelError):
+            DTMC([[0.5, 0.4], [0.5, 0.5]])
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(ModelError):
+            DTMC([[1.0]], ["a", "b"])
+
+    def test_default_state_names(self):
+        chain = DTMC(np.eye(3))
+        assert chain.state_names == ["S0", "S1", "S2"]
+
+    def test_matrix_returns_copy(self):
+        chain = two_state()
+        matrix = chain.matrix
+        matrix[0, 0] = 99.0
+        assert chain.matrix[0, 0] != 99.0
+
+
+class TestStationary:
+    def test_two_state_closed_form(self):
+        chain = two_state(p01=0.3, p10=0.6)
+        pi = chain.stationary_distribution()
+        # pi_a = p10 / (p01 + p10)
+        assert pi[0] == pytest.approx(0.6 / 0.9)
+        assert pi[1] == pytest.approx(0.3 / 0.9)
+
+    def test_stationary_is_fixed_point(self):
+        chain = two_state()
+        pi = chain.stationary_distribution()
+        np.testing.assert_allclose(pi @ chain.matrix, pi, atol=1e-10)
+
+    def test_identity_chain_has_no_unique_stationary(self):
+        with pytest.raises(ModelError):
+            DTMC(np.eye(2)).stationary_distribution()
+
+
+class TestEvolution:
+    def test_step_distribution_one_step(self):
+        chain = two_state(0.3, 0.6)
+        dist = chain.step_distribution(np.array([1.0, 0.0]), steps=1)
+        np.testing.assert_allclose(dist, [0.7, 0.3])
+
+    def test_step_distribution_converges_to_stationary(self):
+        chain = two_state()
+        dist = chain.step_distribution(np.array([1.0, 0.0]), steps=200)
+        np.testing.assert_allclose(dist, chain.stationary_distribution(), atol=1e-8)
+
+    def test_step_rejects_wrong_length(self):
+        with pytest.raises(ModelError):
+            two_state().step_distribution(np.array([1.0, 0.0, 0.0]))
+
+
+class TestAbsorption:
+    def absorbing_chain(self):
+        # 0 -> {0:0.5, 1:0.25, 2:0.25}; 1, 2 absorbing.
+        return DTMC(
+            [
+                [0.5, 0.25, 0.25],
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+
+    def test_absorbing_states_detected(self):
+        assert self.absorbing_chain().absorbing_states() == [1, 2]
+
+    def test_absorption_probabilities_symmetric(self):
+        b = self.absorbing_chain().absorption_probabilities()
+        np.testing.assert_allclose(b, [[0.5, 0.5]])
+
+    def test_expected_steps(self):
+        # Geometric with success prob 0.5 -> mean 2 steps.
+        steps = self.absorbing_chain().expected_steps_to_absorption()
+        assert steps[0] == pytest.approx(2.0)
+
+    def test_no_absorbing_state_raises(self):
+        with pytest.raises(ModelError):
+            two_state().absorption_probabilities()
+
+
+class TestSampling:
+    def test_sample_path_length_and_range(self, rng):
+        chain = two_state()
+        path = chain.sample_path(0, steps=50, rng=rng)
+        assert len(path) == 51
+        assert all(0 <= s <= 1 for s in path)
+
+    def test_sample_path_rejects_bad_start(self, rng):
+        with pytest.raises(ModelError):
+            two_state().sample_path(5, 10, rng)
+
+    def test_index_of(self):
+        chain = two_state()
+        assert chain.index_of("b") == 1
+        with pytest.raises(ModelError):
+            chain.index_of("zz")

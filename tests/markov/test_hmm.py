@@ -1,0 +1,121 @@
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.markov import HiddenMarkovModel
+
+
+def make_true_model():
+    model = HiddenMarkovModel(2, 3, np.random.default_rng(0))
+    model.initial = np.array([0.8, 0.2])
+    model.transition = np.array([[0.9, 0.1], [0.2, 0.8]])
+    model.emission = np.array([[0.8, 0.15, 0.05], [0.05, 0.15, 0.8]])
+    return model
+
+
+class TestConstruction:
+    def test_rejects_zero_states(self):
+        with pytest.raises(ModelError):
+            HiddenMarkovModel(0, 2)
+
+    def test_parameters_are_stochastic(self):
+        model = HiddenMarkovModel(3, 4, np.random.default_rng(1))
+        np.testing.assert_allclose(model.transition.sum(axis=1), 1.0)
+        np.testing.assert_allclose(model.emission.sum(axis=1), 1.0)
+        assert model.initial.sum() == pytest.approx(1.0)
+
+
+class TestLikelihood:
+    def test_single_symbol_likelihood(self):
+        model = make_true_model()
+        # P(obs=0) = sum_i pi_i * b_i(0)
+        expected = 0.8 * 0.8 + 0.2 * 0.05
+        assert model.log_likelihood([0]) == pytest.approx(np.log(expected))
+
+    def test_likelihood_decreases_with_length(self):
+        model = make_true_model()
+        assert model.log_likelihood([0, 0]) < model.log_likelihood([0])
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ModelError):
+            make_true_model().log_likelihood([])
+
+    def test_rejects_out_of_alphabet(self):
+        with pytest.raises(ModelError):
+            make_true_model().log_likelihood([0, 7])
+
+    def test_sum_over_all_sequences_is_one(self):
+        """Total probability over the full length-2 sequence space = 1."""
+        model = make_true_model()
+        total = sum(
+            np.exp(model.log_likelihood([a, b]))
+            for a in range(3)
+            for b in range(3)
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestViterbi:
+    def test_path_length(self):
+        model = make_true_model()
+        assert len(model.viterbi([0, 1, 2, 2, 0])) == 5
+
+    def test_decodes_obvious_regimes(self):
+        model = make_true_model()
+        path = model.viterbi([0, 0, 0, 2, 2, 2])
+        assert path[:3] == [0, 0, 0]
+        assert path[-3:] == [1, 1, 1]
+
+
+class TestPosterior:
+    def test_rows_sum_to_one(self):
+        model = make_true_model()
+        gamma = model.posterior_states([0, 1, 2, 0])
+        np.testing.assert_allclose(gamma.sum(axis=1), 1.0)
+
+    def test_posterior_tracks_evidence(self):
+        model = make_true_model()
+        gamma = model.posterior_states([0, 0, 0])
+        assert np.all(gamma[:, 0] > 0.8)
+
+
+class TestTraining:
+    def test_likelihood_increases(self, rng):
+        true = make_true_model()
+        sequences = [true.sample(60, rng)[1] for _ in range(15)]
+        model = HiddenMarkovModel(2, 3, np.random.default_rng(5))
+        trace = model.fit(sequences, max_iter=25)
+        assert trace[-1] > trace[0]
+
+    def test_monotone_nondecreasing_trace(self, rng):
+        true = make_true_model()
+        sequences = [true.sample(40, rng)[1] for _ in range(10)]
+        model = HiddenMarkovModel(2, 3, np.random.default_rng(5))
+        trace = model.fit(sequences, max_iter=15, pseudocount=1e-6)
+        diffs = np.diff(trace)
+        assert np.all(diffs > -1e-6)
+
+    def test_fit_requires_sequences(self):
+        with pytest.raises(ModelError):
+            HiddenMarkovModel(2, 2).fit([])
+
+    def test_learned_model_beats_random_on_heldout(self, rng):
+        true = make_true_model()
+        train = [true.sample(60, rng)[1] for _ in range(20)]
+        test = [true.sample(60, rng)[1] for _ in range(5)]
+        learned = HiddenMarkovModel(2, 3, np.random.default_rng(5))
+        learned.fit(train, max_iter=30)
+        random_model = HiddenMarkovModel(2, 3, np.random.default_rng(99))
+        learned_ll = sum(learned.log_likelihood(s) for s in test)
+        random_ll = sum(random_model.log_likelihood(s) for s in test)
+        assert learned_ll > random_ll
+
+
+class TestSampling:
+    def test_sample_shapes(self, rng):
+        states, obs = make_true_model().sample(25, rng)
+        assert len(states) == len(obs) == 25
+
+    def test_sample_rejects_zero_length(self, rng):
+        with pytest.raises(ModelError):
+            make_true_model().sample(0, rng)

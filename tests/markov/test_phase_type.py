@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.markov import CTMC, PhaseTypeDistribution
+
+
+def exponential_pt(rate=0.5):
+    return PhaseTypeDistribution(np.array([[-rate]]), np.array([1.0]))
+
+
+def erlang2(rate=1.0):
+    t = np.array([[-rate, rate], [0.0, -rate]])
+    return PhaseTypeDistribution(t, np.array([1.0, 0.0]))
+
+
+class TestConstruction:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ModelError):
+            PhaseTypeDistribution(np.array([[-1.0]]), np.array([0.5]))
+
+    def test_rejects_positive_row_sum(self):
+        with pytest.raises(ModelError):
+            PhaseTypeDistribution(np.array([[1.0]]), np.array([1.0]))
+
+    def test_rejects_no_exit(self):
+        t = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        with pytest.raises(ModelError):
+            PhaseTypeDistribution(t, np.array([1.0, 0.0]))
+
+    def test_from_ctmc_requires_transient_start(self):
+        chain = CTMC.from_rates(["up", "down"], {("up", "down"): 1.0})
+        with pytest.raises(ModelError):
+            PhaseTypeDistribution.from_ctmc(chain, ["down"], "down")
+
+
+class TestExponentialCase:
+    """With one transient state the distribution is exactly exponential."""
+
+    def test_cdf(self):
+        pt = exponential_pt(0.5)
+        assert pt.cdf(2.0) == pytest.approx(1 - np.exp(-1.0))
+
+    def test_pdf(self):
+        pt = exponential_pt(0.5)
+        assert pt.pdf(2.0) == pytest.approx(0.5 * np.exp(-1.0))
+
+    def test_survival(self):
+        pt = exponential_pt(0.5)
+        assert pt.survival(3.0) == pytest.approx(np.exp(-1.5))
+
+    def test_hazard_is_constant(self):
+        pt = exponential_pt(0.5)
+        for t in [0.1, 1.0, 5.0]:
+            assert pt.hazard(t) == pytest.approx(0.5)
+
+    def test_mean_and_variance(self):
+        pt = exponential_pt(0.25)
+        assert pt.mean() == pytest.approx(4.0)
+        assert pt.variance() == pytest.approx(16.0)
+
+    def test_negative_time(self):
+        pt = exponential_pt()
+        assert pt.cdf(-1.0) == 0.0
+        assert pt.pdf(-1.0) == 0.0
+
+
+class TestErlangCase:
+    def test_mean_is_sum_of_stages(self):
+        assert erlang2(1.0).mean() == pytest.approx(2.0)
+
+    def test_hazard_starts_at_zero_and_rises(self):
+        pt = erlang2(1.0)
+        assert pt.hazard(0.0) == pytest.approx(0.0, abs=1e-12)
+        assert pt.hazard(1.0) > pt.hazard(0.1)
+        # Asymptotic hazard approaches the stage rate.
+        assert pt.hazard(15.0) == pytest.approx(1.0, rel=0.08)
+
+    def test_moments(self):
+        # Erlang-2 with rate 1: E[T^2] = 6.
+        assert erlang2(1.0).moment(2) == pytest.approx(6.0)
+        with pytest.raises(ModelError):
+            erlang2().moment(0)
+
+
+class TestEvaluateAndSample:
+    def test_evaluate_keys_and_consistency(self):
+        pt = erlang2()
+        result = pt.evaluate(np.linspace(0, 5, 6))
+        assert set(result) == {"t", "reliability", "cdf", "pdf", "hazard"}
+        np.testing.assert_allclose(result["cdf"] + result["reliability"], 1.0)
+        # Reliability is non-increasing.
+        assert np.all(np.diff(result["reliability"]) <= 1e-12)
+
+    def test_from_ctmc_matches_direct(self):
+        chain = CTMC.from_rates(
+            ["a", "b", "down"],
+            {("a", "b"): 1.0, ("b", "down"): 1.0},
+        )
+        pt = PhaseTypeDistribution.from_ctmc(chain, ["down"], "a")
+        direct = erlang2(1.0)
+        for t in [0.5, 1.0, 3.0]:
+            assert pt.cdf(t) == pytest.approx(direct.cdf(t))
+
+    def test_sample_mean_close_to_analytic(self, rng):
+        pt = erlang2(1.0)
+        samples = pt.sample(rng, size=4000)
+        assert samples.mean() == pytest.approx(2.0, rel=0.1)
+        assert np.all(samples > 0)

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.markov import DTMC, CTMC, SemiMarkovProcess, deterministic_rejuvenation_smp
+
+
+def simple_smp(up_time=9.0, down_time=1.0):
+    chain = DTMC([[0.0, 1.0], [1.0, 0.0]], ["up", "down"])
+    return SemiMarkovProcess(chain, [up_time, down_time])
+
+
+class TestSemiMarkovProcess:
+    def test_two_state_occupancy(self):
+        smp = simple_smp(9.0, 1.0)
+        pi = smp.steady_state()
+        assert pi[0] == pytest.approx(0.9)
+        assert pi[1] == pytest.approx(0.1)
+
+    def test_occupancy_by_name(self):
+        assert simple_smp().occupancy(["up"]) == pytest.approx(0.9)
+
+    def test_exponential_sojourns_reduce_to_ctmc(self):
+        """With exponential sojourns an SMP is a CTMC: occupancies match."""
+        ctmc = CTMC.from_rates(
+            ["a", "b", "c"],
+            {("a", "b"): 0.5, ("b", "c"): 0.2, ("b", "a"): 0.3, ("c", "a"): 1.0},
+        )
+        smp = SemiMarkovProcess(
+            ctmc.embedded_jump_chain(),
+            [1.0 / ctmc.exit_rate(i) for i in range(3)],
+        )
+        np.testing.assert_allclose(smp.steady_state(), ctmc.steady_state(), atol=1e-9)
+
+    def test_visit_rate(self):
+        smp = simple_smp(9.0, 1.0)
+        # One up-visit per 10 time units.
+        assert smp.visit_rate("up") == pytest.approx(0.1)
+
+    def test_from_transitions(self):
+        smp = SemiMarkovProcess.from_transitions(
+            ["a", "b"],
+            {("a", "b"): 1.0, ("b", "a"): 1.0},
+            {"a": 2.0, "b": 2.0},
+        )
+        np.testing.assert_allclose(smp.steady_state(), [0.5, 0.5])
+
+    def test_validation(self):
+        chain = DTMC([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ModelError):
+            SemiMarkovProcess(chain, [1.0])
+        with pytest.raises(ModelError):
+            SemiMarkovProcess(chain, [1.0, 0.0])
+        with pytest.raises(ModelError):
+            SemiMarkovProcess.from_transitions(
+                ["a"], {("a", "zz"): 1.0}, {"a": 1.0}
+            )
+
+
+class TestDeterministicRejuvenation:
+    def make(self, interval):
+        return deterministic_rejuvenation_smp(
+            mttf_aging=10_000.0,
+            maturation_time=500.0,
+            rejuvenation_interval=interval,
+            rejuvenation_downtime=60.0,
+            repair_downtime=600.0,
+        )
+
+    def test_short_interval_mostly_rejuvenates(self):
+        smp = self.make(interval=1_000.0)
+        pi = smp.steady_state()
+        rejuvenating = pi[smp.jump_chain.index_of("rejuvenating")]
+        failed = pi[smp.jump_chain.index_of("failed")]
+        assert rejuvenating > failed
+
+    def test_long_interval_mostly_fails(self):
+        smp = self.make(interval=200_000.0)
+        pi = smp.steady_state()
+        rejuvenating = pi[smp.jump_chain.index_of("rejuvenating")]
+        failed = pi[smp.jump_chain.index_of("failed")]
+        assert failed > rejuvenating
+
+    def test_up_time_bounded_by_interval(self):
+        smp = self.make(interval=1_000.0)
+        up_index = smp.jump_chain.index_of("up")
+        assert smp.mean_sojourns[up_index] <= 1_000.0
+
+    def test_failure_probability_monte_carlo(self, rng):
+        """The analytic P(fail before clock) matches simulation."""
+        interval = 8_000.0
+        smp = self.make(interval=interval)
+        p_fail_analytic = smp.jump_chain.matrix[
+            smp.jump_chain.index_of("up"), smp.jump_chain.index_of("failed")
+        ]
+        samples = rng.exponential(10_000.0, 20_000) + rng.exponential(500.0, 20_000)
+        p_fail_mc = float((samples < interval).mean())
+        assert p_fail_analytic == pytest.approx(p_fail_mc, abs=0.01)
+
+    def test_truncated_mean_monte_carlo(self, rng):
+        interval = 8_000.0
+        smp = self.make(interval=interval)
+        mean_up = smp.mean_sojourns[smp.jump_chain.index_of("up")]
+        samples = rng.exponential(10_000.0, 20_000) + rng.exponential(500.0, 20_000)
+        mc = float(np.minimum(samples, interval).mean())
+        assert mean_up == pytest.approx(mc, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            deterministic_rejuvenation_smp(0.0, 1.0, 1.0, 1.0, 1.0)

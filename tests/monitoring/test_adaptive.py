@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitoring import (
+    AdaptiveMonitor,
+    Gauge,
+    PeriodicCollector,
+    TimeSeriesStore,
+)
+from repro.simulator import Engine
+
+
+def make_monitor(**kwargs):
+    engine = Engine()
+    store = TimeSeriesStore()
+    collector = PeriodicCollector(
+        engine, store, [Gauge("x", lambda: 0.0)], interval=60.0
+    )
+    monitor = AdaptiveMonitor(collector, store, **kwargs)
+    return engine, store, collector, monitor
+
+
+class TestAdaptation:
+    def test_quiet_variable_slows_sampling(self):
+        engine, store, collector, monitor = make_monitor(max_interval=300.0)
+        for t in range(0, 600, 60):
+            store.record(float(t), "x", 5.0)  # perfectly flat
+        interval = monitor.adapt(600.0)
+        assert interval > 60.0
+
+    def test_volatile_variable_speeds_sampling(self):
+        engine, store, collector, monitor = make_monitor(
+            min_interval=5.0, target_cv=0.05
+        )
+        rng = np.random.default_rng(0)
+        for i, t in enumerate(range(0, 600, 30)):
+            store.record(float(t), "x", 10.0 + 8.0 * rng.standard_normal())
+        interval = monitor.adapt(600.0)
+        assert interval < 60.0
+
+    def test_interval_respects_bounds(self):
+        engine, store, collector, monitor = make_monitor(
+            min_interval=10.0, max_interval=100.0
+        )
+        for t in range(0, 600, 30):
+            store.record(float(t), "x", 1e6 * (t % 2))  # wildly volatile
+        assert monitor.adapt(600.0) >= 10.0
+        collector.set_interval(90.0)
+        for _ in range(10):
+            monitor.adapt(600.0)
+        assert collector.interval <= 100.0
+
+    def test_observed_cv_empty_window(self):
+        _, _, _, monitor = make_monitor()
+        assert monitor.observed_cv("x", 100.0) == 0.0
+
+
+class TestPrecisionPins:
+    def test_predictor_pin_forces_fast_sampling(self):
+        engine, store, collector, monitor = make_monitor(min_interval=5.0)
+        monitor.request_precision("x", 15.0)
+        assert collector.interval == 15.0
+
+    def test_release_pin(self):
+        engine, store, collector, monitor = make_monitor(min_interval=5.0)
+        monitor.request_precision("x", 15.0)
+        monitor.release_precision("x")
+        # Interval stays (no upward jump on release), but future adapt()
+        # calls may raise it again.
+        for t in range(0, 600, 60):
+            store.record(float(t), "x", 5.0)
+        assert monitor.adapt(600.0) > 15.0
+
+    def test_pin_validation(self):
+        _, _, _, monitor = make_monitor()
+        with pytest.raises(ConfigurationError):
+            monitor.request_precision("x", 0.0)
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        engine = Engine()
+        store = TimeSeriesStore()
+        collector = PeriodicCollector(engine, store, [], interval=10.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveMonitor(collector, store, min_interval=50.0, max_interval=10.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveMonitor(collector, store, target_cv=0.0)

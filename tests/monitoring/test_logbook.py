@@ -1,0 +1,70 @@
+from repro.faults import ErrorRecord, FailureRecord
+from repro.monitoring import ErrorLog, FailureLog
+
+
+def err(t, mid=500, comp="c1"):
+    return ErrorRecord(time=t, message_id=mid, component=comp)
+
+
+class TestErrorLog:
+    def test_window_query(self):
+        log = ErrorLog()
+        for t in [1.0, 2.0, 3.0, 4.0]:
+            log.report(err(t))
+        assert [r.time for r in log.window(2.0, 4.0)] == [2.0, 3.0]
+
+    def test_out_of_order_reports_are_sorted(self):
+        log = ErrorLog()
+        log.report(err(5.0))
+        log.report(err(1.0))
+        log.report(err(3.0))
+        assert [r.time for r in log] == [1.0, 3.0, 5.0]
+
+    def test_counts_by_message(self):
+        log = ErrorLog()
+        log.report(err(1.0, 100))
+        log.report(err(2.0, 100))
+        log.report(err(3.0, 200))
+        counts = log.counts_by_message(0.0, 10.0)
+        assert counts[100] == 2 and counts[200] == 1
+
+    def test_rate(self):
+        log = ErrorLog()
+        for t in [0.0, 1.0, 2.0, 3.0]:
+            log.report(err(t))
+        assert log.rate(0.0, 4.0) == 1.0
+        assert log.rate(5.0, 5.0) == 0.0
+
+    def test_message_vocabulary(self):
+        log = ErrorLog()
+        log.report(err(0.0, 300))
+        log.report(err(1.0, 100))
+        log.report(err(2.0, 300))
+        assert log.message_vocabulary() == [100, 300]
+
+    def test_records_returns_copy(self):
+        log = ErrorLog()
+        log.report(err(0.0))
+        records = log.records
+        records.clear()
+        assert len(log) == 1
+
+
+class TestFailureLog:
+    def test_any_failure_in(self):
+        log = FailureLog()
+        log.report(FailureRecord(time=100.0))
+        assert log.any_failure_in(50.0, 150.0)
+        assert not log.any_failure_in(150.0, 250.0)
+
+    def test_failure_times_sorted(self):
+        log = FailureLog()
+        log.report(FailureRecord(time=30.0))
+        log.report(FailureRecord(time=10.0))
+        assert log.failure_times() == [10.0, 30.0]
+
+    def test_total_downtime(self):
+        log = FailureLog()
+        log.report(FailureRecord(time=0.0, duration=5.0))
+        log.report(FailureRecord(time=10.0, duration=2.5))
+        assert log.total_downtime() == 7.5

@@ -1,0 +1,59 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitoring import Gauge, SourceRegistry
+
+
+class FakeSource:
+    def __init__(self, name, variables=("cpu", "mem")):
+        self.name = name
+        self._variables = variables
+
+    def gauges(self):
+        return [Gauge(v, lambda: 1.0) for v in self._variables]
+
+
+class TestSourceRegistry:
+    def test_register_and_get(self):
+        registry = SourceRegistry()
+        source = FakeSource("c1")
+        registry.register(source)
+        assert registry.get("c1") is source
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = SourceRegistry()
+        registry.register(FakeSource("c1"))
+        with pytest.raises(ConfigurationError):
+            registry.register(FakeSource("c1"))
+
+    def test_unregister(self):
+        registry = SourceRegistry()
+        registry.register(FakeSource("c1"))
+        registry.unregister("c1")
+        assert len(registry) == 0
+        with pytest.raises(ConfigurationError):
+            registry.unregister("c1")
+
+    def test_get_unknown(self):
+        with pytest.raises(ConfigurationError):
+            SourceRegistry().get("nope")
+
+    def test_all_gauges_prefixed(self):
+        registry = SourceRegistry()
+        registry.register(FakeSource("c1", ("cpu",)))
+        registry.register(FakeSource("c2", ("cpu",)))
+        names = {g.variable for g in registry.all_gauges()}
+        assert names == {"c1.cpu", "c2.cpu"}
+
+    def test_names_sorted(self):
+        registry = SourceRegistry()
+        registry.register(FakeSource("zeta"))
+        registry.register(FakeSource("alpha"))
+        assert registry.names == ["alpha", "zeta"]
+
+    def test_iteration(self):
+        registry = SourceRegistry()
+        registry.register(FakeSource("a"))
+        registry.register(FakeSource("b"))
+        assert {s.name for s in registry} == {"a", "b"}

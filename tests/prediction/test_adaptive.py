@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.prediction.adaptive import AdaptiveRetrainingPredictor
+from repro.prediction.base import PredictorInfo, SymptomPredictor
+from repro.prediction.changepoint import CUSUM
+
+
+class MeanModel(SymptomPredictor):
+    """Trivial refittable model: score = |x - learned mean| (residual)."""
+
+    info = PredictorInfo(name="mean", category="test")
+
+    def __init__(self):
+        super().__init__()
+        self.mean = 0.0
+        self.fits = 0
+
+    def fit(self, x, y):
+        self.mean = float(np.mean(x))
+        self.fits += 1
+        self._fitted = True
+        return self
+
+    def score_samples(self, x):
+        return np.abs(np.atleast_2d(x)[:, 0] - self.mean)
+
+
+def feed(adaptive, values, targets=None):
+    targets = targets if targets is not None else np.zeros(len(values))
+    # Alternate target values so the refit guard sees variation.
+    targets = np.asarray(targets, dtype=float)
+    targets[::7] = 1.0
+    return [
+        adaptive.observe(np.array([v]), t) for v, t in zip(values, targets)
+    ]
+
+
+class TestAdaptiveRetraining:
+    def make(self, rng, threshold=8.0):
+        model = MeanModel().fit(rng.normal(0.0, 1.0, size=(100, 1)), np.zeros(100))
+        return AdaptiveRetrainingPredictor(
+            model,
+            buffer_size=500,
+            detector=CUSUM(threshold=threshold, drift=0.5),
+            min_buffer_for_refit=50,
+            cooldown=50,
+        )
+
+    def test_no_refit_on_stationary_stream(self, rng):
+        adaptive = self.make(rng, threshold=15.0)
+        feed(adaptive, rng.normal(0.0, 1.0, 600))
+        assert adaptive.refit_count == 0
+
+    def test_drift_triggers_refit_and_model_adapts(self, rng):
+        adaptive = self.make(rng)
+        feed(adaptive, rng.normal(0.0, 1.0, 200))
+        # The system "changes configuration": mean jumps to 6.
+        feed(adaptive, rng.normal(6.0, 1.0, 400))
+        assert adaptive.refit_count >= 1
+        # After refitting on the buffer the learned mean has moved.
+        assert adaptive.predictor.mean > 1.0
+
+    def test_cooldown_limits_refit_rate(self, rng):
+        adaptive = self.make(rng)
+        adaptive.cooldown = 10_000
+        feed(adaptive, rng.normal(0.0, 1.0, 100))
+        feed(adaptive, rng.normal(8.0, 1.0, 400))
+        assert adaptive.refit_count <= 1
+
+    def test_refit_waits_for_post_alarm_samples(self, rng):
+        model = MeanModel().fit(np.zeros((10, 1)), np.zeros(10))
+        adaptive = AdaptiveRetrainingPredictor(
+            model,
+            buffer_size=500,
+            detector=CUSUM(threshold=1.0, drift=0.0),  # hair trigger
+            min_buffer_for_refit=400,
+            cooldown=0,
+        )
+        feed(adaptive, rng.normal(5.0, 1.0, 100))
+        assert adaptive.refit_count == 0  # not enough fresh samples yet
+
+    def test_force_refit(self, rng):
+        adaptive = self.make(rng)
+        feed(adaptive, rng.normal(3.0, 0.1, 60))
+        fits_before = adaptive.predictor.fits
+        adaptive.force_refit()
+        assert adaptive.predictor.fits == fits_before + 1
+
+    def test_force_refit_needs_buffer(self, rng):
+        adaptive = self.make(rng)
+        with pytest.raises(NotFittedError):
+            adaptive.force_refit()
+
+    def test_events_recorded(self, rng):
+        adaptive = self.make(rng)
+        feed(adaptive, rng.normal(0.0, 1.0, 200))
+        feed(adaptive, rng.normal(6.0, 1.0, 400))
+        for event in adaptive.retraining_events:
+            assert event.buffer_size >= 50
+            assert event.alarm_at_sample <= event.refit_at_sample <= 600
+            # The refit used only post-alarm (new regime) data.
+            assert event.buffer_size == event.refit_at_sample - event.alarm_at_sample
+
+    def test_validation(self, rng):
+        model = MeanModel()
+        with pytest.raises(ConfigurationError):
+            AdaptiveRetrainingPredictor(model, buffer_size=10,
+                                        min_buffer_for_refit=100)
+        with pytest.raises(ConfigurationError):
+            AdaptiveRetrainingPredictor(model, cooldown=-1)

@@ -1,0 +1,243 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.monitoring.records import EventSequence
+from repro.prediction.baselines import (
+    DispersionFrameTechnique,
+    ErrorRatePredictor,
+    EventSetPredictor,
+    FailureHistoryPredictor,
+    MSETPredictor,
+    TrendAnalysisPredictor,
+)
+
+
+def accelerating_sequence():
+    """Error intervals shrinking toward the end (pre-failure pattern)."""
+    times = [0.0, 300.0, 550.0, 700.0, 800.0, 860.0, 900.0, 925.0, 940.0]
+    return EventSequence(times=times, message_ids=[100] * len(times))
+
+
+def steady_sequence():
+    times = list(np.arange(0.0, 1000.0, 120.0))
+    return EventSequence(times=times, message_ids=[500] * len(times))
+
+
+class TestDFT:
+    def fitted(self):
+        dft = DispersionFrameTechnique()
+        dft.fit([accelerating_sequence()], [steady_sequence()] * 3)
+        return dft
+
+    def test_accelerating_scores_higher(self):
+        dft = self.fitted()
+        assert dft.score_sequence(accelerating_sequence()) > dft.score_sequence(
+            steady_sequence()
+        )
+
+    def test_rule_firings_counts(self):
+        dft = self.fitted()
+        counts = dft.rule_firings(accelerating_sequence())
+        assert counts.shape == (5,)
+        assert counts.sum() > 0
+        # Monotonically decreasing frames fire rule 5.
+        assert counts[4] > 0
+
+    def test_short_sequence_scores_zero(self):
+        dft = self.fitted()
+        single = EventSequence(times=[1.0], message_ids=[100])
+        assert dft.score_sequence(single) == 0.0
+
+    def test_windows_calibrated_from_quiet_data(self):
+        dft = DispersionFrameTechnique()
+        dft.fit([], [steady_sequence()])
+        assert dft.window_2in1 == pytest.approx(60.0)
+        assert dft.window_4in1 == pytest.approx(180.0)
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            DispersionFrameTechnique().score_sequence(steady_sequence())
+
+
+class TestEventSets:
+    def make_data(self):
+        failure = [
+            EventSequence(times=[0.0, 1.0, 2.0], message_ids=[100, 200, 500]),
+            EventSequence(times=[0.0, 1.0, 2.0], message_ids=[100, 200, 501]),
+            EventSequence(times=[0.0, 1.0], message_ids=[100, 200]),
+        ]
+        nonfailure = [
+            EventSequence(times=[0.0, 1.0], message_ids=[500, 501]),
+            EventSequence(times=[0.0, 1.0], message_ids=[502, 500]),
+            EventSequence(times=[0.0], message_ids=[501]),
+        ]
+        return failure, nonfailure
+
+    def test_mines_indicative_sets(self):
+        predictor = EventSetPredictor(min_support=0.6, min_confidence=0.6)
+        predictor.fit(*self.make_data())
+        top = predictor.indicative_sets()
+        assert any({100, 200} <= s for s, _ in top)
+
+    def test_scores_separate(self):
+        failure, nonfailure = self.make_data()
+        predictor = EventSetPredictor(min_support=0.6, min_confidence=0.6)
+        predictor.fit(failure, nonfailure)
+        assert predictor.score_sequence(failure[0]) > predictor.score_sequence(
+            nonfailure[0]
+        )
+
+    def test_unmatched_sequence_gets_base_rate(self):
+        failure, nonfailure = self.make_data()
+        predictor = EventSetPredictor(min_support=0.6)
+        predictor.fit(failure, nonfailure)
+        novel = EventSequence(times=[0.0], message_ids=[999])
+        assert predictor.score_sequence(novel) == pytest.approx(
+            predictor.base_rate_
+        )
+
+    def test_requires_failure_sequences(self):
+        with pytest.raises(ConfigurationError):
+            EventSetPredictor().fit([], [steady_sequence()])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            EventSetPredictor(min_support=0.0)
+        with pytest.raises(ConfigurationError):
+            EventSetPredictor(max_set_size=0)
+
+
+class TestErrorRate:
+    def test_rate_increase_detected(self):
+        predictor = ErrorRatePredictor()
+        predictor.fit([], [steady_sequence()] * 3)
+        dense_times = list(np.arange(0.0, 1000.0, 20.0))
+        dense = EventSequence(times=dense_times, message_ids=[500] * len(dense_times))
+        assert predictor.score_sequence(dense) > predictor.score_sequence(
+            steady_sequence()
+        )
+
+    def test_novel_error_types_detected(self):
+        predictor = ErrorRatePredictor()
+        predictor.fit([], [steady_sequence()] * 3)
+        novel = EventSequence(
+            times=list(np.arange(0.0, 1000.0, 120.0)),
+            message_ids=[100] * 9,  # unseen type, same rate
+        )
+        assert predictor.score_sequence(novel) > predictor.score_sequence(
+            steady_sequence()
+        )
+
+    def test_empty_sequence_scores_low(self):
+        predictor = ErrorRatePredictor()
+        predictor.fit([], [steady_sequence()])
+        empty = EventSequence(times=[], message_ids=[])
+        assert predictor.score_sequence(empty) < predictor.score_sequence(
+            steady_sequence()
+        )
+
+
+class TestMSET:
+    @pytest.fixture()
+    def state_data(self, rng):
+        healthy = rng.multivariate_normal(
+            [0.3, 50.0], [[0.01, 0.0], [0.0, 25.0]], size=300
+        )
+        degraded = rng.multivariate_normal(
+            [0.9, 5.0], [[0.01, 0.0], [0.0, 4.0]], size=60
+        )
+        x = np.vstack([healthy, degraded])
+        labels = np.concatenate([np.zeros(300, bool), np.ones(60, bool)])
+        return x, labels
+
+    def test_residuals_flag_departure_from_healthy_manifold(self, state_data, rng):
+        x, labels = state_data
+        predictor = MSETPredictor(n_exemplars=16, rng=rng)
+        predictor.fit(x, labels.astype(float))
+        scores = predictor.score_samples(x)
+        assert scores[labels].mean() > 3 * scores[~labels].mean()
+
+    def test_auc(self, state_data, rng):
+        x, labels = state_data
+        predictor = MSETPredictor(n_exemplars=16, rng=rng)
+        predictor.fit(x, labels.astype(float))
+        assert predictor.auc(x, labels) > 0.95
+
+    def test_continuous_target_accepted(self, state_data, rng):
+        x, labels = state_data
+        availability = 1.0 - 0.01 * labels
+        predictor = MSETPredictor(n_exemplars=8, rng=rng)
+        predictor.fit(x, availability)
+        assert np.isfinite(predictor.score_samples(x)).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MSETPredictor(n_exemplars=1)
+        with pytest.raises(ConfigurationError):
+            MSETPredictor(bandwidth=0.0)
+
+
+class TestTrendAnalysis:
+    def test_depleting_resource_scores_rise(self):
+        # Memory free falls linearly toward zero in the second half.
+        first = np.full(20, 100.0)
+        second = np.linspace(100.0, 2.0, 20)
+        values = np.concatenate([first, second])[:, None]
+        labels = np.zeros(40, bool)
+        labels[-5:] = True
+        predictor = TrendAnalysisPredictor(variable_index=0, window=8)
+        predictor.fit(values, labels.astype(float))
+        scores = predictor.score_samples(values)
+        assert scores[-1] > scores[10]
+        assert scores[5] == 0.0  # flat -> no exhaustion predicted
+
+    def test_variable_autoselection(self, rng):
+        noise = rng.standard_normal(50)[:, None]
+        depleting = np.linspace(100, 1, 50)[:, None]
+        x = np.hstack([noise, depleting])
+        labels = np.zeros(50, bool)
+        labels[-10:] = True
+        predictor = TrendAnalysisPredictor(window=6)
+        predictor.fit(x, labels.astype(float))
+        assert predictor.variable_index == 1
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrendAnalysisPredictor(window=2)
+
+
+class TestFailureHistory:
+    def test_probability_rises_with_elapsed_time_for_periodic_failures(self):
+        failures = list(np.arange(0.0, 10_000.0, 1000.0))
+        predictor = FailureHistoryPredictor(horizon=300.0)
+        predictor.fit(failures)
+        early = predictor.probability_within_horizon(100.0)
+        late = predictor.probability_within_horizon(900.0)
+        assert late > early
+
+    def test_overdue_returns_one(self):
+        predictor = FailureHistoryPredictor(horizon=10.0)
+        predictor.fit([0.0, 100.0, 200.0])
+        assert predictor.probability_within_horizon(1e6) == 1.0
+
+    def test_score_times_uses_only_past_failures(self):
+        predictor = FailureHistoryPredictor(horizon=300.0)
+        predictor.fit(list(np.arange(0.0, 20_000.0, 1000.0)))
+        scores = predictor.score_times(
+            np.array([50.0, 950.0]), np.array([0.0, 1000.0, 2000.0])
+        )
+        assert scores[1] > scores[0]
+
+    def test_mtbf(self):
+        predictor = FailureHistoryPredictor()
+        predictor.fit([0.0, 100.0, 300.0])
+        assert predictor.mean_time_between_failures() == pytest.approx(150.0)
+
+    def test_requires_two_failures(self):
+        with pytest.raises(ConfigurationError):
+            FailureHistoryPredictor().fit([1.0])
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            FailureHistoryPredictor().probability_within_horizon(10.0)

@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.metrics import (
+    auc,
+    auc_confidence_interval,
+    bootstrap_metric,
+)
+
+
+@pytest.fixture()
+def scored(rng):
+    n = 400
+    labels = rng.random(n) < 0.2
+    scores = labels + 0.8 * rng.standard_normal(n)
+    return scores, labels
+
+
+class TestBootstrap:
+    def test_interval_contains_point(self, scored, rng):
+        scores, labels = scored
+        ci = auc_confidence_interval(scores, labels, rng=rng)
+        assert ci.low <= ci.point <= ci.high
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_point_is_the_metric(self, scored, rng):
+        scores, labels = scored
+        ci = auc_confidence_interval(scores, labels, rng=rng)
+        assert ci.point == pytest.approx(auc(scores, labels))
+
+    def test_more_data_tightens_interval(self, rng):
+        def make(n):
+            labels = rng.random(n) < 0.3
+            scores = labels + 0.8 * rng.standard_normal(n)
+            return scores, labels
+
+        small = auc_confidence_interval(*make(80), rng=np.random.default_rng(1))
+        large = auc_confidence_interval(*make(4_000), rng=np.random.default_rng(1))
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_higher_confidence_widens_interval(self, scored):
+        scores, labels = scored
+        narrow = auc_confidence_interval(
+            scores, labels, confidence=0.8, rng=np.random.default_rng(2)
+        )
+        wide = auc_confidence_interval(
+            scores, labels, confidence=0.99, rng=np.random.default_rng(2)
+        )
+        assert (wide.high - wide.low) >= (narrow.high - narrow.low)
+
+    def test_custom_metric(self, scored, rng):
+        scores, labels = scored
+
+        def recall_at_zero(s, l):
+            return float(np.mean(s[l] >= 0.0))
+
+        ci = bootstrap_metric(scores, labels, recall_at_zero, rng=rng)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_str_format(self, scored, rng):
+        scores, labels = scored
+        text = str(auc_confidence_interval(scores, labels, rng=rng))
+        assert "[" in text and "]" in text
+
+    def test_validation(self, scored):
+        scores, labels = scored
+        with pytest.raises(ConfigurationError):
+            bootstrap_metric(scores, labels, auc, confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_metric(scores, labels, auc, n_resamples=3)
+        with pytest.raises(ConfigurationError):
+            bootstrap_metric(scores[:5], labels[:4], auc)

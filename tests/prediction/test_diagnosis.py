@@ -1,0 +1,114 @@
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.faults import ErrorRecord
+from repro.monitoring import ErrorLog
+from repro.prediction.diagnosis import ComponentRanker, FaultTypeClassifier
+
+
+class TestComponentRanker:
+    def fitted(self, rng):
+        ranker = ComponentRanker()
+        ranker.fit(
+            {
+                "memory_free_mb": 3000.0 + 100.0 * rng.standard_normal(200),
+                "cpu_utilization": 0.3 + 0.05 * rng.standard_normal(200),
+            }
+        )
+        return ranker
+
+    def test_degraded_component_ranked_first(self, rng):
+        ranker = self.fitted(rng)
+        readings = {
+            "healthy": {"memory_free_mb": 2950.0, "cpu_utilization": 0.31},
+            "leaking": {"memory_free_mb": 500.0, "cpu_utilization": 0.32},
+        }
+        ranking = ranker.rank(readings)
+        assert ranking[0].component == "leaking"
+        assert ranking[0].worst_variable == "memory_free_mb"
+        assert ranking[0].score > ranking[1].score
+
+    def test_anomaly_is_z_score(self, rng):
+        ranker = ComponentRanker()
+        ranker.fit({"x": np.array([0.0, 2.0])})  # mean 1, std 1
+        assert ranker.anomaly("x", 3.0) == pytest.approx(2.0, abs=0.01)
+
+    def test_unknown_variable_scores_zero(self, rng):
+        assert self.fitted(rng).anomaly("nonsense", 1e9) == 0.0
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            ComponentRanker().rank({"c": {"x": 1.0}})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ComponentRanker().fit({})
+        with pytest.raises(ConfigurationError):
+            ComponentRanker().fit({"x": np.array([1.0])})
+
+
+class TestFaultTypeClassifier:
+    def training_windows(self):
+        return [
+            (Counter({100: 5, 101: 3, 500: 2}), "memory-leak"),
+            (Counter({100: 4, 102: 2, 501: 1}), "memory-leak"),
+            (Counter({200: 6, 201: 2, 500: 3}), "process-hang"),
+            (Counter({200: 3, 202: 4}), "process-hang"),
+            (Counter({300: 5, 301: 5, 502: 1}), "state-corruption"),
+            (Counter({300: 2, 303: 6}), "state-corruption"),
+        ]
+
+    def test_classifies_by_signature(self):
+        classifier = FaultTypeClassifier().fit(self.training_windows())
+        assert classifier.classify(Counter({100: 3, 101: 1})) == "memory-leak"
+        assert classifier.classify(Counter({200: 4})) == "process-hang"
+        assert classifier.classify(Counter({303: 2, 300: 1})) == "state-corruption"
+
+    def test_posteriors_ordering(self):
+        classifier = FaultTypeClassifier().fit(self.training_windows())
+        posteriors = classifier.log_posteriors(Counter({100: 5}))
+        assert posteriors["memory-leak"] > posteriors["process-hang"]
+
+    def test_unknown_messages_fall_back_gracefully(self):
+        classifier = FaultTypeClassifier().fit(self.training_windows())
+        # A window of entirely novel ids still classifies (by priors).
+        result = classifier.classify(Counter({999: 3}))
+        assert result in classifier.kinds
+
+    def test_classify_window_from_log(self):
+        classifier = FaultTypeClassifier().fit(self.training_windows())
+        log = ErrorLog()
+        for t, mid in [(1.0, 200), (2.0, 201), (3.0, 200)]:
+            log.report(ErrorRecord(time=t, message_id=mid, component="c"))
+        assert classifier.classify_window(log, 0.0, 10.0) == "process-hang"
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            FaultTypeClassifier().classify(Counter({1: 1}))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultTypeClassifier(smoothing=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultTypeClassifier().fit([])
+
+    def test_on_simulated_data(self, small_dataset):
+        """Train on ground-truth faultload windows, verify leak typing."""
+        dataset = small_dataset
+        windows = []
+        for activation in dataset.faultload:
+            counts = dataset.error_log.counts_by_message(
+                activation.start, activation.end
+            )
+            if counts:
+                windows.append((counts, activation.kind))
+        if len({kind for _, kind in windows}) < 2:
+            pytest.skip("faultload too small for classification")
+        classifier = FaultTypeClassifier().fit(windows)
+        correct = sum(
+            1 for counts, kind in windows if classifier.classify(counts) == kind
+        )
+        assert correct / len(windows) > 0.7

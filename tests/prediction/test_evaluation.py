@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitoring.records import EventSequence
+from repro.prediction.evaluation import (
+    chronological_split,
+    report_from_scores,
+    roc_points,
+    split_sequences,
+)
+
+
+class TestChronologicalSplit:
+    def test_split_fraction(self):
+        times = np.linspace(0, 100, 101)
+        train, test = chronological_split(times, fraction=0.6)
+        assert train.sum() == 61
+        assert not np.any(train & test)
+        assert np.all(times[train].max() < times[test].min())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chronological_split(np.array([0.0, 1.0]), fraction=1.0)
+
+
+class TestSplitSequences:
+    def test_split_by_origin(self):
+        sequences = [
+            EventSequence(times=[float(o)], message_ids=[1], origin=float(o))
+            for o in [10, 20, 30, 40]
+        ]
+        train, test = split_sequences(sequences, cutoff=25.0)
+        assert [s.origin for s in train] == [10.0, 20.0]
+        assert [s.origin for s in test] == [30.0, 40.0]
+
+
+class TestReportFromScores:
+    def test_threshold_from_train_applied_to_test(self, rng):
+        train_scores = np.concatenate([rng.normal(1, 0.2, 50), rng.normal(0, 0.2, 200)])
+        train_labels = np.concatenate([np.ones(50, bool), np.zeros(200, bool)])
+        test_scores = np.concatenate([rng.normal(1, 0.2, 30), rng.normal(0, 0.2, 100)])
+        test_labels = np.concatenate([np.ones(30, bool), np.zeros(100, bool)])
+        report = report_from_scores(
+            "demo", train_scores, train_labels, test_scores, test_labels
+        )
+        assert report.name == "demo"
+        assert report.auc > 0.95
+        assert report.precision > 0.8 and report.recall > 0.8
+        assert 0.3 < report.threshold < 0.9
+
+    def test_row_format(self, rng):
+        scores = rng.random(100)
+        labels = rng.random(100) < 0.3
+        report = report_from_scores("x", scores, labels, scores, labels)
+        row = report.row()
+        assert "precision=" in row and "AUC=" in row
+
+
+class TestRocPoints:
+    def test_polyline_properties(self, rng):
+        scores = rng.random(300)
+        labels = (scores + 0.3 * rng.standard_normal(300)) > 0.6
+        points = roc_points(scores, labels, n_points=11)
+        assert len(points) == 11
+        fprs = [p[0] for p in points]
+        assert fprs == sorted(fprs)
+        assert all(0 <= f <= 1 and 0 <= t <= 1 for f, t in points)

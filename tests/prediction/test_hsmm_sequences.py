@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.monitoring.records import EventSequence
+from repro.prediction.hsmm import SequenceEncoder
+
+
+def seq(times, ids, origin=0.0):
+    return EventSequence(times=times, message_ids=ids, origin=origin)
+
+
+@pytest.fixture()
+def encoder():
+    enc = SequenceEncoder(gap_unit=60.0, max_gap_symbols=3, min_count=1)
+    enc.fit([seq([0.0, 10.0], [100, 200]), seq([0.0], [300])])
+    return enc
+
+
+class TestVocabulary:
+    def test_n_symbols_includes_gap_and_unk(self, encoder):
+        assert encoder.n_symbols == 3 + 2
+
+    def test_min_count_filters_rare_ids(self):
+        enc = SequenceEncoder(min_count=2)
+        enc.fit([seq([0.0, 1.0, 2.0], [100, 100, 999])])
+        assert 100 in enc.vocabulary()
+        assert 999 not in enc.vocabulary()
+
+    def test_fit_requires_some_vocabulary(self):
+        enc = SequenceEncoder(min_count=5)
+        with pytest.raises(ConfigurationError):
+            enc.fit([seq([0.0], [100])])
+
+    def test_encode_before_fit(self):
+        with pytest.raises(NotFittedError):
+            SequenceEncoder().encode(seq([0.0], [100]))
+
+
+class TestEncoding:
+    def test_known_ids_mapped(self, encoder):
+        symbols = encoder.encode(seq([0.0, 1.0], [100, 200]))
+        vocab = encoder.vocabulary()
+        assert symbols == [vocab[100], vocab[200]]
+
+    def test_unknown_id_becomes_unk(self, encoder):
+        symbols = encoder.encode(seq([0.0], [12345]))
+        assert symbols == [encoder.unk_symbol]
+
+    def test_gaps_inserted_for_silence(self, encoder):
+        # 150 s of silence at gap_unit 60 -> 2 GAP symbols before the event.
+        symbols = encoder.encode(seq([150.0], [100], origin=0.0))
+        assert symbols[:2] == [encoder.gap_symbol] * 2
+        assert symbols[2] == encoder.vocabulary()[100]
+
+    def test_gap_cap(self, encoder):
+        symbols = encoder.encode(seq([100_000.0], [100], origin=0.0))
+        gap_count = sum(1 for s in symbols if s == encoder.gap_symbol)
+        assert gap_count == 3  # max_gap_symbols
+
+    def test_empty_sequence_encodes_to_silence(self, encoder):
+        assert encoder.encode(seq([], [])) == [encoder.gap_symbol]
+
+    def test_encode_many(self, encoder):
+        out = encoder.encode_many([seq([0.0], [100]), seq([0.0], [200])])
+        assert len(out) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SequenceEncoder(gap_unit=0.0)
+        with pytest.raises(ConfigurationError):
+            SequenceEncoder(max_gap_symbols=-1)

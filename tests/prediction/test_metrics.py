@@ -1,0 +1,124 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction import ContingencyTable, auc, roc_curve
+from repro.prediction.metrics import precision_recall_curve
+
+
+class TestContingencyTable:
+    def table(self):
+        return ContingencyTable(tp=70, fp=30, tn=1844, fn=43)
+
+    def test_precision(self):
+        assert self.table().precision == pytest.approx(0.7)
+
+    def test_recall(self):
+        assert self.table().recall == pytest.approx(70 / 113)
+
+    def test_fpr(self):
+        assert self.table().false_positive_rate == pytest.approx(30 / 1874)
+
+    def test_specificity_complements_fpr(self):
+        table = self.table()
+        assert table.specificity == pytest.approx(1 - table.false_positive_rate)
+
+    def test_f_measure_is_harmonic_mean(self):
+        table = self.table()
+        p, r = table.precision, table.recall
+        assert table.f_measure == pytest.approx(2 * p * r / (p + r))
+
+    def test_degenerate_cases_return_zero(self):
+        empty = ContingencyTable(tp=0, fp=0, tn=10, fn=0)
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.f_measure == 0.0
+
+    def test_accuracy(self):
+        assert ContingencyTable(tp=5, fp=5, tn=5, fn=5).accuracy == 0.5
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            ContingencyTable(tp=-1, fp=0, tn=0, fn=0)
+
+    def test_from_scores_thresholding(self):
+        scores = np.array([0.9, 0.8, 0.3, 0.1])
+        labels = np.array([True, False, True, False])
+        table = ContingencyTable.from_scores(scores, labels, threshold=0.5)
+        assert (table.tp, table.fp, table.tn, table.fn) == (1, 1, 1, 1)
+
+    def test_from_scores_threshold_inclusive(self):
+        table = ContingencyTable.from_scores(
+            np.array([0.5]), np.array([True]), threshold=0.5
+        )
+        assert table.tp == 1
+
+
+class TestROC:
+    def test_perfect_separation_auc_one(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([True, True, False, False])
+        assert auc(scores, labels) == pytest.approx(1.0)
+
+    def test_inverted_scores_auc_zero(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([True, True, False, False])
+        assert auc(scores, labels) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self, rng):
+        scores = rng.random(4000)
+        labels = rng.random(4000) < 0.3
+        assert auc(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_curve_endpoints(self):
+        scores = np.array([0.9, 0.1, 0.5, 0.3])
+        labels = np.array([True, False, True, False])
+        fpr, tpr, thresholds = roc_curve(scores, labels)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_curve_monotone(self, rng):
+        scores = rng.random(500)
+        labels = rng.random(500) < 0.4
+        fpr, tpr, _ = roc_curve(scores, labels)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_tied_scores_handled(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([True, False, True, False])
+        assert auc(scores, labels) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ConfigurationError):
+            roc_curve(np.array([0.1, 0.2]), np.array([True, True]))
+
+    def test_auc_invariant_to_monotone_transform(self, rng):
+        scores = rng.random(300)
+        labels = scores + 0.3 * rng.standard_normal(300) > 0.5
+        if labels.all() or not labels.any():
+            pytest.skip("degenerate draw")
+        assert auc(scores, labels) == pytest.approx(
+            auc(np.exp(scores * 5), labels), abs=1e-12
+        )
+
+
+class TestPrecisionRecallCurve:
+    def test_shapes_and_range(self, rng):
+        scores = rng.random(200)
+        labels = rng.random(200) < 0.3
+        precision, recall, thresholds = precision_recall_curve(scores, labels)
+        assert precision.shape == recall.shape == thresholds.shape
+        assert np.all((0 <= precision) & (precision <= 1))
+        assert recall[-1] == pytest.approx(1.0)
+
+    def test_recall_monotone_nondecreasing(self, rng):
+        scores = rng.random(200)
+        labels = rng.random(200) < 0.3
+        _, recall, _ = precision_recall_curve(scores, labels)
+        assert np.all(np.diff(recall) >= 0)
+
+    def test_requires_positives(self):
+        with pytest.raises(ConfigurationError):
+            precision_recall_curve(np.array([0.1]), np.array([False]))

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import ErrorRecord
+from repro.monitoring import ErrorLog
+from repro.monitoring.records import EventSequence
+from repro.prediction.base import EventPredictor, PredictorInfo
+from repro.prediction.online import OnlineEventScorer
+
+
+class CountingPredictor(EventPredictor):
+    """Scores a sequence by its event count (deterministic, no training)."""
+
+    info = PredictorInfo(name="counter", category="test")
+
+    def fit(self, failure_sequences, nonfailure_sequences):
+        self._fitted = True
+        return self
+
+    def score_sequence(self, sequence: EventSequence) -> float:
+        return float(len(sequence))
+
+
+@pytest.fixture()
+def log():
+    log = ErrorLog()
+    # A burst of errors between t=500 and t=600, quiet elsewhere.
+    for t in np.arange(500.0, 600.0, 10.0):
+        log.report(ErrorRecord(time=float(t), message_id=100, component="c"))
+    return log
+
+
+class TestOnlineEventScorer:
+    def make(self, data_window=300.0, lead_time=60.0):
+        predictor = CountingPredictor().fit([], [])
+        predictor.set_threshold(5.0)
+        return OnlineEventScorer(predictor, data_window, lead_time)
+
+    def test_window_extraction(self, log):
+        scorer = self.make()
+        window = scorer.window_at(log, 600.0)
+        assert len(window) == 10
+        assert window.origin == 300.0
+
+    def test_score_reflects_window_content(self, log):
+        scorer = self.make()
+        quiet = scorer.score_at(log, 400.0)
+        busy = scorer.score_at(log, 650.0)
+        assert quiet.score == 0.0 and not quiet.warning
+        assert busy.score > 5.0 and busy.warning
+
+    def test_score_series_lengths(self, log):
+        scorer = self.make()
+        predictions = scorer.score_series(log, np.arange(0.0, 1000.0, 100.0))
+        assert len(predictions) == 10
+        assert all(p.lead_time == 60.0 for p in predictions)
+
+    def test_max_events_cap_keeps_newest(self, log):
+        scorer = OnlineEventScorer(
+            CountingPredictor().fit([], []), data_window=300.0,
+            lead_time=0.0, max_events=3,
+        )
+        window = scorer.window_at(log, 600.0)
+        assert len(window) == 3
+        assert window.times.min() >= 570.0
+
+    def test_labels_use_lead_time_semantics(self, log):
+        scorer = self.make(lead_time=100.0)
+        times = np.array([100.0, 350.0])
+        failure_times = np.array([500.0])
+        _, labels = scorer.evaluate_against_failures(
+            log, times, failure_times, prediction_period=100.0
+        )
+        # At t=350: window [450, 550) contains the failure at 500. At 100: no.
+        assert labels.tolist() == [False, True]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OnlineEventScorer(CountingPredictor(), data_window=0.0, lead_time=1.0)

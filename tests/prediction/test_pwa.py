@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.ubf import (
+    ProbabilisticWrapper,
+    backward_elimination,
+    forward_selection,
+    ridge_cv_fitness,
+)
+
+
+@pytest.fixture()
+def selection_problem(rng):
+    """Target depends on variables 0 and 2 only; 1, 3, 4 are noise."""
+    x = rng.standard_normal((400, 5))
+    y = 2.0 * x[:, 0] - 1.5 * x[:, 2] + 0.1 * rng.standard_normal(400)
+    return x, y
+
+
+class TestRidgeFitness:
+    def test_informative_subset_scores_higher(self, selection_problem):
+        x, y = selection_problem
+        fitness = ridge_cv_fitness()
+        good = fitness(x[:, [0, 2]], y)
+        bad = fitness(x[:, [1, 3]], y)
+        assert good > bad
+
+    def test_empty_subset_is_worst(self, selection_problem):
+        x, y = selection_problem
+        fitness = ridge_cv_fitness()
+        assert fitness(x[:, []], y) == -np.inf
+
+    def test_deterministic(self, selection_problem):
+        x, y = selection_problem
+        fitness = ridge_cv_fitness()
+        assert fitness(x, y) == fitness(x, y)
+
+    def test_rejects_too_few_folds(self):
+        with pytest.raises(ConfigurationError):
+            ridge_cv_fitness(folds=1)
+
+
+class TestPWA:
+    def test_finds_informative_variables(self, selection_problem, rng):
+        x, y = selection_problem
+        wrapper = ProbabilisticWrapper(rng=rng)
+        result = wrapper.select(x, y)
+        assert 0 in result.selected and 2 in result.selected
+
+    def test_probabilities_reflect_importance(self, selection_problem, rng):
+        x, y = selection_problem
+        wrapper = ProbabilisticWrapper(n_rounds=15, rng=rng)
+        result = wrapper.select(x, y)
+        probs = result.probabilities
+        assert probs[0] > probs[1]
+        assert probs[2] > probs[3]
+
+    def test_names_helper(self, selection_problem, rng):
+        x, y = selection_problem
+        result = ProbabilisticWrapper(rng=rng).select(x, y)
+        names = result.names(["a", "b", "c", "d", "e"])
+        assert "a" in names and "c" in names
+
+    def test_rejects_empty_problem(self, rng):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticWrapper(rng=rng).select(np.zeros((10, 0)), np.zeros(10))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticWrapper(n_rounds=0)
+        with pytest.raises(ConfigurationError):
+            ProbabilisticWrapper(learning_rate=0.0)
+
+    def test_evaluation_count_bounded(self, selection_problem, rng):
+        x, y = selection_problem
+        wrapper = ProbabilisticWrapper(n_rounds=5, samples_per_round=6, rng=rng)
+        result = wrapper.select(x, y)
+        assert result.evaluations <= 5 * 6 + 1
+
+
+class TestGreedyBaselines:
+    def test_forward_selection_finds_signal(self, selection_problem):
+        x, y = selection_problem
+        result = forward_selection(x, y)
+        assert 0 in result.selected and 2 in result.selected
+
+    def test_forward_selection_max_vars(self, selection_problem):
+        x, y = selection_problem
+        result = forward_selection(x, y, max_vars=1)
+        assert len(result.selected) == 1
+        assert result.selected[0] in (0, 2)
+
+    def test_backward_elimination_drops_noise(self, selection_problem):
+        x, y = selection_problem
+        result = backward_elimination(x, y)
+        assert 0 in result.selected and 2 in result.selected
+        assert len(result.selected) < 5
+
+    def test_pwa_at_least_as_good_as_greedy(self, selection_problem, rng):
+        """The paper claims PWA outperforms both greedy methods; on this
+        easy problem it must at least match them."""
+        x, y = selection_problem
+        pwa = ProbabilisticWrapper(rng=rng).select(x, y)
+        fwd = forward_selection(x, y)
+        bwd = backward_elimination(x, y)
+        assert pwa.best_fitness >= min(fwd.best_fitness, bwd.best_fitness) - 0.01

@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.baselines import MSETPredictor
+from repro.prediction.evaluation import rolling_origin_evaluation
+
+
+@pytest.fixture()
+def timed_problem(rng):
+    n = 1_500
+    times = np.arange(n, dtype=float) * 30.0
+    x = rng.standard_normal((n, 3))
+    labels = x[:, 0] > 1.6
+    y = 1.0 - 0.01 * labels
+    return times, x, y, labels
+
+
+def factory():
+    return MSETPredictor(n_exemplars=12, rng=np.random.default_rng(0))
+
+
+class TestRollingOrigin:
+    def test_folds_produced_and_informative(self, timed_problem):
+        times, x, y, labels = timed_problem
+        result = rolling_origin_evaluation(factory, times, x, y, labels, n_folds=3)
+        assert 1 <= len(result.reports) <= 3
+        assert result.mean_auc > 0.8
+        assert result.worst_auc <= result.mean_auc
+
+    def test_fold_names_sequential(self, timed_problem):
+        times, x, y, labels = timed_problem
+        result = rolling_origin_evaluation(factory, times, x, y, labels, n_folds=3)
+        assert all(report.name.startswith("fold-") for report in result.reports)
+
+    def test_degenerate_folds_skipped(self, rng):
+        n = 900
+        times = np.arange(n, dtype=float)
+        x = rng.standard_normal((n, 2))
+        labels = np.zeros(n, dtype=bool)
+        labels[100:120] = True  # positives only in the first (training) part
+        y = 1.0 - 0.01 * labels
+        with pytest.raises(ConfigurationError):
+            rolling_origin_evaluation(factory, times, x, y, labels, n_folds=3)
+
+    def test_summary_renders(self, timed_problem):
+        times, x, y, labels = timed_problem
+        result = rolling_origin_evaluation(factory, times, x, y, labels)
+        text = result.summary()
+        assert "mean AUC" in text
+
+    def test_validation(self, timed_problem):
+        times, x, y, labels = timed_problem
+        with pytest.raises(ConfigurationError):
+            rolling_origin_evaluation(factory, times, x, y, labels, n_folds=1)
+        with pytest.raises(ConfigurationError):
+            rolling_origin_evaluation(
+                factory, times, x, y, labels, min_train_fraction=0.0
+            )

@@ -1,0 +1,75 @@
+import importlib
+
+from repro.prediction.taxonomy import build_taxonomy, implemented_leaves, render
+
+
+class TestStructure:
+    def test_four_top_level_branches(self):
+        tree = build_taxonomy()
+        keys = [child.key for child in tree.children]
+        assert keys == [
+            "symptom-monitoring",
+            "undetected-error-auditing",
+            "detected-error-reporting",
+            "failure-tracking",
+        ]
+
+    def test_auditing_branch_has_no_subdivisions(self):
+        # The paper: no known work pursues runtime auditing-based prediction.
+        tree = build_taxonomy()
+        auditing = tree.find("undetected-error-auditing")
+        assert auditing is not None
+        assert auditing.children == []
+        assert auditing.implementations == []
+
+    def test_find_nested(self):
+        tree = build_taxonomy()
+        node = tree.find("detected-error-reporting/pattern-recognition")
+        assert node is not None
+        assert "hsmm" in node.implementations[0]
+
+    def test_find_missing_returns_none(self):
+        assert build_taxonomy().find("nope") is None
+
+    def test_leaves(self):
+        leaves = build_taxonomy().leaves()
+        assert all(not leaf.children for leaf in leaves)
+        assert len(leaves) >= 7
+
+
+class TestImplementations:
+    def test_every_listed_implementation_importable(self):
+        for leaf_key, implementations in implemented_leaves().items():
+            for path in implementations:
+                module_path, class_name = path.split(":")
+                module = importlib.import_module(f"repro.prediction.{module_path}")
+                cls = getattr(module, class_name)
+                assert cls is not None, f"{leaf_key}: {path}"
+
+    def test_implementation_categories_match_leaf(self):
+        for leaf_key, implementations in implemented_leaves().items():
+            for path in implementations:
+                module_path, class_name = path.split(":")
+                module = importlib.import_module(f"repro.prediction.{module_path}")
+                cls = getattr(module, class_name)
+                assert cls.info.category == leaf_key
+
+    def test_all_populated_branches_covered(self):
+        keys = set(implemented_leaves())
+        assert "symptom-monitoring/function-approximation" in keys
+        assert "detected-error-reporting/pattern-recognition" in keys
+        assert "failure-tracking/probability-estimation" in keys
+
+
+class TestRender:
+    def test_render_contains_titles_and_implementations(self):
+        text = render()
+        assert "Online Failure Prediction" in text
+        assert "UBFPredictor" in text
+        assert "HSMMPredictor" in text
+
+    def test_walk_depths(self):
+        tree = build_taxonomy()
+        depths = [depth for depth, _ in tree.walk()]
+        assert depths[0] == 0
+        assert max(depths) == 2

@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.prediction.ubf import UBFPredictor, UBFNetwork, ProbabilisticWrapper
+from repro.prediction.ubf.predictor import (
+    availability_to_nines,
+    nines_to_availability,
+)
+
+
+def fast_predictor(rng, select=True):
+    return UBFPredictor(
+        network=UBFNetwork(n_kernels=5, max_opt_iter=5, rng=rng),
+        wrapper=ProbabilisticWrapper(n_rounds=3, samples_per_round=5, rng=rng),
+        select_variables=select,
+        rng=rng,
+    )
+
+
+@pytest.fixture()
+def availability_problem(rng):
+    """Variable 0 drives availability down; variable 1 is noise."""
+    x = rng.uniform(0, 1, size=(500, 2))
+    unavailability = 1e-5 + 0.01 * np.maximum(x[:, 0] - 0.7, 0.0) ** 2
+    y = 1.0 - unavailability
+    labels = y < 0.9999
+    return x, y, labels
+
+
+class TestNinesTransform:
+    def test_roundtrip(self):
+        a = np.array([0.5, 0.99, 0.9999, 0.999999])
+        np.testing.assert_allclose(
+            nines_to_availability(availability_to_nines(a)), a, atol=1e-6
+        )
+
+    def test_ordering_preserved(self):
+        a = np.array([0.9, 0.99, 0.999])
+        nines = availability_to_nines(a)
+        assert np.all(np.diff(nines) > 0)
+
+    def test_perfect_availability_finite(self):
+        assert np.isfinite(availability_to_nines(np.array([1.0]))[0])
+
+
+class TestUBFPredictor:
+    def test_scores_rank_failures_higher(self, availability_problem, rng):
+        x, y, labels = availability_problem
+        predictor = fast_predictor(rng)
+        predictor.fit(x, y)
+        scores = predictor.score_samples(x)
+        assert scores[labels].mean() > scores[~labels].mean()
+
+    def test_auc_strong_on_easy_problem(self, availability_problem, rng):
+        x, y, labels = availability_problem
+        predictor = fast_predictor(rng)
+        predictor.fit(x, y)
+        assert predictor.auc(x, labels) > 0.9
+
+    def test_variable_selection_finds_driver(self, availability_problem, rng):
+        x, y, _ = availability_problem
+        predictor = fast_predictor(rng)
+        predictor.fit(x, y)
+        assert 0 in predictor.selected_indices_
+
+    def test_no_selection_uses_all(self, availability_problem, rng):
+        x, y, _ = availability_problem
+        predictor = fast_predictor(rng, select=False)
+        predictor.fit(x, y)
+        assert predictor.selected_indices_ == [0, 1]
+        assert predictor.selection_ is None
+
+    def test_boolean_labels_accepted(self, availability_problem, rng):
+        x, _, labels = availability_problem
+        predictor = fast_predictor(rng, select=False)
+        predictor.fit(x, labels.astype(float))
+        scores = predictor.score_samples(x)
+        assert np.isfinite(scores).all()
+
+    def test_predicted_availability_in_unit_interval(
+        self, availability_problem, rng
+    ):
+        x, y, _ = availability_problem
+        predictor = fast_predictor(rng, select=False)
+        predictor.fit(x, y)
+        availability = predictor.predicted_availability(x)
+        assert np.all((0.0 <= availability) & (availability <= 1.0))
+
+    def test_threshold_workflow(self, availability_problem, rng):
+        x, y, labels = availability_problem
+        predictor = fast_predictor(rng, select=False)
+        predictor.fit(x, y)
+        scores = predictor.score_samples(x)
+        threshold = predictor.calibrate_threshold(scores, labels)
+        assert predictor.threshold == threshold
+        table = predictor.evaluate(x, labels)
+        assert table.f_measure > 0.5
+
+    def test_requires_fit(self, rng):
+        with pytest.raises(NotFittedError):
+            fast_predictor(rng).score_samples(np.zeros((1, 2)))
+
+    def test_info_category(self):
+        assert UBFPredictor.info.category == (
+            "symptom-monitoring/function-approximation"
+        )

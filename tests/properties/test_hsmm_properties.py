@@ -1,0 +1,91 @@
+"""Hypothesis property tests for the HMM/HSMM machinery."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.markov import HiddenMarkovModel, HiddenSemiMarkovModel
+
+
+def symbol_sequences(n_symbols=3, min_len=2, max_len=20):
+    return st.lists(
+        st.integers(0, n_symbols - 1), min_size=min_len, max_size=max_len
+    )
+
+
+class TestHMMProperties:
+    @given(symbol_sequences(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_likelihood_is_log_probability(self, sequence, seed):
+        model = HiddenMarkovModel(2, 3, np.random.default_rng(seed))
+        assert model.log_likelihood(sequence) <= 1e-9
+
+    @given(symbol_sequences(min_len=2, max_len=8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_extending_sequence_lowers_likelihood(self, sequence, seed):
+        model = HiddenMarkovModel(2, 3, np.random.default_rng(seed))
+        shorter = model.log_likelihood(sequence[:-1]) if len(sequence) > 1 else 0.0
+        assert model.log_likelihood(sequence) <= shorter + 1e-9
+
+    @given(symbol_sequences(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_viterbi_path_valid(self, sequence, seed):
+        model = HiddenMarkovModel(3, 3, np.random.default_rng(seed))
+        path = model.viterbi(sequence)
+        assert len(path) == len(sequence)
+        assert all(0 <= s < 3 for s in path)
+
+    @given(symbol_sequences(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_posterior_rows_are_distributions(self, sequence, seed):
+        model = HiddenMarkovModel(2, 3, np.random.default_rng(seed))
+        gamma = model.posterior_states(sequence)
+        np.testing.assert_allclose(gamma.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(gamma >= -1e-12)
+
+
+class TestHSMMProperties:
+    @given(symbol_sequences(max_len=14), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_likelihood_is_log_probability(self, sequence, seed):
+        model = HiddenSemiMarkovModel(
+            2, 3, max_duration=4, rng=np.random.default_rng(seed)
+        )
+        assert model.log_likelihood(sequence) <= 1e-9
+
+    @given(symbol_sequences(max_len=12), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_viterbi_segments_partition_sequence(self, sequence, seed):
+        model = HiddenSemiMarkovModel(
+            2, 3, max_duration=4, rng=np.random.default_rng(seed)
+        )
+        segments = model.viterbi(sequence)
+        assert segments[0].start == 0
+        assert segments[-1].end == len(sequence) - 1
+        covered = sum(segment.duration for segment in segments)
+        assert covered == len(sequence)
+        for segment in segments:
+            assert 1 <= segment.duration <= 4
+
+    @given(symbol_sequences(max_len=12), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_viterbi_score_never_exceeds_total_likelihood(self, sequence, seed):
+        """The best single segmentation is one term of the forward sum."""
+        model = HiddenSemiMarkovModel(
+            2, 3, max_duration=4, rng=np.random.default_rng(seed)
+        )
+        segments = model.viterbi(sequence)
+        viterbi_score = model._segmentation_score(
+            np.asarray(sequence, dtype=int), segments
+        )
+        assert viterbi_score <= model.log_likelihood(sequence) + 1e-9
+
+    @given(st.integers(2, 15), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_sampling_round_trip_valid(self, length, seed):
+        rng = np.random.default_rng(seed)
+        model = HiddenSemiMarkovModel(2, 3, max_duration=4, rng=rng)
+        states, observations = model.sample(length, rng)
+        assert len(observations) == length
+        # Generated observations are scoreable.
+        assert np.isfinite(model.log_likelihood(observations))

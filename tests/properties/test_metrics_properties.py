@@ -1,0 +1,84 @@
+"""Hypothesis property tests for prediction metrics."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.prediction import ContingencyTable, auc, roc_curve
+from repro.prediction.thresholds import max_f_threshold
+
+
+def score_label_sets(min_size=4, max_size=200):
+    return st.integers(min_size, max_size).flatmap(
+        lambda n: st.tuples(
+            arrays(np.float64, n, elements=st.floats(-100, 100, allow_nan=False)),
+            arrays(np.bool_, n),
+        )
+    )
+
+
+class TestContingencyProperties:
+    @given(score_label_sets(), st.floats(-100, 100, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_partition_samples(self, data, threshold):
+        scores, labels = data
+        table = ContingencyTable.from_scores(scores, labels, threshold)
+        assert table.tp + table.fp + table.tn + table.fn == scores.size
+
+    @given(score_label_sets(), st.floats(-100, 100, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_metrics_in_unit_interval(self, data, threshold):
+        scores, labels = data
+        table = ContingencyTable.from_scores(scores, labels, threshold)
+        for value in [
+            table.precision,
+            table.recall,
+            table.false_positive_rate,
+            table.f_measure,
+            table.accuracy,
+        ]:
+            assert 0.0 <= value <= 1.0
+
+
+class TestROCProperties:
+    @given(score_label_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_auc_bounds_and_complement(self, data):
+        scores, labels = data
+        assume(labels.any() and not labels.all())
+        value = auc(scores, labels)
+        assert 0.0 <= value <= 1.0
+        # Reversing scores mirrors the ROC curve.
+        assert abs(value - (1.0 - auc(-scores, labels))) < 1e-9
+
+    @given(score_label_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_curve_is_monotone_staircase(self, data):
+        scores, labels = data
+        assume(labels.any() and not labels.all())
+        fpr, tpr, _ = roc_curve(scores, labels)
+        assert np.all(np.diff(fpr) >= -1e-12)
+        assert np.all(np.diff(tpr) >= -1e-12)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    @given(score_label_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_max_f_is_global_max_over_observed_thresholds(self, data):
+        scores, labels = data
+        assume(labels.any())
+        threshold, best_f = max_f_threshold(scores, labels)
+        achieved = ContingencyTable.from_scores(scores, labels, threshold).f_measure
+        assert abs(achieved - best_f) < 1e-9
+        for candidate in np.unique(scores):
+            table = ContingencyTable.from_scores(scores, labels, candidate)
+            assert table.f_measure <= best_f + 1e-9
+
+    @given(score_label_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_classifier_has_auc_one(self, data):
+        scores, labels = data
+        assume(labels.any() and not labels.all())
+        perfect = labels.astype(float)
+        assert auc(perfect, labels) == 1.0

@@ -1,0 +1,100 @@
+"""Hypothesis property tests for the DES engine and SLA checker."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import Engine, Timeout
+from repro.telecom import SLAChecker
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            engine.schedule(delay, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.floats(0.01, 100.0, allow_nan=False), min_size=1, max_size=20)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_process_timeouts_accumulate_exactly(self, delays):
+        engine = Engine()
+        finish = []
+
+        def proc():
+            for delay in delays:
+                yield Timeout(delay)
+            finish.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert abs(finish[0] - sum(delays)) < 1e-6
+
+    @given(st.floats(0.0, 1e5, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_run_until_never_overshoots(self, until):
+        engine = Engine()
+        engine.schedule(until + 1.0, lambda: None)
+        final = engine.run(until=until)
+        assert final == until
+        assert engine.now == until
+
+
+class TestSLAProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10_000), st.floats(0.0, 1.0)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_accounting_conserves_requests(self, batches):
+        checker = SLAChecker(window=300.0)
+        time = 0.0
+        total_requests = 0
+        total_violations = 0
+        for count, violation_fraction in batches:
+            violations = int(count * violation_fraction)
+            checker.record_batch(time, count, violations)
+            total_requests += count
+            total_violations += violations
+            time += 100.0
+        checker.flush(time + 300.0)
+        assert sum(w.total_requests for w in checker.windows) == total_requests
+        assert sum(w.violations for w in checker.windows) == total_violations
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10_000), st.floats(0.0, 1.0)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_availability_always_in_unit_interval(self, batches):
+        checker = SLAChecker(window=300.0)
+        time = 0.0
+        for count, violation_fraction in batches:
+            checker.record_batch(time, count, int(count * violation_fraction))
+            time += 150.0
+        checker.flush(time + 300.0)
+        for _, availability in checker.availability_series():
+            assert 0.0 <= availability <= 1.0
+        assert 0.0 <= checker.overall_availability() <= 1.0
+
+    @given(st.lists(st.floats(0.0, 5000.0), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_windows_are_contiguous(self, times):
+        checker = SLAChecker(window=100.0)
+        for t in sorted(times):
+            checker.record_batch(t, 1, 0)
+        checker.flush(max(times) + 200.0)
+        for prev, cur in zip(checker.windows, checker.windows[1:]):
+            assert cur.start == prev.end

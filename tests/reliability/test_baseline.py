@@ -1,0 +1,87 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import (
+    PFMParameters,
+    RejuvenationModel,
+    TwoStateModel,
+    without_pfm_availability,
+    without_pfm_reliability,
+)
+
+
+class TestTwoStateModel:
+    def test_closed_form(self):
+        model = TwoStateModel(failure_rate=0.1, repair_rate=0.9)
+        assert model.availability() == pytest.approx(0.9)
+        assert model.unavailability() == pytest.approx(0.1)
+
+    def test_matches_ctmc_steady_state(self):
+        model = TwoStateModel(failure_rate=0.2, repair_rate=1.0)
+        pi = model.ctmc.steady_state()
+        assert pi[0] == pytest.approx(model.availability())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoStateModel(failure_rate=0.0, repair_rate=1.0)
+
+
+class TestWithoutPFM:
+    def test_availability_uses_effective_failure_rate(self):
+        params = PFMParameters.paper_example()
+        availability = without_pfm_availability(params)
+        lam = 1.0 / (params.mttf + params.action_time)
+        expected = params.r_f / (lam + params.r_f)
+        assert availability == pytest.approx(expected)
+
+    def test_reliability_is_hypoexponential(self):
+        params = PFMParameters.paper_example()
+        pt = without_pfm_reliability(params)
+        assert pt.mean() == pytest.approx(params.mttf + params.action_time)
+        assert pt.survival(0.0) == pytest.approx(1.0)
+
+    def test_same_fault_process_as_pfm_model(self):
+        """Both models see failure-prone situations at rate F maturing at
+        rate rA; without PFM every one is absorbed."""
+        params = PFMParameters.paper_example()
+        pt = without_pfm_reliability(params)
+        t = pt.transient_matrix
+        assert -t[0, 0] == pytest.approx(params.failure_rate)
+        assert -t[1, 1] == pytest.approx(params.r_a)
+
+
+class TestRejuvenationModel:
+    def make(self, rejuvenation_rate=1.0 / 3600):
+        return RejuvenationModel(
+            aging_rate=1.0 / 10_000,
+            failure_rate=1.0 / 2_000,
+            rejuvenation_rate=rejuvenation_rate,
+            rejuvenation_repair_rate=1.0 / 60,
+            repair_rate=1.0 / 600,
+        )
+
+    def test_availability_in_unit_interval(self):
+        model = self.make()
+        assert 0.9 < model.availability() < 1.0
+
+    def test_rejuvenation_improves_availability(self):
+        """Huang et al.'s core claim: forced short downtime beats unplanned
+        long downtime when aging is present."""
+        without = self.make(rejuvenation_rate=0.0)
+        with_rejuvenation = self.make(rejuvenation_rate=1.0 / 1800)
+        assert with_rejuvenation.availability() > without.availability()
+
+    def test_downtime_split(self):
+        split = self.make().downtime_split()
+        assert set(split) == {"rejuvenating", "failed"}
+        assert all(v >= 0 for v in split.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RejuvenationModel(
+                aging_rate=0.0,
+                failure_rate=1.0,
+                rejuvenation_rate=1.0,
+                rejuvenation_repair_rate=1.0,
+                repair_rate=1.0,
+            )

@@ -1,0 +1,115 @@
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import (
+    CostModel,
+    PFMParameters,
+    no_action_policy_cost,
+    optimal_rejuvenation_interval,
+    pfm_policy_cost,
+    policy_comparison,
+    rejuvenation_policy_cost,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PFMParameters.paper_example()
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return CostModel(unplanned_cost_rate=10.0, planned_cost_rate=1.0,
+                     action_cost_rate=0.0)
+
+
+class TestCostModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(unplanned_cost_rate=-1.0)
+
+
+class TestPolicyCosts:
+    def test_pfm_cheapest_at_paper_point(self, params, costs):
+        rows = policy_comparison(params, costs)
+        assert rows[0].policy == "pfm"
+
+    def test_no_action_has_no_planned_downtime(self, params, costs):
+        row = no_action_policy_cost(params, costs)
+        assert row.planned_downtime_fraction == 0.0
+        assert row.unplanned_downtime_fraction > 0.0
+
+    def test_pfm_downtime_fractions_match_model(self, params, costs):
+        from repro.reliability import PFMModel
+
+        row = pfm_policy_cost(params, costs)
+        split = PFMModel(params).downtime_split()
+        assert row.planned_downtime_fraction == pytest.approx(split["SR"])
+        assert row.unplanned_downtime_fraction == pytest.approx(split["SF"])
+
+    def test_rejuvenation_interval_tradeoff(self, params, costs):
+        """Shorter intervals: more planned, less unplanned downtime."""
+        fast = rejuvenation_policy_cost(params, costs, 3_600.0)
+        slow = rejuvenation_policy_cost(params, costs, 360_000.0)
+        assert fast.planned_downtime_fraction > slow.planned_downtime_fraction
+        assert fast.unplanned_downtime_fraction < slow.unplanned_downtime_fraction
+
+    def test_rejuvenation_validation(self, params, costs):
+        with pytest.raises(ConfigurationError):
+            rejuvenation_policy_cost(params, costs, 0.0)
+
+    def test_optimal_interval_is_best_on_grid(self, params, costs):
+        import numpy as np
+
+        candidates = np.geomspace(1_000.0, 1_000_000.0, 20)
+        interval, best = optimal_rejuvenation_interval(params, costs, candidates)
+        for candidate in candidates:
+            other = rejuvenation_policy_cost(params, costs, float(candidate))
+            assert best.cost_rate <= other.cost_rate + 1e-12
+
+    def test_clock_rejuvenation_useless_with_fast_maturation(self, params, costs):
+        """With a ~100 s pre-failure window, no clock schedule can catch
+        failure-probable states -- the paper's core motivation for
+        prediction-driven action."""
+        _, best = optimal_rejuvenation_interval(params, costs)
+        none = no_action_policy_cost(params, costs)
+        assert best.cost_rate > 0.9 * none.cost_rate
+
+    def test_clock_rejuvenation_profitable_with_slow_aging(self, params, costs):
+        slow = replace(params, mttf=2 * 86_400.0, action_time=6 * 3_600.0)
+        _, best = optimal_rejuvenation_interval(slow, costs)
+        none = no_action_policy_cost(slow, costs)
+        assert best.cost_rate < none.cost_rate
+
+    def test_deterministic_clock_beats_exponential_clock(self, params, costs):
+        """A deterministic schedule wastes less than an exponential one at
+        the same mean interval (no accidental back-to-back restarts) --
+        the reason Dohi et al. moved to semi-Markov models."""
+        from repro.reliability import deterministic_rejuvenation_policy_cost
+
+        slow = replace(params, mttf=2 * 86_400.0, action_time=6 * 3_600.0)
+        interval = 36_000.0
+        deterministic = deterministic_rejuvenation_policy_cost(
+            slow, costs, interval
+        )
+        exponential = rejuvenation_policy_cost(slow, costs, interval)
+        assert deterministic.cost_rate <= exponential.cost_rate * 1.05
+
+    def test_deterministic_rejuvenation_interval_tradeoff(self, params, costs):
+        from repro.reliability import deterministic_rejuvenation_policy_cost
+
+        slow = replace(params, mttf=2 * 86_400.0, action_time=6 * 3_600.0)
+        fast = deterministic_rejuvenation_policy_cost(slow, costs, 3_600.0)
+        rare = deterministic_rejuvenation_policy_cost(slow, costs, 500_000.0)
+        assert fast.planned_downtime_fraction > rare.planned_downtime_fraction
+        assert fast.unplanned_downtime_fraction < rare.unplanned_downtime_fraction
+
+    def test_pfm_wins_in_both_regimes(self, params, costs):
+        for scenario in [
+            params,
+            replace(params, mttf=2 * 86_400.0, action_time=6 * 3_600.0),
+        ]:
+            rows = policy_comparison(scenario, costs)
+            assert rows[0].policy == "pfm"

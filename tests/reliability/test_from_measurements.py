@@ -1,0 +1,71 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.evaluation import PredictorReport
+from repro.prediction.metrics import ContingencyTable
+from repro.reliability import (
+    PFMModel,
+    parameters_from_report,
+    scales_from_failure_log,
+)
+
+
+def make_report(precision=0.7, recall=0.62, fpr=0.016, auc=0.87):
+    return PredictorReport(
+        name="HSMM",
+        precision=precision,
+        recall=recall,
+        false_positive_rate=fpr,
+        f_measure=2 * precision * recall / (precision + recall),
+        auc=auc,
+        threshold=0.0,
+        table=ContingencyTable(tp=1, fp=1, tn=1, fn=1),
+    )
+
+
+class TestParametersFromReport:
+    def test_quality_transferred(self):
+        params = parameters_from_report(make_report(), mttf=10_000.0, mttr=500.0)
+        assert params.quality.precision == pytest.approx(0.7)
+        assert params.quality.recall == pytest.approx(0.62)
+        assert params.quality.fpr == pytest.approx(0.016)
+        assert params.mttf == 10_000.0
+        assert params.mttr == 500.0
+
+    def test_model_builds_from_measured_report(self):
+        params = parameters_from_report(make_report(), mttf=10_000.0, mttr=500.0)
+        model = PFMModel(params)
+        assert 0.9 < model.availability() < 1.0
+
+    def test_degenerate_values_clipped_into_domain(self):
+        report = make_report(precision=1.0, recall=1.0, fpr=0.0)
+        params = parameters_from_report(report, mttf=10_000.0, mttr=500.0)
+        assert 0 < params.quality.fpr < 1
+        # Model still solvable.
+        PFMModel(params).availability()
+
+
+class TestScalesFromFailureLog:
+    def test_mttf_from_episode_gaps(self):
+        # Three episodes at 0, 10000, 20000 with burst breaches inside.
+        failures = [0.0, 300.0, 10_000.0, 10_300.0, 20_000.0]
+        mttf, mttr = scales_from_failure_log(failures, horizon=30_000.0,
+                                             repair_downtime=600.0)
+        assert mttf == pytest.approx(10_000.0)
+        assert mttr == 600.0
+
+    def test_requires_multiple_episodes(self):
+        with pytest.raises(ConfigurationError):
+            scales_from_failure_log([1.0], horizon=100.0, repair_downtime=10.0)
+        with pytest.raises(ConfigurationError):
+            scales_from_failure_log([1.0, 2.0], horizon=100.0, repair_downtime=50.0)
+
+    def test_on_simulated_data(self, small_dataset):
+        mttf, mttr = scales_from_failure_log(
+            small_dataset.failure_times,
+            horizon=small_dataset.config.horizon,
+            repair_downtime=small_dataset.config.post_failure_repair_downtime,
+        )
+        assert mttf > 0
+        # Episodes cannot be more frequent than SLA windows.
+        assert mttf >= small_dataset.config.scp.sla_window

@@ -1,0 +1,133 @@
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    PFMModel,
+    PFMParameters,
+    STATE_NAMES,
+    closed_form_availability,
+)
+from repro.reliability.pfm_model import DOWN_STATES, UP_STATES
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PFMModel(PFMParameters.paper_example())
+
+
+class TestStructure:
+    def test_seven_states_of_fig9(self, model):
+        assert model.ctmc.state_names == list(STATE_NAMES)
+        assert len(STATE_NAMES) == 7
+        assert set(UP_STATES) | set(DOWN_STATES) == set(STATE_NAMES)
+
+    def test_fn_state_has_no_transition_back_to_up(self, model):
+        """'Since nothing is done about the failure there is no transition
+        back to the up-state' (Sect. 5.3)."""
+        q = model.ctmc.generator
+        fn = model.ctmc.index_of("SFN")
+        up = model.ctmc.index_of("S0")
+        assert q[fn, up] == 0.0
+        assert q[fn, model.ctmc.index_of("SF")] > 0.0
+
+    def test_prepared_repair_rate_is_k_times_faster(self, model):
+        q = model.ctmc.generator
+        sr = model.ctmc.index_of("SR")
+        sf = model.ctmc.index_of("SF")
+        s0 = model.ctmc.index_of("S0")
+        assert q[sr, s0] == pytest.approx(model.params.k * q[sf, s0])
+
+    def test_branching_probabilities(self, model):
+        """From STP: P(to SR) = PTP, P(back to S0) = 1 - PTP."""
+        q = model.ctmc.generator
+        stp = model.ctmc.index_of("STP")
+        to_sr = q[stp, model.ctmc.index_of("SR")]
+        to_s0 = q[stp, model.ctmc.index_of("S0")]
+        assert to_sr / (to_sr + to_s0) == pytest.approx(model.params.p_tp)
+
+
+class TestAvailability:
+    def test_closed_form_matches_numeric_steady_state(self, model):
+        assert model.availability() == pytest.approx(
+            model.availability_closed_form(), abs=1e-10
+        )
+
+    def test_availability_in_unit_interval(self, model):
+        assert 0.0 < model.availability() < 1.0
+
+    def test_better_prediction_gives_higher_availability(self):
+        base = PFMParameters.paper_example()
+        better = base.with_quality(recall=0.95)
+        assert (
+            PFMModel(better).availability() > PFMModel(base).availability()
+        )
+
+    def test_higher_k_gives_higher_availability(self):
+        from dataclasses import replace
+
+        base = PFMParameters.paper_example()
+        faster_repair = replace(base, k=4.0)
+        assert (
+            PFMModel(faster_repair).availability()
+            > PFMModel(base).availability()
+        )
+
+    def test_downtime_split_sums_to_unavailability(self, model):
+        split = model.downtime_split()
+        assert sum(split.values()) == pytest.approx(model.unavailability())
+        # The FN path is common, so unprepared downtime should dominate.
+        assert split["SF"] > split["SR"]
+
+    def test_steady_state_sums_to_one(self, model):
+        assert sum(model.steady_state().values()) == pytest.approx(1.0)
+
+
+class TestReliability:
+    def test_reliability_decreasing_from_one(self, model):
+        assert model.reliability(0.0) == pytest.approx(1.0)
+        values = [model.reliability(t) for t in [0.0, 1_000.0, 10_000.0, 50_000.0]]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_mttf_effective_exceeds_unprotected(self, model):
+        """PFM defuses some failure-prone situations, so the mean time to
+        failure must exceed the raw MTTF + action delay."""
+        unprotected = model.params.mttf + model.params.action_time
+        assert model.mttf_effective() > unprotected
+
+    def test_hazard_rises_from_zero_to_plateau(self, model):
+        assert model.hazard_rate(0.0) < 1e-10
+        h_mid = model.hazard_rate(500.0)
+        h_late = model.hazard_rate(2_000.0)
+        assert h_mid > 0
+        assert h_late == pytest.approx(model.hazard_rate(5_000.0), rel=0.05)
+
+    def test_evaluate_curves_keys(self, model):
+        curves = model.evaluate_curves(np.linspace(0, 1000, 5))
+        assert set(curves) >= {"t", "reliability", "hazard"}
+
+
+class TestMonteCarloAgreement:
+    """The analytic quantities must match simulation of the same chain."""
+
+    def test_sampled_occupancy_matches_steady_state(self, model):
+        rng = np.random.default_rng(7)
+        horizon = 3e6
+        path = model.ctmc.sample_path(0, horizon, rng)
+        occupancy = model.ctmc.occupancy_fractions(path, horizon)
+        pi = model.ctmc.steady_state()
+        # Down-state occupancy (the availability-relevant mass).
+        down = [model.ctmc.index_of("SR"), model.ctmc.index_of("SF")]
+        np.testing.assert_allclose(
+            occupancy[down].sum(), pi[down].sum(), rtol=0.25
+        )
+
+    def test_sampled_first_passage_matches_reliability(self, model):
+        rng = np.random.default_rng(11)
+        distribution = model.failure_time_distribution()
+        samples = distribution.sample(rng, size=600)
+        # Empirical survival at two probe times vs analytic R(t).
+        for t in [5_000.0, 20_000.0]:
+            empirical = float((samples > t).mean())
+            analytic = model.reliability(t)
+            assert empirical == pytest.approx(analytic, abs=0.06)
+        assert samples.mean() == pytest.approx(model.mttf_effective(), rel=0.1)

@@ -1,0 +1,87 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import (
+    PFMParameters,
+    PredictionQuality,
+    derive_rates,
+)
+
+
+class TestPredictionQuality:
+    def test_paper_values_accepted(self):
+        quality = PredictionQuality(precision=0.70, recall=0.62, fpr=0.016)
+        assert quality.f_measure == pytest.approx(
+            2 * 0.7 * 0.62 / (0.7 + 0.62)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PredictionQuality(precision=0.0, recall=0.5, fpr=0.01)
+        with pytest.raises(ConfigurationError):
+            PredictionQuality(precision=0.5, recall=1.5, fpr=0.01)
+        with pytest.raises(ConfigurationError):
+            PredictionQuality(precision=0.5, recall=0.5, fpr=0.0)
+
+
+class TestDeriveRates:
+    def quality(self):
+        return PredictionQuality(precision=0.70, recall=0.62, fpr=0.016)
+
+    def test_recall_splits_failure_rate(self):
+        rates = derive_rates(self.quality(), failure_rate=1.0)
+        assert rates.r_tp == pytest.approx(0.62)
+        assert rates.r_fn == pytest.approx(0.38)
+        assert rates.failure_prone_rate == pytest.approx(1.0)
+
+    def test_precision_identity_holds(self):
+        rates = derive_rates(self.quality(), failure_rate=1.0)
+        assert rates.r_tp / (rates.r_tp + rates.r_fp) == pytest.approx(0.70)
+
+    def test_fpr_identity_holds(self):
+        rates = derive_rates(self.quality(), failure_rate=1.0)
+        assert rates.r_fp / (rates.r_fp + rates.r_tn) == pytest.approx(0.016)
+
+    def test_rates_scale_linearly_with_failure_rate(self):
+        base = derive_rates(self.quality(), failure_rate=1.0)
+        scaled = derive_rates(self.quality(), failure_rate=2.0)
+        assert scaled.r_tp == pytest.approx(2 * base.r_tp)
+        assert scaled.total == pytest.approx(2 * base.total)
+
+    def test_rejects_bad_failure_rate(self):
+        with pytest.raises(ConfigurationError):
+            derive_rates(self.quality(), failure_rate=0.0)
+
+
+class TestPFMParameters:
+    def test_paper_example_matches_table2(self):
+        params = PFMParameters.paper_example()
+        assert params.quality.precision == 0.70
+        assert params.quality.recall == 0.62
+        assert params.quality.fpr == 0.016
+        assert params.p_tp == 0.25
+        assert params.p_fp == 0.1
+        assert params.p_tn == 0.001
+        assert params.k == 2.0
+
+    def test_rate_accessors(self):
+        params = PFMParameters.paper_example()
+        assert params.failure_rate == pytest.approx(1.0 / params.mttf)
+        assert params.r_r == pytest.approx(params.k * params.r_f)
+
+    def test_with_quality_sweep_helper(self):
+        params = PFMParameters.paper_example()
+        swept = params.with_quality(recall=0.9)
+        assert swept.quality.recall == 0.9
+        assert swept.quality.precision == 0.70  # unchanged
+        assert params.quality.recall == 0.62  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PFMParameters(
+                quality=PredictionQuality(0.7, 0.62, 0.016), p_tp=1.5
+            )
+        with pytest.raises(ConfigurationError):
+            PFMParameters(quality=PredictionQuality(0.7, 0.62, 0.016), k=0.0)
+        with pytest.raises(ConfigurationError):
+            PFMParameters(quality=PredictionQuality(0.7, 0.62, 0.016), mttf=-1)

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    PFMParameters,
+    asymptotic_unavailability_ratio,
+    hazard_curves,
+    reliability_curves,
+    unavailability_ratio,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PFMParameters.paper_example()
+
+
+class TestEq14Ratio:
+    def test_asymptotic_ratio_matches_paper(self, params):
+        """Eq. 14: 'unavailability is roughly cut down by half' (~0.488)."""
+        assert asymptotic_unavailability_ratio(params) == pytest.approx(
+            0.488, abs=0.005
+        )
+
+    def test_finite_ratio_below_one(self, params):
+        ratio = unavailability_ratio(params)
+        assert 0.0 < ratio < 1.0
+
+    def test_finite_ratio_converges_to_asymptotic(self, params):
+        """Shrinking MTTR and action time pushes the finite-rate ratio to
+        the scale-free limit."""
+        from dataclasses import replace
+
+        tight = replace(params, mttr=5.0, action_time=0.5)
+        assert unavailability_ratio(tight) == pytest.approx(
+            asymptotic_unavailability_ratio(params), abs=0.01
+        )
+
+    def test_useless_predictor_does_not_help(self, params):
+        """With recall ~ 0 (never warns), PFM cannot reduce unavailability."""
+        useless = params.with_quality(recall=0.01, precision=0.5)
+        assert asymptotic_unavailability_ratio(useless) > 0.95
+
+    def test_perfect_pfm_limit(self):
+        """Perfect prediction + perfect avoidance -> unavailability ~ 0."""
+        from dataclasses import replace
+
+        perfect = replace(
+            PFMParameters.paper_example(),
+            p_tp=0.0,
+            p_fp=0.0,
+            p_tn=0.0,
+        ).with_quality(recall=0.999, precision=0.999)
+        assert asymptotic_unavailability_ratio(perfect) < 0.01
+
+
+class TestCurves:
+    def test_reliability_with_pfm_dominates(self, params):
+        """Fig. 10(a): the PFM curve lies above the non-PFM curve."""
+        ts = np.linspace(0.0, 50_000.0, 26)
+        curves = reliability_curves(params, ts)
+        assert np.all(curves["with_pfm"][1:] > curves["without_pfm"][1:])
+
+    def test_reliability_curves_start_at_one(self, params):
+        curves = reliability_curves(params, [0.0])
+        assert curves["with_pfm"][0] == pytest.approx(1.0)
+        assert curves["without_pfm"][0] == pytest.approx(1.0)
+
+    def test_hazard_with_pfm_lower(self, params):
+        """Fig. 10(b): PFM roughly halves the hazard plateau."""
+        ts = np.linspace(100.0, 1_000.0, 10)
+        curves = hazard_curves(params, ts)
+        assert np.all(curves["with_pfm"] < curves["without_pfm"])
+        plateau_ratio = curves["with_pfm"][-1] / curves["without_pfm"][-1]
+        assert 0.3 < plateau_ratio < 0.7
+
+    def test_hazard_plateau_matches_fig10_axis(self, params):
+        """The non-PFM hazard plateau sits near 8e-5 1/s (Fig. 10b y-axis)."""
+        curves = hazard_curves(params, [1_000.0])
+        assert curves["without_pfm"][0] == pytest.approx(8e-5, rel=0.05)
+
+    def test_hazard_starts_at_zero(self, params):
+        curves = hazard_curves(params, [0.0])
+        assert curves["with_pfm"][0] < 1e-9
+        assert curves["without_pfm"][0] < 1e-9

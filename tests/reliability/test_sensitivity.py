@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import (
+    PFMParameters,
+    sweep_availability,
+    sweep_unavailability_ratio,
+)
+from repro.reliability.sensitivity import break_even_p_fp
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PFMParameters.paper_example()
+
+
+class TestSweeps:
+    def test_availability_increases_with_recall(self, params):
+        results = sweep_availability(params, "recall", [0.2, 0.5, 0.8, 0.99])
+        values = [a for _, a in results]
+        assert values == sorted(values)
+
+    def test_unavailability_ratio_improves_with_precision(self, params):
+        """Higher precision means fewer false alarms and fewer induced
+        failures, so the Eq. 14 ratio falls.  (Finite-rate *availability*
+        is deliberately not asserted here: in the Fig. 9 chain a sloppier
+        predictor raises the total prediction rate, which keeps the process
+        out of S0 -- the only state where failure-prone situations arise --
+        an artifact of the model structure documented in DESIGN.md.)"""
+        from repro.reliability import asymptotic_unavailability_ratio
+
+        ratios = [
+            asymptotic_unavailability_ratio(params.with_quality(precision=p))
+            for p in [0.3, 0.6, 0.9]
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_availability_decreases_with_p_fp(self, params):
+        results = sweep_availability(params, "p_fp", [0.0, 0.2, 0.5, 0.9])
+        values = [a for _, a in results]
+        assert values == sorted(values, reverse=True)
+
+    def test_ratio_decreases_with_k(self, params):
+        results = sweep_unavailability_ratio(params, "k", [1.0, 2.0, 4.0, 8.0])
+        values = [r for _, r in results]
+        assert values == sorted(values, reverse=True)
+
+    def test_sweep_returns_pairs(self, params):
+        results = sweep_availability(params, "recall", [0.5])
+        assert results[0][0] == 0.5
+        assert 0 < results[0][1] < 1
+
+    def test_unknown_field_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            sweep_availability(params, "nonsense", [1.0])
+
+
+class TestBreakEven:
+    def test_paper_parameters_are_profitable(self, params):
+        """At the Table 2 operating point PFM helps, so the break-even
+        induced-failure probability is above the assumed 0.1."""
+        assert break_even_p_fp(params) > params.p_fp
+
+    def test_break_even_monotone_in_recall(self, params):
+        """A better predictor tolerates more collateral damage."""
+        low = break_even_p_fp(params.with_quality(recall=0.3))
+        high = break_even_p_fp(params.with_quality(recall=0.9))
+        assert high >= low

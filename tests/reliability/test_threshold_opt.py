@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.thresholds import max_f_threshold
+from repro.reliability import (
+    PFMParameters,
+    dependability_optimal_threshold,
+    threshold_ratio_curve,
+)
+from repro.reliability.threshold_opt import quality_at_threshold
+
+
+@pytest.fixture(scope="module")
+def scored_problem():
+    rng = np.random.default_rng(42)
+    n = 3_000
+    labels = rng.random(n) < 0.05
+    scores = labels * 1.0 + 0.7 * rng.standard_normal(n)
+    return scores, labels
+
+
+class TestQualityAtThreshold:
+    def test_returns_domain_safe_quality(self, scored_problem):
+        scores, labels = scored_problem
+        quality = quality_at_threshold(scores, labels, 0.5)
+        assert quality is not None
+        assert 0 < quality.precision <= 1
+        assert 0 < quality.fpr < 1
+
+    def test_degenerate_threshold_returns_none(self, scored_problem):
+        scores, labels = scored_problem
+        assert quality_at_threshold(scores, labels, scores.max() + 1.0) is None
+
+
+class TestRatioCurve:
+    def test_curve_points_are_valid(self, scored_problem):
+        scores, labels = scored_problem
+        params = PFMParameters.paper_example()
+        points = threshold_ratio_curve(scores, labels, params)
+        assert len(points) > 10
+        for point in points:
+            assert 0.0 < point.unavailability_ratio
+        thresholds = [p.threshold for p in points]
+        assert thresholds == sorted(thresholds)
+
+    def test_validation(self):
+        params = PFMParameters.paper_example()
+        with pytest.raises(ConfigurationError):
+            threshold_ratio_curve(
+                np.array([1.0, 2.0]), np.array([False, False]), params
+            )
+
+
+class TestDependabilityOptimum:
+    def test_optimum_is_minimum_of_curve(self, scored_problem):
+        scores, labels = scored_problem
+        params = PFMParameters.paper_example()
+        best = dependability_optimal_threshold(scores, labels, params)
+        curve = threshold_ratio_curve(scores, labels, params)
+        assert best.unavailability_ratio == min(
+            p.unavailability_ratio for p in curve
+        )
+
+    def test_optimum_at_least_as_good_as_max_f(self, scored_problem):
+        """The model-aware threshold cannot do worse (in model terms) than
+        the F-measure threshold -- the point of closing the loop."""
+        from dataclasses import replace
+
+        scores, labels = scored_problem
+        params = PFMParameters.paper_example()
+        best = dependability_optimal_threshold(scores, labels, params)
+        f_threshold, _ = max_f_threshold(scores, labels)
+        f_quality = quality_at_threshold(scores, labels, f_threshold)
+        assert f_quality is not None
+        from repro.reliability import asymptotic_unavailability_ratio
+
+        f_ratio = asymptotic_unavailability_ratio(
+            replace(params, quality=f_quality)
+        )
+        assert best.unavailability_ratio <= f_ratio + 1e-12
+
+    def test_optimum_favors_recall_over_precision(self, scored_problem):
+        """Misses cost unprepared downtime; false alarms only cost P_FP
+        risk -- so the model-optimal point sits at higher recall than
+        max-F."""
+        scores, labels = scored_problem
+        params = PFMParameters.paper_example()
+        best = dependability_optimal_threshold(scores, labels, params)
+        f_threshold, _ = max_f_threshold(scores, labels)
+        f_quality = quality_at_threshold(scores, labels, f_threshold)
+        assert best.quality.recall >= f_quality.recall

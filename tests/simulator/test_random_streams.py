@@ -1,0 +1,45 @@
+import numpy as np
+
+from repro.simulator import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).get("workload").random(5)
+        b = RandomStreams(42).get("workload").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(42)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("x").random(5)
+        b = RandomStreams(2).get("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_get_caches_generator_state(self):
+        streams = RandomStreams(0)
+        first = streams.get("x").random(3)
+        second = streams.get("x").random(3)
+        assert not np.array_equal(first, second)  # continues, not restarts
+
+    def test_fresh_restarts(self):
+        streams = RandomStreams(0)
+        streams.get("x").random(3)
+        fresh = streams.fresh("x").random(3)
+        restart = RandomStreams(0).get("x").random(3)
+        np.testing.assert_array_equal(fresh, restart)
+
+    def test_spawn_namespaces(self):
+        parent = RandomStreams(7)
+        child_a = parent.spawn("child")
+        child_b = RandomStreams(7).spawn("child")
+        np.testing.assert_array_equal(
+            child_a.get("x").random(4), child_b.get("x").random(4)
+        )
+        assert not np.array_equal(
+            child_a.fresh("x").random(4), parent.fresh("x").random(4)
+        )

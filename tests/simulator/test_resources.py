@@ -1,0 +1,158 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import Engine, Resource, Store, Timeout
+
+
+def run_workers(capacity, n_workers, service=3.0):
+    engine = Engine()
+    resource = Resource(engine, capacity=capacity)
+    log = []
+
+    def worker(i):
+        yield resource.request()
+        log.append(("start", i, engine.now))
+        yield Timeout(service)
+        resource.release()
+        log.append(("end", i, engine.now))
+
+    for i in range(n_workers):
+        engine.process(worker(i))
+    engine.run()
+    return log, resource
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        log, _ = run_workers(capacity=2, n_workers=4)
+        starts = {i: t for kind, i, t in log if kind == "start"}
+        assert starts[0] == 0.0 and starts[1] == 0.0
+        assert starts[2] == 3.0 and starts[3] == 3.0
+
+    def test_fifo_ordering(self):
+        log, _ = run_workers(capacity=1, n_workers=3)
+        start_order = [i for kind, i, _ in log if kind == "start"]
+        assert start_order == [0, 1, 2]
+
+    def test_release_without_acquire_raises(self):
+        engine = Engine()
+        resource = Resource(engine)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_queue_length(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker():
+            yield resource.request()
+            yield Timeout(10.0)
+            resource.release()
+
+        for _ in range(3):
+            engine.process(worker())
+        engine.run(until=1.0)
+        assert resource.in_use == 1
+        assert resource.queue_length == 2
+
+    def test_drain_queue_drops_waiters(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        completed = []
+
+        def worker(i):
+            yield resource.request()
+            yield Timeout(5.0)
+            resource.release()
+            completed.append(i)
+
+        for i in range(3):
+            engine.process(worker(i))
+        engine.run(until=1.0)
+        dropped = resource.drain_queue()
+        engine.run()
+        assert dropped == 2
+        assert completed == [0]
+
+    def test_utilization_accounting(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker():
+            yield resource.request()
+            yield Timeout(5.0)
+            resource.release()
+
+        engine.process(worker())
+        engine.run(until=10.0)
+        assert resource.utilization() == pytest.approx(0.5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Engine(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        engine = Engine()
+        store = Store(engine)
+        received = []
+
+        def consumer():
+            item = yield store.get()
+            received.append((item, engine.now))
+
+        store.put("early")
+        engine.process(consumer())
+        engine.run()
+        assert received == [("early", 0.0)]
+
+    def test_get_blocks_until_put(self):
+        engine = Engine()
+        store = Store(engine)
+        received = []
+
+        def consumer():
+            item = yield store.get()
+            received.append((item, engine.now))
+
+        engine.process(consumer())
+        engine.schedule(7.0, lambda: store.put("late"))
+        engine.run()
+        assert received == [("late", 7.0)]
+
+    def test_capacity_causes_drops(self):
+        engine = Engine()
+        store = Store(engine, capacity=2)
+        assert store.put(1) and store.put(2)
+        assert not store.put(3)
+        assert store.dropped == 1
+        assert store.level == 2
+
+    def test_clear(self):
+        engine = Engine()
+        store = Store(engine)
+        store.put(1)
+        store.put(2)
+        assert store.clear() == 2
+        assert store.level == 0
+
+    def test_fifo_order(self):
+        engine = Engine()
+        store = Store(engine)
+        got = []
+
+        def consumer():
+            for _ in range(2):
+                item = yield store.get()
+                got.append(item)
+
+        store.put("a")
+        store.put("b")
+        engine.process(consumer())
+        engine.run()
+        assert got == ["a", "b"]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Engine(), capacity=0)

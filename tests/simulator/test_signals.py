@@ -1,0 +1,54 @@
+from repro.simulator import Engine, Signal, Timeout
+
+
+class TestSignal:
+    def test_trigger_wakes_all_waiters_with_payload(self):
+        engine = Engine()
+        signal = Signal("go")
+        received = []
+
+        def waiter(name):
+            payload = yield signal
+            received.append((name, payload, engine.now))
+
+        engine.process(waiter("a"))
+        engine.process(waiter("b"))
+        engine.schedule(5.0, lambda: signal.trigger("payload"))
+        engine.run()
+        assert sorted(received) == [("a", "payload", 5.0), ("b", "payload", 5.0)]
+
+    def test_trigger_with_no_waiters_is_noop(self):
+        signal = Signal()
+        assert signal.trigger("x") == 0
+
+    def test_waiters_cleared_after_trigger(self):
+        engine = Engine()
+        signal = Signal()
+
+        def waiter():
+            yield signal
+
+        engine.process(waiter())
+        engine.run(max_events=1)  # start the process so it registers
+        assert signal.waiter_count == 1
+        signal.trigger()
+        assert signal.waiter_count == 0
+
+    def test_process_completion_signal(self):
+        engine = Engine()
+        order = []
+
+        def worker():
+            yield Timeout(2.0)
+            order.append("worker done")
+            return "result"
+
+        handle = engine.process(worker())
+
+        def awaiter():
+            value = yield handle.completion
+            order.append(f"awaiter saw {value}")
+
+        engine.process(awaiter())
+        engine.run()
+        assert order == ["worker done", "awaiter saw result"]

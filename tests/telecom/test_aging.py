@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator import Engine
+from repro.telecom import Component, NaturalAgingProcess, Tier
+
+
+def make_component():
+    return Component(
+        name="c", tier=Tier.SERVICE_LOGIC, capacity=2,
+        service_time=0.02, memory_mb=4096.0,
+    )
+
+
+class TestNaturalAging:
+    def test_memory_slowly_leaks(self, rng):
+        engine = Engine()
+        component = make_component()
+        aging = NaturalAgingProcess(
+            component, rng, leak_rate_mb=1.0, leak_period=30.0,
+            gc_period=1e12,  # effectively no GC
+        )
+        aging.start(engine)
+        engine.run(until=6 * 3600.0)
+        assert component.leaked_mb > 100.0
+
+    def test_gc_bounds_the_leak(self, rng):
+        engine = Engine()
+        with_gc = make_component()
+        aging = NaturalAgingProcess(
+            with_gc, rng, leak_rate_mb=1.0, leak_period=30.0,
+            gc_period=600.0, gc_effectiveness=0.9,
+        )
+        aging.start(engine)
+        engine.run(until=24 * 3600.0)
+        # GC keeps it far from exhaustion (mild by design).
+        assert with_gc.swap_activity == 0.0
+
+    def test_stop_halts_aging(self, rng):
+        engine = Engine()
+        component = make_component()
+        aging = NaturalAgingProcess(component, rng, leak_period=10.0)
+        aging.start(engine)
+        engine.schedule(100.0, aging.stop)
+        engine.run(until=200.0)
+        leaked = component.leaked_mb
+        engine2 = Engine()  # nothing scheduled anymore anyway
+        assert component.leaked_mb == leaked
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            NaturalAgingProcess(make_component(), rng, leak_period=0.0)
+        with pytest.raises(ConfigurationError):
+            NaturalAgingProcess(make_component(), rng, gc_effectiveness=2.0)

@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telecom import DatasetConfig, generate_dataset
+from repro.telecom.dataset import prepare_simulation
+
+
+class TestConfig:
+    def test_rejects_horizon_before_warmup(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(horizon=100.0, warmup=200.0)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(sample_interval=0.0)
+
+
+class TestGeneration:
+    def test_dataset_has_failures_and_errors(self, small_dataset):
+        assert len(small_dataset.failure_log) > 0
+        assert len(small_dataset.error_log) > 100
+
+    def test_monitoring_covers_system_gauges(self, small_dataset):
+        for variable in ["cpu_utilization", "memory_free_mb", "swap_activity"]:
+            assert variable in small_dataset.store
+
+    def test_reproducible(self):
+        cfg = DatasetConfig(horizon=6 * 3600.0, seed=9)
+        a = generate_dataset(cfg)
+        b = generate_dataset(cfg)
+        assert a.failure_times == b.failure_times
+        assert len(a.error_log) == len(b.error_log)
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(DatasetConfig(horizon=12 * 3600.0, seed=1))
+        b = generate_dataset(DatasetConfig(horizon=12 * 3600.0, seed=2))
+        assert a.failure_times != b.failure_times
+
+    def test_prepare_then_run_equals_generate(self):
+        cfg = DatasetConfig(horizon=6 * 3600.0, seed=9)
+        via_prepare = prepare_simulation(cfg).run()
+        direct = generate_dataset(cfg)
+        assert via_prepare.failure_times == direct.failure_times
+
+
+class TestUBFSamples:
+    def test_shapes_align(self, small_dataset):
+        grid, x, y_avail, y_fail = small_dataset.ubf_samples(
+            variables=["cpu_utilization", "swap_activity"]
+        )
+        assert x.shape == (grid.size, 2)
+        assert y_avail.shape == (grid.size,)
+        assert y_fail.shape == (grid.size,)
+
+    def test_grid_respects_warmup_and_horizon(self, small_dataset):
+        grid = small_dataset.sample_grid()
+        cfg = small_dataset.config
+        assert grid[0] >= cfg.warmup
+        assert grid[-1] <= cfg.horizon - cfg.lead_time
+
+    def test_labels_imply_low_availability(self, small_dataset):
+        _, _, y_avail, y_fail = small_dataset.ubf_samples(
+            variables=["cpu_utilization"]
+        )
+        required = small_dataset.config.scp.required_availability
+        assert np.all(y_avail[y_fail] < required)
+        assert np.all(y_avail[~y_fail] >= required)
+
+    def test_some_positive_labels(self, small_dataset):
+        _, _, _, y_fail = small_dataset.ubf_samples(variables=["cpu_utilization"])
+        assert 0 < y_fail.sum() < y_fail.size
+
+
+class TestErrorSequences:
+    def test_labels_and_counts(self, small_dataset):
+        failure_seqs, nonfailure_seqs = small_dataset.error_sequences()
+        assert failure_seqs and nonfailure_seqs
+        assert all(s.label for s in failure_seqs)
+        assert all(not s.label for s in nonfailure_seqs)
+
+    def test_failure_windows_end_before_failure_by_lead_time(self, small_dataset):
+        cfg = small_dataset.config
+        failure_times = np.asarray(small_dataset.failure_times)
+        failure_seqs, _ = small_dataset.error_sequences()
+        for seq in failure_seqs:
+            window_end = seq.origin + cfg.data_window
+            # Some failure at exactly lead_time after the window end.
+            assert np.any(
+                np.isclose(failure_times, window_end + cfg.lead_time, atol=1e-6)
+            )
+
+    def test_nonfailure_windows_are_quiet(self, small_dataset):
+        cfg = small_dataset.config
+        failure_times = np.asarray(small_dataset.failure_times)
+        _, nonfailure_seqs = small_dataset.error_sequences()
+        for seq in nonfailure_seqs:
+            end = seq.origin + cfg.data_window + cfg.lead_time
+            inside = (failure_times >= seq.origin) & (failure_times <= end)
+            assert not inside.any()
+
+    def test_events_within_window(self, small_dataset):
+        cfg = small_dataset.config
+        failure_seqs, nonfailure_seqs = small_dataset.error_sequences()
+        for seq in failure_seqs + nonfailure_seqs:
+            assert np.all(seq.times >= seq.origin)
+            assert np.all(seq.times <= seq.origin + cfg.data_window)

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telecom import SLAChecker, WindowStats
+
+
+class TestWindowStats:
+    def test_interval_availability(self):
+        stats = WindowStats(start=0, end=300, total_requests=10_000, violations=5)
+        assert stats.interval_availability == pytest.approx(0.9995)
+
+    def test_empty_window_is_fully_available(self):
+        stats = WindowStats(start=0, end=300, total_requests=0, violations=0)
+        assert stats.interval_availability == 1.0
+        assert not stats.is_failure(0.9999)
+
+    def test_four_nines_boundary(self):
+        # Exactly 0.01% violations is still compliant (Eq. 2: must not exceed).
+        ok = WindowStats(0, 300, total_requests=10_000, violations=1)
+        assert not ok.is_failure(0.9999)
+        bad = WindowStats(0, 300, total_requests=10_000, violations=2)
+        assert bad.is_failure(0.9999)
+
+
+class TestSLAChecker:
+    def test_windows_roll_at_boundaries(self):
+        checker = SLAChecker(window=300.0)
+        checker.record_batch(10.0, 100, 0)
+        checker.record_batch(310.0, 100, 0)  # forces first window closed
+        assert len(checker.windows) == 1
+        assert checker.windows[0].total_requests == 100
+
+    def test_failure_detection_and_callback(self):
+        failures = []
+        checker = SLAChecker(window=300.0, on_failure=failures.append)
+        checker.record_batch(0.0, 10_000, 50)
+        checker.flush(300.0)
+        assert checker.failure_count() == 1
+        assert failures[0].time == 300.0
+        assert "interval availability" in failures[0].description
+
+    def test_compliant_window_no_failure(self):
+        checker = SLAChecker(window=300.0)
+        checker.record_batch(0.0, 100_000, 5)  # 0.005% < 0.01%
+        checker.flush(300.0)
+        assert checker.failure_count() == 0
+
+    def test_record_request_uses_deadline(self):
+        checker = SLAChecker(window=10.0, deadline=0.250)
+        checker.record_request(0.0, 0.3)
+        checker.record_request(1.0, 0.1)
+        checker.flush(10.0)
+        assert checker.windows[0].violations == 1
+        assert checker.windows[0].total_requests == 2
+
+    def test_flush_closes_multiple_empty_windows(self):
+        checker = SLAChecker(window=100.0)
+        checker.flush(350.0)
+        assert len(checker.windows) == 3
+        assert all(w.total_requests == 0 for w in checker.windows)
+
+    def test_availability_series_and_overall(self):
+        checker = SLAChecker(window=100.0)
+        checker.record_batch(0.0, 1000, 500)  # failed window
+        checker.record_batch(100.0, 1000, 0)  # clean window
+        checker.flush(200.0)
+        series = checker.availability_series()
+        assert series[0] == (100.0, pytest.approx(0.5))
+        assert checker.overall_availability() == pytest.approx(0.5)
+
+    def test_violations_cannot_exceed_total(self):
+        checker = SLAChecker()
+        with pytest.raises(ConfigurationError):
+            checker.record_batch(0.0, 5, 6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SLAChecker(window=0.0)
+        with pytest.raises(ConfigurationError):
+            SLAChecker(required_availability=1.5)
+        with pytest.raises(ConfigurationError):
+            SLAChecker(deadline=-0.1)

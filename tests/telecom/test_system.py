@@ -1,0 +1,143 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator import Engine, RandomStreams
+from repro.telecom import Protocol, SCPConfig, SCPSystem
+
+
+def make_system(**kwargs):
+    engine = Engine()
+    streams = RandomStreams(3)
+    config = SCPConfig(**kwargs)
+    return engine, SCPSystem(engine, streams, config)
+
+
+class TestTopology:
+    def test_component_inventory(self):
+        _, system = make_system(n_containers=3)
+        assert len(system.containers) == 3
+        assert set(system.frontends) == set(Protocol)
+        assert system.database.name == "database"
+        assert len(system.all_components()) == 3 + 3 + 1
+
+    def test_component_lookup(self):
+        _, system = make_system()
+        assert system.component("container-0").name == "container-0"
+        with pytest.raises(ConfigurationError):
+            system.component("nope")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SCPConfig(n_containers=0)
+        with pytest.raises(ConfigurationError):
+            SCPConfig(tick=0.0)
+
+
+class TestHealthyOperation:
+    def test_no_failures_without_faults(self):
+        engine, system = make_system(enable_aging=False)
+        system.start()
+        engine.run(until=4 * 3600.0)
+        system.sla.flush(4 * 3600.0)
+        assert len(system.failure_log) == 0
+        assert system.sla.overall_availability() == 1.0
+
+    def test_ticks_and_telemetry(self):
+        engine, system = make_system(enable_aging=False)
+        system.start()
+        engine.run(until=600.0)
+        assert system.ticks_run >= 100
+        assert system.last_request_rate > 0
+        assert 0 < system.last_mean_rt < 0.25
+
+    def test_gauges_cover_components(self):
+        _, system = make_system(n_containers=2)
+        names = {g.variable for g in system.all_gauges()}
+        assert "cpu_utilization" in names
+        assert "container-0.memory_free_mb" in names
+        assert "database.stretch" in names
+
+
+class TestDegradedOperation:
+    def test_memory_exhaustion_causes_failures(self):
+        engine, system = make_system(enable_aging=False)
+        system.start()
+        # Exhaust one container's memory after 10 minutes.
+        def exhaust():
+            container = system.containers[0]
+            container.leak_memory(0.68 * container.memory_mb)
+        engine.schedule(600.0, exhaust)
+        engine.run(until=3600.0)
+        system.sla.flush(3600.0)
+        assert len(system.failure_log) > 0
+
+    def test_failover_prevents_failures(self):
+        engine, system = make_system(enable_aging=False)
+        system.start()
+        def exhaust_and_migrate():
+            container = system.containers[0]
+            container.leak_memory(0.68 * container.memory_mb)
+            system.migrate_load("container-0", "container-1", fraction=1.0)
+        engine.schedule(600.0, exhaust_and_migrate)
+        engine.run(until=3600.0)
+        system.sla.flush(3600.0)
+        assert len(system.failure_log) == 0
+
+    def test_all_containers_down_fails_everything(self):
+        engine, system = make_system(n_containers=2, enable_aging=False)
+        system.start()
+        def kill_all():
+            for c in system.containers:
+                system.restart_component(c.name, duration=600.0)
+        engine.schedule(300.0, kill_all)
+        engine.run(until=900.0)
+        system.sla.flush(900.0)
+        assert len(system.failure_log) > 0
+
+
+class TestCountermeasureHooks:
+    def test_admission_control_reduces_rate(self):
+        engine, system = make_system(enable_aging=False)
+        system.start()
+        engine.run(until=300.0)
+        full_rate = system.last_request_rate
+        system.set_admission_fraction(0.5)
+        engine.run(until=600.0)
+        assert system.last_request_rate < 0.75 * full_rate
+        assert system.rejected_requests > 0
+
+    def test_admission_validation(self):
+        _, system = make_system()
+        with pytest.raises(ConfigurationError):
+            system.set_admission_fraction(1.5)
+
+    def test_weight_migration(self):
+        _, system = make_system()
+        system.migrate_load("container-0", "container-1", fraction=0.5)
+        assert system.weights["container-0"] == pytest.approx(0.5)
+        assert system.weights["container-1"] == pytest.approx(1.5)
+
+    def test_weight_validation(self):
+        _, system = make_system()
+        with pytest.raises(ConfigurationError):
+            system.set_weight("container-0", -1.0)
+        with pytest.raises(ConfigurationError):
+            system.set_weight("nope", 1.0)
+
+    def test_restart_clears_state_after_duration(self):
+        engine, system = make_system(enable_aging=False)
+        system.start()
+        container = system.containers[0]
+        container.leak_memory(500.0)
+        system.restart_component("container-0", duration=60.0)
+        engine.run(until=120.0)
+        assert container.leaked_mb == 0.0
+        assert container.restarting_until is None
+
+    def test_cleanup_component(self):
+        _, system = make_system()
+        container = system.containers[0]
+        container.leak_memory(100.0)
+        system.cleanup_component("container-0", effectiveness=1.0)
+        assert container.leaked_mb == 0.0

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telecom import export_traces, load_traces
+
+
+@pytest.fixture(scope="module")
+def exported(small_dataset, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("traces")
+    export_traces(small_dataset, directory)
+    return small_dataset, directory
+
+
+class TestExport:
+    def test_all_files_written(self, exported):
+        _, directory = exported
+        for name in ["monitoring.csv", "errors.csv", "failures.csv",
+                     "faultload.csv", "meta.json"]:
+            assert (directory / name).exists()
+            assert (directory / name).stat().st_size > 0
+
+
+class TestRoundTrip:
+    def test_failure_times_preserved(self, exported):
+        dataset, directory = exported
+        loaded = load_traces(directory)
+        np.testing.assert_allclose(
+            loaded.failure_times, dataset.failure_times, atol=1e-3
+        )
+
+    def test_error_log_preserved(self, exported):
+        dataset, directory = exported
+        loaded = load_traces(directory)
+        assert len(loaded.error_log) == len(dataset.error_log)
+        original = dataset.error_log.records[10]
+        recovered = loaded.error_log.records[10]
+        assert recovered.message_id == original.message_id
+        assert recovered.component == original.component
+
+    def test_monitoring_series_preserved(self, exported):
+        dataset, directory = exported
+        loaded = load_traces(directory)
+        assert loaded.variables == dataset.store.variables
+        variable = dataset.store.variables[0]
+        np.testing.assert_allclose(
+            loaded.store.series(variable).values[:50],
+            dataset.store.series(variable).values[:50],
+            rtol=1e-5,
+        )
+
+    def test_faultload_ground_truth_preserved(self, exported):
+        dataset, directory = exported
+        loaded = load_traces(directory)
+        assert len(loaded.faultload) == len(dataset.faultload)
+        assert loaded.faultload.kinds() == dataset.faultload.kinds()
+
+    def test_meta_round_trip(self, exported):
+        dataset, directory = exported
+        loaded = load_traces(directory)
+        assert loaded.meta["seed"] == dataset.config.seed
+        assert loaded.meta["n_failures"] == len(dataset.failure_log)
+
+    def test_loaded_traces_feed_predictors(self, exported):
+        """A loaded trace supports the same window queries predictors use."""
+        dataset, directory = exported
+        loaded = load_traces(directory)
+        window = loaded.error_log.window(0.0, dataset.config.horizon)
+        assert len(window) == len(dataset.error_log)
+        grid = np.arange(3_600.0, 7_200.0, 60.0)
+        matrix = loaded.store.matrix(["cpu_utilization"], grid)
+        assert matrix.shape == (grid.size, 1)
+        assert np.isfinite(matrix).all()
+
+
+class TestValidation:
+    def test_missing_files_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_traces(tmp_path)

@@ -1,0 +1,55 @@
+"""CLI tests (fast commands only; the simulation commands are covered by
+their underlying modules and benches)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        )
+        assert set(subparsers.choices) == {
+            "model", "curves", "case-study", "closed-loop", "taxonomy",
+            "policies",
+        }
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestFastCommands:
+    def test_model_defaults(self, capsys):
+        assert main(["model"]) == 0
+        out = capsys.readouterr().out
+        assert "availability with PFM" in out
+        assert "0.979916" in out
+        assert "0.487" in out  # Eq. 14 asymptotic
+
+    def test_model_custom_quality(self, capsys):
+        assert main(["model", "--recall", "0.9", "--precision", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "availability with PFM" in out
+
+    def test_curves(self, capsys):
+        assert main(["curves", "--points", "3", "--horizon", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "R_pfm" in out
+        assert out.count("\n") >= 4
+
+    def test_taxonomy(self, capsys):
+        assert main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert "Online Failure Prediction" in out
+        assert "UBFPredictor" in out
+
+    def test_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "pfm" in out
+        assert "rejuvenation@" in out
+        assert "none" in out

@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import ascii_chart, ascii_histogram, sparkline, table
+
+
+class TestAsciiChart:
+    def test_renders_all_series_markers(self):
+        chart = ascii_chart(
+            {"a": [0, 1, 2, 3], "b": [3, 2, 1, 0]}, width=20, height=6
+        )
+        assert "o" in chart and "x" in chart
+        assert "a" in chart and "b" in chart  # legend
+
+    def test_extremes_on_first_and_last_rows(self):
+        chart = ascii_chart({"up": [0.0, 1.0]}, width=10, height=5)
+        lines = chart.splitlines()
+        assert "o" in lines[0]  # max on top row
+        assert "o" in lines[-2]  # min on bottom value row
+
+    def test_scale_labels_present(self):
+        chart = ascii_chart({"s": [10.0, 20.0]}, width=10, height=4)
+        assert "20" in chart and "10" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [1, 2], "b": [1, 2, 3]})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [1.0]})
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [5.0, 5.0, 5.0]}, width=10, height=4)
+        assert "o" in chart
+
+
+class TestHistogram:
+    def test_bar_lengths_proportional(self, rng):
+        values = np.concatenate([np.zeros(90), np.ones(10)])
+        hist = ascii_histogram(values, bins=2, width=30)
+        lines = hist.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_counts_shown(self):
+        hist = ascii_histogram([1.0, 1.0, 2.0], bins=2)
+        assert "2" in hist and "1" in hist
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([])
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_intensity(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_nan_marked(self):
+        assert "?" in sparkline([0.0, float("nan"), 1.0])
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestTable:
+    def test_alignment(self):
+        text = table(["name", "v"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len({line.index("1") if "1" in line else None for line in lines[2:]})
+        assert lines[1].startswith("----")
+
+    def test_row_width_checked(self):
+        with pytest.raises(ConfigurationError):
+            table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = table(["a", "b"], [])
+        assert "a" in text and "b" in text
