@@ -110,6 +110,10 @@ class PFMController:
         position between the threshold and the training maximum.
         """
         scores = np.asarray(training_scores, dtype=float)
+        if scores.size == 0:
+            raise ConfigurationError(
+                "calibrate_confidence needs at least one training score"
+            )
         if training_labels is not None:
             labels = np.asarray(training_labels, dtype=bool)
             if labels.any() and not labels.all():
@@ -165,6 +169,19 @@ class PFMController:
     def _act(self, evaluation: EvaluationResult) -> str | None:
         now = self.system.engine.now
         if now - self._last_action_time < self.cooldown:
+            # Still a raised warning: record the episode (with no action)
+            # so outcome_matrix() sees every acted-upon evaluation and
+            # maybe_restore_load() sees fresh warning times during the
+            # cooldown window.
+            self.warnings.append(
+                WarningEpisode(
+                    time=now,
+                    score=evaluation.score,
+                    confidence=evaluation.confidence,
+                    target=evaluation.target,
+                    action=None,
+                )
+            )
             return None
         context = SelectionContext(
             confidence=evaluation.confidence,

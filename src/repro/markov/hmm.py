@@ -97,6 +97,15 @@ class HiddenMarkovModel:
         _, scale = self._forward(obs)
         return float(np.log(scale).sum())
 
+    def log_likelihood_batch(self, sequences: Sequence[Sequence[int]]) -> np.ndarray:
+        """Log-likelihood of every sequence (API parity with the HSMM)."""
+        observations = [self._check_sequence(seq) for seq in sequences]
+        out = np.empty(len(observations))
+        for i, obs in enumerate(observations):
+            _, scale = self._forward(obs)
+            out[i] = np.log(scale).sum()
+        return out
+
     def viterbi(self, sequence: Sequence[int]) -> list[int]:
         """Most likely hidden-state path (log-space Viterbi)."""
         obs = self._check_sequence(sequence)
@@ -156,18 +165,23 @@ class HiddenMarkovModel:
                 total_ll += float(np.log(scale).sum())
                 gamma = _normalize_rows(alpha * beta)
                 init_acc += gamma[0]
-                for t in range(obs.size - 1):
+                if obs.size > 1:
+                    # xi[t] over all boundaries at once, each normalized to
+                    # a distribution over (i, j) as in the per-step loop.
                     xi = (
-                        alpha[t][:, None]
-                        * self.transition
-                        * self.emission[:, obs[t + 1]][None, :]
-                        * beta[t + 1][None, :]
+                        alpha[:-1, :, None]
+                        * self.transition[None, :, :]
+                        * (self.emission[:, obs[1:]].T * beta[1:])[:, None, :]
                     )
-                    total = xi.sum()
-                    if total > 0:
-                        trans_acc += xi / total
-                for t, symbol in enumerate(obs):
-                    emit_acc[:, symbol] += gamma[t]
+                    totals = xi.sum(axis=(1, 2))
+                    valid = totals > 0
+                    trans_acc += (
+                        xi[valid] / totals[valid, None, None]
+                    ).sum(axis=0)
+                # Scatter per-step posteriors onto their observed symbols.
+                per_symbol = np.zeros((self.n_symbols, self.n_states))
+                np.add.at(per_symbol, obs, gamma)
+                emit_acc += per_symbol.T
             self.initial = (init_acc + pseudocount) / (
                 init_acc.sum() + pseudocount * self.n_states
             )

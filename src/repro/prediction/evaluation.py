@@ -65,13 +65,31 @@ def report_from_scores(
     )
 
 
+def _require_chronological(times: np.ndarray) -> np.ndarray:
+    """Validate that ``times`` is a non-empty, non-decreasing 1-D series.
+
+    The split helpers use ``times[0]``/``times[-1]`` as the covered span;
+    on unsorted input that silently yields leaky train/test masks, so
+    out-of-order timestamps are a configuration error.
+    """
+    times = np.asarray(times, dtype=float)
+    if times.ndim != 1 or times.size == 0:
+        raise ConfigurationError("times must be a non-empty 1-D array")
+    if np.any(np.diff(times) < 0):
+        raise ConfigurationError(
+            "times must be sorted in non-decreasing order (chronological "
+            "splits on unsorted data leak the future into training)"
+        )
+    return times
+
+
 def chronological_split(
     times: np.ndarray, fraction: float = 0.6
 ) -> tuple[np.ndarray, np.ndarray]:
     """Boolean masks ``(train, test)`` splitting time-ordered samples."""
     if not 0 < fraction < 1:
         raise ConfigurationError("fraction must be in (0, 1)")
-    times = np.asarray(times, dtype=float)
+    times = _require_chronological(times)
     cutoff = times[0] + fraction * (times[-1] - times[0])
     train = times <= cutoff
     return train, ~train
@@ -177,7 +195,7 @@ def rolling_origin_evaluation(
         raise ConfigurationError("need at least 2 folds")
     if not 0 < min_train_fraction < 1:
         raise ConfigurationError("min_train_fraction must be in (0, 1)")
-    times = np.asarray(times, dtype=float)
+    times = _require_chronological(times)
     labels = np.asarray(labels, dtype=bool)
     span = times[-1] - times[0]
     cuts = [

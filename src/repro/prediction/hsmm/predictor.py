@@ -13,6 +13,7 @@ reports.
 
 from __future__ import annotations
 
+import functools
 import math
 
 import numpy as np
@@ -44,12 +45,18 @@ class HSMMPredictor(EventPredictor):
         max_iter: int = 12,
         seed: int = 0,
         algorithm: str = "hard",
+        strategy: str = "vectorized",
+        n_jobs: int = 1,
     ) -> None:
         super().__init__()
         if n_states_failure < 1 or n_states_nonfailure < 1:
             raise ConfigurationError("need at least one state per model")
         if algorithm not in ("hard", "soft"):
             raise ConfigurationError(f"unknown training algorithm {algorithm!r}")
+        if strategy not in ("vectorized", "reference"):
+            raise ConfigurationError(f"unknown inference strategy {strategy!r}")
+        if n_jobs < 1:
+            raise ConfigurationError("n_jobs must be >= 1")
         self.n_states_failure = n_states_failure
         self.n_states_nonfailure = n_states_nonfailure
         self.max_duration = max_duration
@@ -58,6 +65,8 @@ class HSMMPredictor(EventPredictor):
         self.max_iter = max_iter
         self.seed = seed
         self.algorithm = algorithm
+        self.strategy = strategy
+        self.n_jobs = n_jobs
         self.threshold = 0.0  # Bayes decision boundary
         self.failure_model: HiddenSemiMarkovModel | None = None
         self.nonfailure_model: HiddenSemiMarkovModel | None = None
@@ -78,6 +87,7 @@ class HSMMPredictor(EventPredictor):
             max_duration=self.max_duration,
             duration_factory=self.duration_factory,
             rng=np.random.default_rng(self.seed),
+            strategy=self.strategy,
         )
         self.nonfailure_model = HiddenSemiMarkovModel(
             self.n_states_nonfailure,
@@ -85,16 +95,19 @@ class HSMMPredictor(EventPredictor):
             max_duration=self.max_duration,
             duration_factory=self.duration_factory,
             rng=np.random.default_rng(self.seed + 1),
+            strategy=self.strategy,
         )
         self.failure_model.fit(
             self.encoder.encode_many(failure_sequences),
             max_iter=self.max_iter,
             algorithm=self.algorithm,
+            n_jobs=self.n_jobs,
         )
         self.nonfailure_model.fit(
             self.encoder.encode_many(nonfailure_sequences),
             max_iter=self.max_iter,
             algorithm=self.algorithm,
+            n_jobs=self.n_jobs,
         )
         n_f, n_n = len(failure_sequences), len(nonfailure_sequences)
         self.log_prior_ratio = math.log(n_f / (n_f + n_n)) - math.log(
@@ -114,6 +127,27 @@ class HSMMPredictor(EventPredictor):
         ll_failure = self.failure_model.log_likelihood(symbols)
         ll_nonfailure = self.nonfailure_model.log_likelihood(symbols)
         return (ll_failure - ll_nonfailure) / len(symbols) + self.log_prior_ratio
+
+    def score_sequences(self, sequences: list[EventSequence]) -> np.ndarray:
+        """Batched scores: encode once, score both models over the batch.
+
+        The batch path shares one log-parameter build per model across all
+        sequences (and can fan out across worker processes when the
+        predictor was built with ``n_jobs > 1``), which is what the online
+        scorer and the evaluation harness call in their hot loops.
+        """
+        self._require_fitted()
+        if not sequences:
+            return np.empty(0)
+        encoded = self.encoder.encode_many(sequences)
+        ll_failure = self.failure_model.log_likelihood_batch(
+            encoded, n_jobs=self.n_jobs
+        )
+        ll_nonfailure = self.nonfailure_model.log_likelihood_batch(
+            encoded, n_jobs=self.n_jobs
+        )
+        lengths = np.array([len(symbols) for symbols in encoded], dtype=float)
+        return (ll_failure - ll_nonfailure) / lengths + self.log_prior_ratio
 
     def sequence_likelihoods(self, sequence: EventSequence) -> tuple[float, float]:
         """Raw ``(log P(seq | failure), log P(seq | non-failure))``."""
@@ -141,7 +175,9 @@ def hmm_ablation_predictor(
         n_states_failure=n_states_failure,
         n_states_nonfailure=n_states_nonfailure,
         max_duration=8,
-        duration_factory=lambda d: GeometricDuration(d, p=0.5),
+        # functools.partial (not a lambda) keeps the models picklable for
+        # process-parallel scoring and restarts.
+        duration_factory=functools.partial(GeometricDuration, p=0.5),
         max_iter=max_iter,
         seed=seed,
     )

@@ -57,8 +57,26 @@ class OnlineEventScorer:
     def score_series(
         self, log: ErrorLog, times: np.ndarray
     ) -> list[Prediction]:
-        """Predictions for every evaluation instant in ``times``."""
-        return [self.score_at(log, float(t)) for t in np.asarray(times, dtype=float)]
+        """Predictions for every evaluation instant in ``times``.
+
+        Windows are extracted up-front and scored as one batch, so
+        predictors with a batched ``score_sequences`` (e.g. the HSMM,
+        which shares one parameter build across the batch) score the whole
+        series without per-instant setup cost.  The result is identical to
+        calling :meth:`score_at` per instant.
+        """
+        instants = [float(t) for t in np.asarray(times, dtype=float)]
+        windows = [self.window_at(log, now) for now in instants]
+        scores = self.predictor.score_sequences(windows)
+        return [
+            Prediction(
+                time=now,
+                score=float(score),
+                warning=float(score) >= self.predictor.threshold,
+                lead_time=self.lead_time,
+            )
+            for now, score in zip(instants, scores)
+        ]
 
     def evaluate_against_failures(
         self,

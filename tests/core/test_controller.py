@@ -181,3 +181,35 @@ class TestControllerBehaviour:
         engine.schedule(200.0, burst)
         engine.run(until=400.0)
         assert controller.mea.warnings_raised > 0
+
+
+class TestWarningEpisodeAccounting:
+    def test_cooldown_still_records_episodes(self, scp_and_controller):
+        """Regression: warnings raised during the action cooldown must be
+        recorded as episodes (with action=None), otherwise outcome_matrix
+        under-reports and maybe_restore_load sees stale warning times."""
+        system, controller = scp_and_controller
+        controller.calibrate_confidence(np.array([0.5, 1.0]))
+        system.start()
+        controller.start()
+
+        def degrade():
+            container = system.containers[0]
+            container.leaked_mb = 0.72 * container.memory_mb
+
+        for k in range(1, 40):
+            system.engine.schedule(k * 30.0, degrade)
+        system.engine.run(until=600.0)
+        assert controller.mea.warnings_raised > 1
+        # Every raised warning produced exactly one episode ...
+        assert len(controller.warnings) == controller.mea.warnings_raised
+        # ... and the cooldown-suppressed ones carry no action.
+        suppressed = [w for w in controller.warnings if w.action is None]
+        assert suppressed, "expected cooldown-suppressed episodes"
+
+    def test_calibrate_confidence_rejects_empty_scores(self, scp_and_controller):
+        _, controller = scp_and_controller
+        with pytest.raises(ConfigurationError):
+            controller.calibrate_confidence(np.array([]))
+        with pytest.raises(ConfigurationError):
+            controller.calibrate_confidence(np.array([]), np.array([]))

@@ -66,3 +66,18 @@ class TestRocPoints:
         fprs = [p[0] for p in points]
         assert fprs == sorted(fprs)
         assert all(0 <= f <= 1 and 0 <= t <= 1 for f, t in points)
+
+
+class TestChronologicalValidation:
+    def test_unsorted_times_rejected(self):
+        """Regression: unsorted times used to produce silently leaky splits."""
+        with pytest.raises(ConfigurationError):
+            chronological_split(np.array([3.0, 1.0, 2.0]))
+
+    def test_empty_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chronological_split(np.array([]))
+
+    def test_duplicate_times_allowed(self):
+        train, test = chronological_split(np.array([0.0, 1.0, 1.0, 2.0]))
+        assert train.sum() + test.sum() == 4

@@ -133,3 +133,49 @@ class TestAblation:
         predictor = HSMMPredictor(max_iter=3, seed=0)
         predictor.fit(failure, nonfailure[:3])
         assert predictor.log_prior_ratio > 0  # failures more frequent
+
+
+class TestBatchScoring:
+    def test_batch_matches_per_sequence_scores(self, sequence_data, fitted):
+        _, (test_f, test_n) = sequence_data
+        batch = fitted.score_sequences(test_f + test_n)
+        singles = [fitted.score_sequence(s) for s in test_f + test_n]
+        np.testing.assert_allclose(batch, singles, atol=1e-10)
+
+    def test_batch_empty(self, fitted):
+        assert fitted.score_sequences([]).size == 0
+
+    def test_reference_strategy_agrees_with_vectorized(self, sequence_data):
+        (train_f, train_n), (test_f, test_n) = sequence_data
+        fast = HSMMPredictor(
+            n_states_failure=3, n_states_nonfailure=2, max_iter=4, seed=2
+        )
+        slow = HSMMPredictor(
+            n_states_failure=3, n_states_nonfailure=2, max_iter=4, seed=2,
+            strategy="reference",
+        )
+        fast.fit(train_f[:6], train_n[:6])
+        slow.fit(train_f[:6], train_n[:6])
+        np.testing.assert_allclose(
+            fast.score_sequences(test_f[:4] + test_n[:4]),
+            slow.score_sequences(test_f[:4] + test_n[:4]),
+            atol=1e-8,
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HSMMPredictor(strategy="magic")
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HSMMPredictor(n_jobs=0)
+
+    def test_ablation_predictor_models_are_picklable(self, sequence_data):
+        import pickle
+
+        (train_f, train_n), _ = sequence_data
+        ablation = hmm_ablation_predictor(
+            n_states_failure=2, n_states_nonfailure=2, max_iter=2, seed=1
+        )
+        ablation.fit(train_f[:4], train_n[:4])
+        pickle.loads(pickle.dumps(ablation.failure_model))

@@ -78,3 +78,19 @@ class TestOnlineEventScorer:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             OnlineEventScorer(CountingPredictor(), data_window=0.0, lead_time=1.0)
+
+
+class TestScoreSeriesBatching:
+    def test_series_matches_per_instant_scores(self, log):
+        scorer = OnlineEventScorer(
+            CountingPredictor().fit([], []), data_window=300.0, lead_time=60.0
+        )
+        scorer.predictor.set_threshold(5.0)
+        times = np.arange(0.0, 1000.0, 50.0)
+        series = scorer.score_series(log, times)
+        for prediction, t in zip(series, times):
+            single = scorer.score_at(log, float(t))
+            assert prediction.time == single.time
+            assert prediction.score == single.score
+            assert prediction.warning == single.warning
+            assert prediction.lead_time == single.lead_time

@@ -57,3 +57,17 @@ class TestRollingOrigin:
             rolling_origin_evaluation(
                 factory, times, x, y, labels, min_train_fraction=0.0
             )
+
+
+class TestRollingOriginValidation:
+    def test_unsorted_times_rejected(self):
+        """Regression: unsorted times used to produce silently leaky folds."""
+        rng = np.random.default_rng(0)
+        times = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        x = rng.normal(size=(5, 2))
+        y = rng.normal(size=5)
+        labels = np.array([True, False, True, False, True])
+        with pytest.raises(ConfigurationError):
+            rolling_origin_evaluation(
+                lambda: None, times, x, y, labels, n_folds=2
+            )
