@@ -7,7 +7,6 @@ identical.
 """
 
 import numpy as np
-import pytest
 
 from repro.prediction.hsmm.predictor import hmm_ablation_predictor
 from repro.prediction.metrics import auc

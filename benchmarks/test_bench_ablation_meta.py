@@ -6,7 +6,6 @@ over the error log -- fused on aligned prediction points.
 """
 
 import numpy as np
-import pytest
 
 from repro.prediction.meta import StackedGeneralization
 from repro.prediction.metrics import auc

@@ -16,7 +16,6 @@ regimes:
 
 from dataclasses import replace
 
-import pytest
 
 from repro.reliability import (
     CostModel,

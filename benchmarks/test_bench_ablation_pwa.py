@@ -7,7 +7,6 @@ the subsets they pick on the case-study monitoring data.
 """
 
 import numpy as np
-import pytest
 
 from repro.prediction.ubf import (
     ProbabilisticWrapper,

@@ -10,7 +10,6 @@ marginal (if any) AUC gain.
 import time
 
 import numpy as np
-import pytest
 
 from repro.prediction.hsmm import HSMMPredictor
 from repro.prediction.metrics import auc

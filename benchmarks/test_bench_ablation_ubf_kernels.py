@@ -7,7 +7,6 @@ kernel family differs.
 """
 
 import numpy as np
-import pytest
 
 from repro.prediction.metrics import auc
 from repro.prediction.ubf import UBFNetwork

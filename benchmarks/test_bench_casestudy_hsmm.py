@@ -8,7 +8,6 @@ zero, and AUC in the high 0.8s/0.9s.
 """
 
 import numpy as np
-import pytest
 
 from repro.prediction.evaluation import report_from_scores, roc_points
 

@@ -6,7 +6,6 @@ of the same order as HSMM, and PWA selects a small indicative subset of
 the monitoring variables.
 """
 
-import pytest
 
 from repro.prediction.evaluation import report_from_scores, roc_points
 

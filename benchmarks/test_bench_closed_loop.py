@@ -6,7 +6,6 @@ ratio should agree in direction (and rough magnitude) with the model's
 Eq. 14 prediction of ~0.44-0.49.
 """
 
-import pytest
 
 from repro.core import run_closed_loop
 from repro.reliability import PFMParameters, unavailability_ratio

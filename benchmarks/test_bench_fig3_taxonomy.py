@@ -5,10 +5,8 @@ attached to each populated leaf, and measures a representative prediction
 call from every implemented branch on shared case-study data.
 """
 
-import importlib
 
 import numpy as np
-import pytest
 
 from repro.prediction.taxonomy import build_taxonomy, implemented_leaves, render
 

@@ -6,7 +6,6 @@ recovery -- spare booted on the warning, checkpoint saved close to the
 failure.  Eq. 6 defines k = MTTR / MTTR_prepared; Table 2 assumes k = 2.
 """
 
-import pytest
 
 from repro.actions import RepairTimeModel
 

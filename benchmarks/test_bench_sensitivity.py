@@ -5,7 +5,6 @@ Sweeps around the Table 2 operating point: what does predictor quality
 availability / unavailability-ratio terms?
 """
 
-import pytest
 
 from repro.reliability import (
     PFMParameters,

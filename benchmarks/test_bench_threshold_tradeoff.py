@@ -8,8 +8,6 @@ at higher recall than the max-F point, because the model prices a missed
 failure (unprepared downtime) above a false alarm (P_FP risk only).
 """
 
-import numpy as np
-import pytest
 
 from repro.prediction.thresholds import max_f_threshold
 from repro.reliability import (

@@ -19,7 +19,6 @@ This demo:
 Run:  python examples/adaptive_operations.py        (takes ~1 minute)
 """
 
-from dataclasses import replace
 
 import numpy as np
 

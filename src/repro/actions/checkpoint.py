@@ -17,7 +17,7 @@ Eq. 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.actions.base import Action, ActionCategory, ActionOutcome
 from repro.errors import ConfigurationError

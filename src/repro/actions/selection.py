@@ -71,9 +71,17 @@ class ActionSelector:
         )
 
     def rank(
-        self, system: SCPSystem, context: SelectionContext
+        self,
+        system: SCPSystem,
+        context: SelectionContext,
+        exclude: set[str] | None = None,
     ) -> list[ScoredAction]:
-        """All actions scored, applicable ones first, best utility first."""
+        """All actions scored, applicable ones first, best utility first.
+
+        Actions whose name is in ``exclude`` (e.g. because their circuit
+        breaker is open) are left out entirely.
+        """
+        exclude = exclude or set()
         scored = [
             ScoredAction(
                 action=action,
@@ -81,19 +89,23 @@ class ActionSelector:
                 applicable=action.applicable(system, context.target),
             )
             for action in self.repertoire
+            if action.name not in exclude
         ]
         scored.sort(key=lambda s: (not s.applicable, -s.utility))
         return scored
 
     def select(
-        self, system: SCPSystem, context: SelectionContext
+        self,
+        system: SCPSystem,
+        context: SelectionContext,
+        exclude: set[str] | None = None,
     ) -> Action | None:
         """The most effective applicable action, or None for "do nothing".
 
         None is returned when no applicable action has positive expected
         utility -- acting would cost more than the risk it removes.
         """
-        for scored in self.rank(system, context):
+        for scored in self.rank(system, context, exclude=exclude):
             if scored.applicable and scored.utility > 0:
                 return scored.action
         return None

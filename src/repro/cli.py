@@ -6,6 +6,7 @@ Commands map to the paper's artifacts:
 - ``curves``       Fig. 10 reliability / hazard series
 - ``case-study``   Sect. 3.3: simulate the SCP, train UBF + HSMM, report
 - ``closed-loop``  replay one faultload with and without PFM
+- ``campaign``     fault-inject the PFM stack itself, report degradation
 - ``taxonomy``     print the Fig. 3 classification tree
 - ``policies``     cost comparison: PFM vs optimal rejuvenation vs nothing
 """
@@ -123,6 +124,35 @@ def _cmd_closed_loop(args: argparse.Namespace) -> None:
     print(result.summary())
 
 
+def _cmd_campaign(args: argparse.Namespace) -> None:
+    from repro.resilience import CampaignConfig, default_scenarios, run_campaign
+
+    scenarios = default_scenarios()
+    if args.scenario:
+        by_name = {scenario.name: scenario for scenario in scenarios}
+        unknown = [name for name in args.scenario if name not in by_name]
+        if unknown:
+            raise SystemExit(
+                f"unknown scenario(s) {unknown}; choose from {sorted(by_name)}"
+            )
+        scenarios = [by_name[name] for name in args.scenario]
+    report = run_campaign(
+        CampaignConfig(
+            train_seed=args.train_seed,
+            eval_seed=args.eval_seed,
+            injection_seed=args.injection_seed,
+            horizon=args.days * 86_400.0,
+            scenarios=scenarios,
+            attack_mtbf=args.attack_mtbf,
+            attack_duration=args.attack_duration,
+        )
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+
+
 def _cmd_taxonomy(args: argparse.Namespace) -> None:
     from repro.prediction.taxonomy import render
 
@@ -177,6 +207,24 @@ def build_parser() -> argparse.ArgumentParser:
     loop.add_argument("--eval-seed", type=int, default=21)
     loop.add_argument("--days", type=float, default=3.0)
     loop.set_defaults(func=_cmd_closed_loop)
+
+    campaign = sub.add_parser(
+        "campaign", help="fault-inject the PFM stack, report graceful degradation"
+    )
+    campaign.add_argument("--train-seed", type=int, default=11)
+    campaign.add_argument("--eval-seed", type=int, default=21)
+    campaign.add_argument("--injection-seed", type=int, default=97)
+    campaign.add_argument("--days", type=float, default=2.0)
+    campaign.add_argument("--attack-mtbf", type=float, default=3_600.0)
+    campaign.add_argument("--attack-duration", type=float, default=1_200.0)
+    campaign.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="run only this named scenario (repeatable)",
+    )
+    campaign.add_argument("--json", action="store_true", help="emit JSON report")
+    campaign.set_defaults(func=_cmd_campaign)
 
     taxonomy = sub.add_parser("taxonomy", help="Fig. 3 tree")
     taxonomy.set_defaults(func=_cmd_taxonomy)

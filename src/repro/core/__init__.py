@@ -20,7 +20,7 @@ from repro.core.experiment import (
     replicate_closed_loop,
     run_closed_loop,
 )
-from repro.core.mea import EvaluationResult, MEACycle
+from repro.core.mea import EvaluationResult, MEACycle, MEARecord, StepFailure
 from repro.core.translucency import LayerInsight, TranslucencyReport
 
 __all__ = [
@@ -36,6 +36,8 @@ __all__ = [
     "run_closed_loop",
     "EvaluationResult",
     "MEACycle",
+    "MEARecord",
+    "StepFailure",
     "LayerInsight",
     "TranslucencyReport",
 ]

@@ -11,6 +11,19 @@ Binds together, on a live (simulated) SCP:
 The controller also keeps the bookkeeping needed to reconstruct the
 paper's Table 1 after the run: every evaluation is a prediction point that
 can be classified TP/FP/TN/FN against the failure log.
+
+The MEA wiring is hardened by the :mod:`repro.resilience` layer:
+
+- gauge reads pass through a :class:`GaugeSanitizer` (NaN / stuck / stale
+  detection with last-known-good substitution),
+- scoring goes through a :class:`FallbackPredictor` so a repeatedly
+  faulting primary fails over to a secondary model instead of silencing
+  the Evaluate step,
+- every action runs behind a per-action :class:`CircuitBreaker`, and an
+  executed action that reports failure escalates the target along a
+  cleanup -> failover -> restart :class:`EscalationChain`,
+- step exceptions become :class:`~repro.core.mea.StepFailure` records via
+  the cycle's retry/backoff machinery.
 """
 
 from __future__ import annotations
@@ -19,7 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.actions.base import Action, ActionCategory
+from repro.actions.base import Action, ActionOutcome
 from repro.actions.cleanup import StateCleanupAction
 from repro.actions.failover import PreventiveFailoverAction
 from repro.actions.load import LowerLoadAction, RestoreLoadAction
@@ -30,6 +43,10 @@ from repro.errors import ConfigurationError
 from repro.prediction.base import SymptomPredictor
 from repro.prediction.calibration import PlattScaling
 from repro.prediction.online import OnlineEventScorer
+from repro.resilience.escalation import EscalationChain
+from repro.resilience.fallback import FallbackPredictor
+from repro.resilience.policies import CircuitBreaker, RetryPolicy, StepTimeout
+from repro.resilience.sanitizer import GaugeSanitizer
 from repro.telecom.system import SCPSystem
 
 
@@ -69,6 +86,19 @@ class PFMController:
     event_scorer: OnlineEventScorer | None = None
     warnings: list[WarningEpisode] = field(default_factory=list)
     evaluations: list[tuple[float, float, bool]] = field(default_factory=list)
+    # --- resilience layer ---------------------------------------------
+    fallback_predictor: SymptomPredictor | None = None
+    fallback_confidence: float = 0.7
+    sanitizer: GaugeSanitizer | None = None
+    escalation: EscalationChain | None = None
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    step_timeouts: dict[str, float] = field(default_factory=dict)
+    evaluate_latency_budget: float | None = None
+    breaker_failure_threshold: int = 3
+    breaker_cooldown: float = 600.0
+    predictor_fault_threshold: int = 3
+    predictor_retry_cooldown: float = 1_800.0
+    action_outcomes: list[ActionOutcome] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.variables:
@@ -81,22 +111,76 @@ class PFMController:
         self._restore_load = RestoreLoadAction()
         self._throttled = False
         self._last_action_time = -np.inf
+        self._last_warning_time = -np.inf
         self._score_scale: tuple[float, float] | None = None
         self._calibrator: PlattScaling | None = None
+        if self.sanitizer is None:
+            self.sanitizer = GaugeSanitizer()
+        if self.escalation is None:
+            self.escalation = EscalationChain()
+        #: Perturbation hooks ``(variable, value) -> value`` applied to raw
+        #: gauge reads *before* sanitization -- the seam PFM-layer fault
+        #: injectors attack (monitoring dropouts, corrupted observations).
+        self.observation_taps: list = []
+        self.breakers: dict[str, CircuitBreaker] = {}
+        # The evaluate latency budget defaults to the lead time: a score
+        # that arrives after the failure it predicts is worthless.
+        if self.evaluate_latency_budget is None:
+            self.evaluate_latency_budget = self.lead_time
+        self.scoring = FallbackPredictor(
+            primary=self.predictor,
+            secondary=self.fallback_predictor,
+            clock=lambda: self.system.engine.now,
+            failure_threshold=self.predictor_fault_threshold,
+            cooldown=self.predictor_retry_cooldown,
+            latency_budget=self.evaluate_latency_budget,
+        )
         self.mea = MEACycle(
             engine=self.system.engine,
             monitor=self._monitor,
             evaluate=self._evaluate,
             act=self._act,
             period=self.eval_period,
+            retry=self.retry,
+            timeouts={
+                step: StepTimeout(budget)
+                for step, budget in self.step_timeouts.items()
+            },
+            step_latency=self._step_latency,
         )
 
     # ------------------------------------------------------------------
     # MEA steps
     # ------------------------------------------------------------------
 
+    def _breaker(self, action_name: str) -> CircuitBreaker:
+        breaker = self.breakers.get(action_name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                name=action_name,
+                failure_threshold=self.breaker_failure_threshold,
+                cooldown=self.breaker_cooldown,
+            )
+            self.breakers[action_name] = breaker
+        return breaker
+
+    def _step_latency(self, step: str) -> float:
+        """Declared simulated latency of the upcoming step (for timeouts)."""
+        if step == "evaluate":
+            return float(getattr(self.predictor, "simulated_latency", 0.0) or 0.0)
+        return 0.0
+
+    def _read_variable(self, variable: str) -> float:
+        def raw() -> float:
+            value = float(self._gauges[variable].read())
+            for tap in self.observation_taps:
+                value = tap(variable, value)
+            return value
+
+        return self.sanitizer.read(variable, raw).value
+
     def _monitor(self) -> np.ndarray:
-        return np.array([self._gauges[v].read() for v in self.variables])
+        return np.array([self._read_variable(v) for v in self.variables])
 
     def calibrate_confidence(
         self,
@@ -145,9 +229,16 @@ class PFMController:
         return max(self.system.containers, key=badness).name
 
     def _evaluate(self, observation: np.ndarray) -> EvaluationResult:
-        score = float(self.predictor.score_samples(observation[None, :])[0])
-        warning = score >= self.predictor.threshold
-        confidence = self._confidence(score)
+        result = self.scoring.score(observation)
+        score, warning = result.score, result.warning
+        if result.source == "primary":
+            confidence = self._confidence(score)
+        elif result.source == "secondary":
+            # Secondary scores live on a different scale than the
+            # calibrated primary; use a fixed moderate confidence.
+            confidence = self.fallback_confidence
+        else:
+            confidence = 0.0
         # Multi-source fusion (blueprint, Sect. 6): an event-based
         # predictor over the live error log can raise the warning too;
         # confidences combine as max (either source suffices to act).
@@ -159,15 +250,40 @@ class PFMController:
                 warning = True
                 confidence = max(confidence, 0.8)
         self.evaluations.append((self.system.engine.now, score, warning))
+        # Diagnosis is a full pass over all containers -- only pay for it
+        # when a warning actually needs a target.
+        target = self._suspect() if warning else ""
         return EvaluationResult(
             score=score,
             warning=warning,
             confidence=confidence,
-            target=self._suspect(),
+            target=target,
         )
+
+    def _choose_action(self, now: float, context: SelectionContext) -> Action | None:
+        """Pick the countermeasure: escalation chain first, then utility.
+
+        A target with a pending escalation (a previous action against it
+        reported failure) walks the cleanup -> failover -> restart ladder
+        from its current level, skipping circuit-broken or inapplicable
+        levels; otherwise the objective function ranks the repertoire,
+        with open-breaker actions excluded from consideration.
+        """
+        for action in self.escalation.candidates(context.target, now):
+            if not self._breaker(action.name).allow(now):
+                continue
+            if action.applicable(self.system, context.target):
+                return action
+        excluded = {
+            action.name
+            for action in self.selector.repertoire
+            if not self._breaker(action.name).allow(now)
+        }
+        return self.selector.select(self.system, context, exclude=excluded)
 
     def _act(self, evaluation: EvaluationResult) -> str | None:
         now = self.system.engine.now
+        self._last_warning_time = now
         if now - self._last_action_time < self.cooldown:
             # Still a raised warning: record the episode (with no action)
             # so outcome_matrix() sees every acted-upon evaluation and
@@ -188,15 +304,34 @@ class PFMController:
             target=evaluation.target,
             failure_cost=self.failure_cost,
         )
-        action = self.selector.select(self.system, context)
+        action = self._choose_action(now, context)
         name = None
         if action is not None:
-            if isinstance(action, LowerLoadAction):
+            name = action.name
+            inner = getattr(action, "inner", action)
+            if isinstance(inner, LowerLoadAction):
                 action.set_confidence(evaluation.confidence)
                 self._throttled = True
-            action.execute(self.system, evaluation.target)
+            try:
+                outcome = action.execute(self.system, evaluation.target)
+            except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                self.mea.note_failure("act", exc)
+                outcome = ActionOutcome(
+                    action=name,
+                    target=evaluation.target,
+                    time=now,
+                    success=False,
+                    details={"error": repr(exc)},
+                )
+            self.action_outcomes.append(outcome)
             self._last_action_time = now
-            name = action.name
+            breaker = self._breaker(name)
+            if outcome.success:
+                breaker.record_success(now)
+                self.escalation.record_success(evaluation.target, now)
+            else:
+                breaker.record_failure(now)
+                self.escalation.record_failure(evaluation.target, now)
         self.warnings.append(
             WarningEpisode(
                 time=now,
@@ -213,10 +348,7 @@ class PFMController:
         if not self._throttled:
             return
         now = self.system.engine.now
-        recent_warning = any(
-            now - episode.time < 2 * self.lead_time for episode in self.warnings
-        )
-        if not recent_warning:
+        if now - self._last_warning_time >= 2 * self.lead_time:
             self._restore_load.execute(self.system, "scp")
             self._throttled = False
 
@@ -231,6 +363,41 @@ class PFMController:
         while self.mea.running:
             self.maybe_restore_load()
             yield Timeout(self.eval_period * 4)
+
+    # ------------------------------------------------------------------
+    # Resilience introspection
+    # ------------------------------------------------------------------
+
+    def open_breakers(self) -> list[str]:
+        """Names of actions whose circuit breaker is currently open."""
+        from repro.resilience.policies import BreakerState
+
+        return sorted(
+            name
+            for name, breaker in self.breakers.items()
+            if breaker.state is BreakerState.OPEN
+        )
+
+    def resilience_summary(self) -> dict:
+        """One dict of everything the resilience layer absorbed this run."""
+        return {
+            "step_failures": self.mea.failures_by_step(),
+            "degraded_iterations": self.mea.degraded_iterations,
+            "sanitizer_events": {
+                var: dict(reasons) for var, reasons in self.sanitizer.events.items()
+            },
+            "stale_variables": self.sanitizer.stale_variables(),
+            "predictor_faults": self.scoring.primary_faults,
+            "fallback_scores": self.scoring.secondary_scores,
+            "null_scores": self.scoring.null_scores,
+            "breaker_opens": sum(b.times_opened for b in self.breakers.values()),
+            "open_breakers": self.open_breakers(),
+            "calls_rejected": sum(b.calls_rejected for b in self.breakers.values()),
+            "escalations": self.escalation.escalations,
+            "failed_actions": sum(
+                1 for outcome in self.action_outcomes if not outcome.success
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Post-hoc accounting (Table 1)

@@ -5,16 +5,30 @@ runtime": monitor the system, evaluate whether the current state is
 failure-prone, and act on imminent failures.  The engine here is generic:
 it takes a monitor callable, an evaluator callable and an actor callable
 and repeats them as a simulation process, recording every iteration.
+
+The cycle is hardened against its own steps: an exception in monitor,
+evaluate or act is caught into a structured :class:`StepFailure` record
+(optionally retried per a :class:`~repro.resilience.policies.RetryPolicy`)
+instead of killing the ``mea-cycle`` process, and a step that declares a
+simulated latency beyond its :class:`~repro.resilience.policies.StepTimeout`
+budget is skipped as a timeout.  A fully-failed iteration delays the next
+one by the policy's exponential backoff -- the cycle slows down under
+sustained trouble but never dies silently.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError
+from repro.resilience.policies import RetryPolicy, StepTimeout
 from repro.simulator.engine import Engine
 from repro.simulator.events import Timeout
+
+#: The three step names, in execution order.
+STEPS = ("monitor", "evaluate", "act")
 
 
 @dataclass(frozen=True)
@@ -27,6 +41,21 @@ class EvaluationResult:
     target: str = ""
 
 
+#: Placeholder evaluation used when the Evaluate step itself failed.
+NULL_EVALUATION = EvaluationResult(score=math.nan, warning=False)
+
+
+@dataclass(frozen=True)
+class StepFailure:
+    """A caught failure of one MEA step (the cycle survived it)."""
+
+    time: float
+    step: str  # "monitor" | "evaluate" | "act"
+    error_type: str  # exception class name, or "StepTimeout"
+    message: str
+    attempts: int = 1  # how many tries were made this iteration
+
+
 @dataclass
 class MEARecord:
     """One full cycle iteration."""
@@ -35,6 +64,7 @@ class MEARecord:
     observation: Any
     evaluation: EvaluationResult
     action_taken: str | None
+    failed_steps: tuple[str, ...] = ()
 
 
 @dataclass
@@ -54,6 +84,21 @@ class MEACycle:
         short description of the action taken (or None for "do nothing").
     period:
         Cycle period in simulated seconds.
+    retry:
+        Optional retry policy: failed steps are retried immediately up to
+        ``max_attempts`` within an iteration, and iterations that still
+        fail push the next cycle out by the policy's backoff.
+    timeouts:
+        Optional per-step :class:`StepTimeout` budgets (keyed by step
+        name).  Enforced against :attr:`step_latency`.
+    step_latency:
+        Optional hook ``step_name -> simulated seconds`` declaring how
+        long the upcoming step would take in simulated time (e.g. a
+        predictor under injected latency).  Steps over budget are skipped
+        and recorded as timeouts; on-budget latency is added to the sleep
+        after the iteration so the simulated clock stays honest.
+    on_step_failure:
+        Optional callback invoked with every :class:`StepFailure`.
     """
 
     engine: Engine
@@ -63,10 +108,20 @@ class MEACycle:
     period: float = 30.0
     history: list[MEARecord] = field(default_factory=list)
     running: bool = False
+    retry: RetryPolicy | None = None
+    timeouts: dict[str, StepTimeout] = field(default_factory=dict)
+    step_latency: Callable[[str], float] | None = None
+    on_step_failure: Callable[[StepFailure], None] | None = None
+    failures: list[StepFailure] = field(default_factory=list)
+    consecutive_failed_cycles: int = field(default=0, init=False)
+    _pending_latency: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         if self.period <= 0:
             raise ConfigurationError("period must be positive")
+        unknown = set(self.timeouts) - set(STEPS)
+        if unknown:
+            raise ConfigurationError(f"timeouts for unknown steps: {sorted(unknown)}")
 
     def start(self) -> None:
         """Launch the repeating cycle (idempotent)."""
@@ -79,24 +134,113 @@ class MEACycle:
         """Stop the repeating cycle after the current iteration."""
         self.running = False
 
+    # ------------------------------------------------------------------
+    # Resilient step execution
+    # ------------------------------------------------------------------
+
+    def note_failure(
+        self, step: str, error: BaseException | str, attempts: int = 1
+    ) -> StepFailure:
+        """Record a step failure observed by a collaborator (e.g. the
+        controller catching an action exception it handled itself)."""
+        if isinstance(error, BaseException):
+            failure = StepFailure(
+                time=self.engine.now,
+                step=step,
+                error_type=type(error).__name__,
+                message=str(error),
+                attempts=attempts,
+            )
+        else:
+            failure = StepFailure(
+                time=self.engine.now,
+                step=step,
+                error_type="StepFailure",
+                message=str(error),
+                attempts=attempts,
+            )
+        self.failures.append(failure)
+        if self.on_step_failure is not None:
+            self.on_step_failure(failure)
+        return failure
+
+    def _run_step(self, step: str, fn: Callable, *args) -> tuple[Any, bool]:
+        """Run one step with timeout + retry guards.
+
+        Returns ``(result, ok)``; on failure the result is ``None`` and a
+        :class:`StepFailure` has been recorded.
+        """
+        timeout = self.timeouts.get(step)
+        if timeout is not None and self.step_latency is not None:
+            latency = float(self.step_latency(step))
+            if timeout.exceeded(latency):
+                self.note_failure(
+                    step,
+                    f"declared simulated latency {latency:.1f}s exceeds "
+                    f"budget {timeout.budget:.1f}s",
+                )
+                return None, False
+            self._pending_latency += max(latency, 0.0)
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        last_error: BaseException | None = None
+        for _ in range(attempts):
+            try:
+                return fn(*args), True
+            except Exception as exc:  # noqa: BLE001 - the whole point
+                last_error = exc
+        assert last_error is not None
+        self.note_failure(step, last_error, attempts=attempts)
+        return None, False
+
     def step(self) -> MEARecord:
-        """One M-E-A iteration right now."""
-        observation = self.monitor()
-        evaluation = self.evaluate(observation)
-        action = self.act(evaluation) if evaluation.warning else None
+        """One M-E-A iteration right now.
+
+        Step failures are absorbed: a failed monitor or evaluate yields a
+        null (non-warning) evaluation, a failed act yields no action, and
+        the record lists which steps failed.
+        """
+        failed: list[str] = []
+        observation, ok = self._run_step("monitor", self.monitor)
+        if not ok:
+            failed.append("monitor")
+        evaluation = NULL_EVALUATION
+        if ok:
+            evaluation, ok = self._run_step("evaluate", self.evaluate, observation)
+            if not ok:
+                failed.append("evaluate")
+                evaluation = NULL_EVALUATION
+        action: str | None = None
+        if evaluation.warning:
+            action, ok = self._run_step("act", self.act, evaluation)
+            if not ok:
+                failed.append("act")
+                action = None
         record = MEARecord(
             time=self.engine.now,
             observation=observation,
             evaluation=evaluation,
             action_taken=action,
+            failed_steps=tuple(failed),
         )
         self.history.append(record)
+        if failed:
+            self.consecutive_failed_cycles += 1
+        else:
+            self.consecutive_failed_cycles = 0
         return record
 
     def _run(self):
         while self.running:
+            self._pending_latency = 0.0
             self.step()
-            yield Timeout(self.period)
+            delay = self.period + self._pending_latency
+            if self.retry is not None and self.consecutive_failed_cycles > 0:
+                delay += self.retry.backoff(self.consecutive_failed_cycles)
+            yield Timeout(delay)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
 
     @property
     def warnings_raised(self) -> int:
@@ -107,3 +251,15 @@ class MEACycle:
     def actions_taken(self) -> int:
         """Number of iterations in which a countermeasure actually ran."""
         return sum(1 for r in self.history if r.action_taken is not None)
+
+    @property
+    def degraded_iterations(self) -> int:
+        """Number of iterations in which at least one step failed."""
+        return sum(1 for r in self.history if r.failed_steps)
+
+    def failures_by_step(self) -> dict[str, int]:
+        """Count of recorded step failures keyed by step name."""
+        counts: dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.step] = counts.get(failure.step, 0) + 1
+        return counts

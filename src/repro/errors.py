@@ -32,3 +32,11 @@ class ConfigurationError(ReproError):
 
 class ActionError(ReproError):
     """Raised when a countermeasure cannot be applied."""
+
+
+class ActionExecutionError(ActionError):
+    """Raised when a countermeasure dies mid-execution."""
+
+
+class PFMFaultError(ReproError):
+    """Raised by injected faults attacking the PFM stack itself."""

@@ -55,9 +55,40 @@ __all__ = [
     "OverloadInjector",
     "ProcessHangInjector",
     "StateCorruptionInjector",
+    # lazily loaded from repro.faults.pfm_injectors (which needs
+    # repro.actions, itself a consumer of this package):
+    "ActionFailureInjector",
+    "FlakyActionProxy",
+    "FlakyPredictorProxy",
+    "MonitoringDropoutInjector",
+    "ObservationCorruptionInjector",
+    "PFMInjector",
+    "PredictorFaultInjector",
+    "PredictorLatencyInjector",
+    "flaky_repertoire",
     "ErrorRecord",
     "FailureRecord",
     "Fault",
     "FaultState",
     "Symptom",
 ]
+
+_PFM_INJECTOR_EXPORTS = {
+    "ActionFailureInjector",
+    "FlakyActionProxy",
+    "FlakyPredictorProxy",
+    "MonitoringDropoutInjector",
+    "ObservationCorruptionInjector",
+    "PFMInjector",
+    "PredictorFaultInjector",
+    "PredictorLatencyInjector",
+    "flaky_repertoire",
+}
+
+
+def __getattr__(name: str):
+    if name in _PFM_INJECTOR_EXPORTS:
+        from repro.faults import pfm_injectors
+
+        return getattr(pfm_injectors, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

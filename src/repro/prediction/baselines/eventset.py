@@ -13,9 +13,7 @@ fallback for sequences matching nothing.
 
 from __future__ import annotations
 
-import itertools
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.monitoring.records import EventSequence

@@ -19,7 +19,7 @@ import math
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.markov.distributions import DiscreteDuration, GeometricDuration
+from repro.markov.distributions import GeometricDuration
 from repro.markov.hsmm import HiddenSemiMarkovModel
 from repro.monitoring.records import EventSequence
 from repro.prediction.base import EventPredictor, PredictorInfo

@@ -10,7 +10,6 @@ GAP symbol, so state durations in the HSMM correspond to real time spans
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
 from repro.monitoring.records import EventSequence

@@ -14,12 +14,11 @@ a measurable comparison (bench A5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.reliability.baseline import RejuvenationModel
 from repro.reliability.pfm_model import PFMModel
 from repro.reliability.rates import PFMParameters
 

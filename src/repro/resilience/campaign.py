@@ -1,0 +1,389 @@
+"""PFM-layer fault-injection campaign: attack the manager, measure grace.
+
+The paper argues PFM improves dependability -- but a fault-management
+stack is itself software, and a PFM layer that dies on its first NaN
+gauge read is a new single point of failure.  This campaign turns the
+repo's own fault-injection machinery against the PFM stack
+(:mod:`repro.faults.pfm_injectors`) and measures how gracefully the
+hardened MEA pipeline degrades:
+
+- **no-PFM baseline** -- the faultload alone, no controller,
+- **healthy PFM** -- the controller attached, nothing attacking it,
+- **attacked PFM** -- the controller attached while one scenario's
+  injectors disrupt monitoring, prediction or actuation.
+
+Graceful degradation means every attacked run (a) keeps the MEA cycle
+alive to the end of the horizon with all step failures surfaced as
+:class:`~repro.core.mea.StepFailure` records, and (b) ends up no less
+available than the no-PFM baseline: a PFM layer under attack may lose
+its benefit, but must never become the failure it was built to prevent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.controller import PFMController, default_repertoire
+from repro.core.experiment import DEFAULT_VARIABLES, _default_predictor
+from repro.errors import ConfigurationError
+from repro.faults.pfm_injectors import (
+    ActionFailureInjector,
+    FlakyPredictorProxy,
+    MonitoringDropoutInjector,
+    ObservationCorruptionInjector,
+    PFMInjector,
+    PredictorFaultInjector,
+    PredictorLatencyInjector,
+    flaky_repertoire,
+)
+from repro.prediction.baselines.mset import MSETPredictor
+from repro.resilience.sanitizer import GaugeSanitizer
+from repro.telecom.dataset import DatasetConfig, prepare_simulation
+
+#: A-priori plausibility ranges for SCP gauges (paper Sect. 4.3): every
+#: monitored variable is nonnegative, and the utilization-like ones are
+#: bounded near 1.  Feeds the sanitizer's bound checks so corrupted
+#: observations are substituted before they reach a predictor.
+GAUGE_BOUNDS: dict[str, tuple[float | None, float | None]] = {
+    "cpu_utilization": (0.0, 1.5),
+    "db_utilization": (0.0, 1.5),
+    "violation_prob": (0.0, 1.0),
+}
+
+
+def _campaign_sanitizer() -> GaugeSanitizer:
+    """The input firewall every campaign controller runs behind.
+
+    Only *physically impossible* readings are rejected (negative values,
+    utilizations beyond 1): symptoms ARE anomalies, so an aggressive
+    spike filter would sanitize away exactly what the predictors watch
+    for.
+    """
+    return GaugeSanitizer(lower_bound=0.0, bounds=dict(GAUGE_BOUNDS))
+
+
+@dataclass(frozen=True)
+class PFMFaultScenario:
+    """Which PFM attack surfaces one campaign scenario exercises."""
+
+    name: str
+    monitoring_dropout: bool = False
+    observation_corruption: bool = False
+    predictor_exceptions: bool = False
+    predictor_latency: bool = False
+    action_failures: bool = False
+
+    @property
+    def attacks(self) -> tuple[str, ...]:
+        """The attack-surface tags active in this scenario."""
+        flags = (
+            ("monitoring_dropout", self.monitoring_dropout),
+            ("observation_corruption", self.observation_corruption),
+            ("predictor_exceptions", self.predictor_exceptions),
+            ("predictor_latency", self.predictor_latency),
+            ("action_failures", self.action_failures),
+        )
+        return tuple(tag for tag, active in flags if active)
+
+
+def default_scenarios() -> list[PFMFaultScenario]:
+    """One scenario per attack surface, plus the combined assault."""
+    return [
+        PFMFaultScenario("monitoring-dropout", monitoring_dropout=True),
+        PFMFaultScenario("observation-corruption", observation_corruption=True),
+        PFMFaultScenario("predictor-exceptions", predictor_exceptions=True),
+        PFMFaultScenario("predictor-latency", predictor_latency=True),
+        PFMFaultScenario("action-failures", action_failures=True),
+        PFMFaultScenario(
+            "all-fronts",
+            monitoring_dropout=True,
+            observation_corruption=True,
+            predictor_exceptions=True,
+            predictor_latency=True,
+            action_failures=True,
+        ),
+    ]
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one campaign run."""
+
+    train_seed: int = 11
+    eval_seed: int = 21
+    injection_seed: int = 97
+    horizon: float = 2 * 86_400.0
+    variables: list[str] | None = None
+    dataset: DatasetConfig | None = None
+    scenarios: list[PFMFaultScenario] = field(default_factory=default_scenarios)
+    #: Episodic attack process parameters (exponential gaps, fixed bursts).
+    attack_mtbf: float = 3_600.0
+    attack_duration: float = 1_200.0
+    #: Declared predictor latency during latency episodes; anything above
+    #: the controller's evaluate budget (= lead time) triggers fallback.
+    attack_latency: float = 1_800.0
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if not self.scenarios:
+            raise ConfigurationError("need at least one scenario")
+
+
+@dataclass
+class ScenarioResult:
+    """One PFM run (healthy or attacked) on the shared faultload."""
+
+    scenario: PFMFaultScenario
+    availability: float
+    failures: int
+    mea_iterations: int
+    warnings_raised: int
+    actions_taken: int
+    attack_episodes: int
+    resilience: dict
+
+    @property
+    def step_failures(self) -> int:
+        """Total MEA step failures surfaced as StepFailure records."""
+        return sum(self.resilience["step_failures"].values())
+
+    @property
+    def cycle_survived(self) -> bool:
+        """True when the MEA loop kept iterating (never died silently)."""
+        return self.mea_iterations > 0
+
+
+@dataclass
+class CampaignReport:
+    """The graceful-degradation comparison across all scenarios."""
+
+    baseline_availability: float
+    baseline_failures: int
+    healthy: ScenarioResult
+    attacked: list[ScenarioResult]
+    horizon: float
+
+    def graceful(self, result: ScenarioResult) -> bool:
+        """Did this attacked run degrade gracefully?
+
+        The cycle must have survived to keep producing records, and the
+        attacked system must be at least as available as having no PFM at
+        all (tiny float tolerance: "no worse" must not fail on a 1e-12
+        rounding difference).
+        """
+        return result.cycle_survived and (
+            result.availability >= self.baseline_availability - 1e-9
+        )
+
+    @property
+    def all_graceful(self) -> bool:
+        """True when every attacked scenario degraded gracefully."""
+        return all(self.graceful(result) for result in self.attacked)
+
+    def summary(self) -> str:
+        """Human-readable campaign table."""
+        lines = [
+            f"no-PFM baseline: availability={self.baseline_availability:.4f} "
+            f"failures={self.baseline_failures}",
+            (
+                f"{'scenario':<24s} {'avail':>7s} {'fail':>5s} {'warn':>5s} "
+                f"{'act':>4s} {'stepfail':>8s} {'fallback':>8s} {'graceful':>8s}"
+            ),
+        ]
+        for result in [self.healthy, *self.attacked]:
+            graceful = "-" if result is self.healthy else str(self.graceful(result))
+            lines.append(
+                f"{result.scenario.name:<24s} {result.availability:7.4f} "
+                f"{result.failures:5d} {result.warnings_raised:5d} "
+                f"{result.actions_taken:4d} {result.step_failures:8d} "
+                f"{result.resilience['fallback_scores']:8d} {graceful:>8s}"
+            )
+        lines.append(f"all attacked scenarios graceful: {self.all_graceful}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """JSON document of the full report (for dashboards / CI artifacts)."""
+
+        def row(result: ScenarioResult) -> dict:
+            return {
+                "scenario": result.scenario.name,
+                "attacks": list(result.scenario.attacks),
+                "availability": result.availability,
+                "failures": result.failures,
+                "mea_iterations": result.mea_iterations,
+                "warnings_raised": result.warnings_raised,
+                "actions_taken": result.actions_taken,
+                "attack_episodes": result.attack_episodes,
+                "step_failures": result.step_failures,
+                "cycle_survived": result.cycle_survived,
+                "graceful": None if result is self.healthy else self.graceful(result),
+                "resilience": result.resilience,
+            }
+
+        return json.dumps(
+            {
+                "horizon": self.horizon,
+                "baseline": {
+                    "availability": self.baseline_availability,
+                    "failures": self.baseline_failures,
+                },
+                "healthy": row(self.healthy),
+                "attacked": [row(result) for result in self.attacked],
+                "all_graceful": self.all_graceful,
+            },
+            indent=2,
+        )
+
+
+def _train_models(
+    config: CampaignConfig, variables: list[str]
+) -> tuple[object, object, np.ndarray]:
+    """Fit the primary (UBF) and secondary (MSET) on one training run."""
+    base = config.dataset or DatasetConfig()
+    train_config = replace(base, seed=config.train_seed, horizon=config.horizon)
+    dataset = prepare_simulation(train_config).run()
+    _, x, y_avail, y_fail = dataset.ubf_samples(variables=variables)
+
+    rng = np.random.default_rng(config.train_seed)
+    primary = _default_predictor(rng)
+    primary.fit(x, y_avail)
+    training_scores = primary.score_samples(x)
+    primary.calibrate_threshold(training_scores, y_fail)
+
+    secondary = MSETPredictor(
+        n_exemplars=16, rng=np.random.default_rng(config.train_seed + 1)
+    )
+    secondary.fit(x, y_avail)
+    secondary_scores = secondary.score_samples(x)
+    secondary.calibrate_threshold(secondary_scores, y_fail)
+    # Degraded mode must be precision-first: a fallback that warns on
+    # half the observations turns the PFM layer itself into the hazard
+    # (spurious restarts cost more than the failures they pre-empt).
+    secondary.set_threshold(
+        max(secondary.threshold, float(np.quantile(secondary_scores, 0.98)))
+    )
+    return primary, secondary, training_scores
+
+
+def _build_injectors(
+    scenario: PFMFaultScenario,
+    config: CampaignConfig,
+    controller: PFMController,
+    predictor_proxy: FlakyPredictorProxy,
+    action_proxies,
+    rng: np.random.Generator,
+) -> list[PFMInjector]:
+    episodic = {"mtbf": config.attack_mtbf, "duration": config.attack_duration}
+    injectors: list[PFMInjector] = []
+    if scenario.monitoring_dropout:
+        injectors.append(
+            MonitoringDropoutInjector(controller, rng, mode="nan", **episodic)
+        )
+    if scenario.observation_corruption:
+        injectors.append(
+            ObservationCorruptionInjector(controller, rng, **episodic)
+        )
+    if scenario.predictor_exceptions:
+        injectors.append(
+            PredictorFaultInjector(predictor_proxy, rng, mode="exception", **episodic)
+        )
+    if scenario.predictor_latency:
+        injectors.append(
+            PredictorLatencyInjector(
+                predictor_proxy, rng, latency=config.attack_latency, **episodic
+            )
+        )
+    if scenario.action_failures:
+        injectors.append(
+            ActionFailureInjector(action_proxies, rng, mode="report-failure", **episodic)
+        )
+    return injectors
+
+
+def _run_scenario(
+    scenario: PFMFaultScenario,
+    config: CampaignConfig,
+    variables: list[str],
+    primary,
+    secondary,
+    training_scores: np.ndarray,
+) -> ScenarioResult:
+    """One PFM run on the evaluation faultload under this scenario's attacks."""
+    base = config.dataset or DatasetConfig()
+    eval_config = replace(base, seed=config.eval_seed, horizon=config.horizon)
+    sim = prepare_simulation(eval_config)
+
+    rng = np.random.default_rng(config.injection_seed)
+    predictor_proxy = FlakyPredictorProxy(primary, rng)
+    action_proxies = flaky_repertoire(default_repertoire(), rng)
+    controller = PFMController(
+        system=sim.system,
+        predictor=predictor_proxy,
+        fallback_predictor=secondary,
+        variables=variables,
+        lead_time=eval_config.lead_time,
+        repertoire=list(action_proxies),
+        sanitizer=_campaign_sanitizer(),
+    )
+    controller.calibrate_confidence(training_scores)
+    injectors = _build_injectors(
+        scenario, config, controller, predictor_proxy, action_proxies, rng
+    )
+
+    controller.start()
+    for injector in injectors:
+        injector.start(sim.system.engine)
+    dataset = sim.run()
+    for injector in injectors:
+        injector.stop()
+
+    return ScenarioResult(
+        scenario=scenario,
+        availability=dataset.system.sla.overall_availability(),
+        failures=len(dataset.failure_log),
+        mea_iterations=len(controller.mea.history),
+        warnings_raised=controller.mea.warnings_raised,
+        actions_taken=controller.mea.actions_taken,
+        attack_episodes=sum(injector.episodes for injector in injectors),
+        resilience=controller.resilience_summary(),
+    )
+
+
+def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
+    """Run the full graceful-degradation campaign.
+
+    Trains once, then replays the identical evaluation faultload as a
+    no-PFM baseline, a healthy-PFM run, and one attacked run per
+    scenario in ``config.scenarios``.
+    """
+    config = config or CampaignConfig()
+    variables = config.variables or list(DEFAULT_VARIABLES)
+    primary, secondary, training_scores = _train_models(config, variables)
+
+    base = config.dataset or DatasetConfig()
+    eval_config = replace(base, seed=config.eval_seed, horizon=config.horizon)
+    baseline = prepare_simulation(eval_config).run()
+
+    healthy = _run_scenario(
+        PFMFaultScenario("healthy-pfm"),
+        config,
+        variables,
+        primary,
+        secondary,
+        training_scores,
+    )
+    attacked = [
+        _run_scenario(scenario, config, variables, primary, secondary, training_scores)
+        for scenario in config.scenarios
+    ]
+    return CampaignReport(
+        baseline_availability=baseline.system.sla.overall_availability(),
+        baseline_failures=len(baseline.failure_log),
+        healthy=healthy,
+        attacked=attacked,
+        horizon=config.horizon,
+    )

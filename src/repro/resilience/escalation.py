@@ -1,0 +1,106 @@
+"""Countermeasure escalation: cleanup -> failover -> restart.
+
+When an executed action reports ``ActionOutcome(success=False)``, retrying
+the same action is usually wasted lead time (the recovery-oriented-
+computing insight behind recursive microreboots).  The chain keeps a
+per-target escalation level: every failed execution bumps the target one
+level up the chain, a success resets it, and a quiet period
+(``reset_after`` simulated seconds without a failed action) decays it back
+to level zero so an old incident does not force heavyweight restarts
+forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.actions.base import Action
+from repro.actions.cleanup import StateCleanupAction
+from repro.actions.failover import PreventiveFailoverAction
+from repro.actions.restart import PreventiveRestartAction
+from repro.errors import ConfigurationError
+
+
+def default_chain() -> list[Action]:
+    """The canonical cheap-to-drastic escalation ladder."""
+    return [
+        StateCleanupAction(),
+        PreventiveFailoverAction(fraction=0.8),
+        PreventiveRestartAction(restart_duration=45.0),
+    ]
+
+
+@dataclass
+class _TargetState:
+    level: int = 0
+    last_failure: float = float("-inf")
+
+
+@dataclass
+class EscalationChain:
+    """Per-target escalation ladder over a fixed action sequence."""
+
+    levels: list[Action] = field(default_factory=default_chain)
+    reset_after: float = 1_800.0
+    escalations: int = field(default=0, init=False)
+    _targets: dict[str, _TargetState] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigurationError("escalation chain needs at least one level")
+        if self.reset_after <= 0:
+            raise ConfigurationError("reset_after must be positive")
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+
+    def level(self, target: str, now: float) -> int:
+        """Current escalation level for ``target`` (0 = not escalated)."""
+        state = self._targets.get(target)
+        if state is None:
+            return 0
+        if now - state.last_failure >= self.reset_after:
+            state.level = 0
+        return state.level
+
+    def record_failure(self, target: str, now: float) -> int:
+        """An action against ``target`` failed: move one level up the chain.
+
+        Returns the new level (capped at the last chain entry).
+        """
+        state = self._targets.setdefault(target, _TargetState())
+        if now - state.last_failure >= self.reset_after:
+            state.level = 0
+        if state.level < len(self.levels) - 1:
+            state.level += 1
+            self.escalations += 1
+        state.last_failure = now
+        return state.level
+
+    def record_success(self, target: str, now: float) -> None:
+        """An action against ``target`` succeeded: de-escalate fully."""
+        state = self._targets.get(target)
+        if state is not None:
+            state.level = 0
+
+    # ------------------------------------------------------------------
+    # Candidate actions
+    # ------------------------------------------------------------------
+
+    def candidates(self, target: str, now: float) -> list[Action]:
+        """Actions to try for ``target``, current level first.
+
+        At level 0 (no pending escalation) this is empty -- normal
+        utility-based selection applies; once escalated, the chain from
+        the current level upward is proposed so an inapplicable or
+        circuit-broken level can be skipped in favour of the next one.
+        """
+        level = self.level(target, now)
+        if level == 0:
+            return []
+        return self.levels[level:]
+
+    def escalated_targets(self, now: float) -> list[str]:
+        """Targets currently above level zero."""
+        return [t for t in self._targets if self.level(t, now) > 0]

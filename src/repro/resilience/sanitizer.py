@@ -1,0 +1,195 @@
+"""Gauge-read sanitization: the Monitor step's input firewall.
+
+A predictor fed a single NaN produces NaN scores forever after (kernel
+distances, logsumexp, Platt scaling all propagate it), and a gauge whose
+read callable raises would previously kill the whole ``mea-cycle``
+process.  The sanitizer sits between the raw gauges (plus any injected
+perturbations) and the feature vector:
+
+- **NaN / infinity** readings are replaced by the last known good value,
+- **exceptions** from the read callable are caught and likewise replaced,
+- **implausible** readings (paper Sect. 4.3 plausibility checks) are
+  replaced too: values below a configured ``lower_bound`` and sudden
+  spikes far beyond the last good magnitude,
+- **stuck** gauges (the same exact value repeated far longer than natural
+  jitter allows -- a frozen collector) are flagged,
+- a variable whose reads keep failing is marked **stale** so downstream
+  consumers can discount it.
+
+Every substitution is counted per variable and reason, so a fault-
+injection campaign can assert that monitoring attacks were absorbed
+rather than silently ignored.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SanitizedReading:
+    """One sanitized gauge read."""
+
+    variable: str
+    value: float  # what downstream consumers should use
+    raw: float  # what the gauge actually returned (NaN for exceptions)
+    ok: bool  # the raw reading was usable as-is
+    reason: str | None = None  # "nan"|"inf"|"exception"|"bound"|"spike"|"stuck"
+    stale: bool = False  # substitutions have persisted past stale_after
+
+
+@dataclass
+class _VariableState:
+    last_good: float | None = None
+    last_value: float | None = None
+    repeats: int = 0
+    consecutive_bad: int = 0
+
+
+@dataclass
+class GaugeSanitizer:
+    """Detect NaN / stuck / stale gauge readings; substitute last-known-good.
+
+    Parameters
+    ----------
+    stale_after:
+        Number of consecutive bad reads after which a variable is flagged
+        stale (its substituted value no longer tracks reality).
+    stuck_after:
+        Number of *identical nonzero* consecutive readings after which a
+        gauge is flagged stuck.  Zero readings are exempt because idle
+        gauges legitimately sit at 0.0 for long stretches.
+    default:
+        Fallback value when a read fails before any good value was seen.
+    lower_bound:
+        Optional plausibility floor: finite readings below it (e.g. a
+        negative utilization) are treated as corrupt and substituted.
+    spike_factor:
+        Optional plausibility ceiling on jumps: a reading whose magnitude
+        exceeds ``spike_factor * max(|last_good|, spike_floor)`` is
+        treated as corrupt and substituted.  ``spike_floor`` keeps
+        small-valued gauges from flagging ordinary activity ramps.
+    bounds:
+        Optional per-variable ``{variable: (low, high)}`` plausibility
+        ranges from a-priori knowledge (e.g. a utilization can never be
+        negative or 8.0); either end may be None.  Out-of-range readings
+        are substituted with reason ``"bound"``.
+    """
+
+    stale_after: int = 3
+    stuck_after: int = 20
+    default: float = 0.0
+    lower_bound: float | None = None
+    spike_factor: float | None = None
+    spike_floor: float = 1.0
+    bounds: dict[str, tuple[float | None, float | None]] | None = None
+    events: dict[str, dict[str, int]] = field(default_factory=dict)
+    _states: dict[str, _VariableState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.stale_after < 1:
+            raise ConfigurationError("stale_after must be >= 1")
+        if self.stuck_after < 2:
+            raise ConfigurationError("stuck_after must be >= 2")
+        if self.spike_factor is not None and self.spike_factor <= 1.0:
+            raise ConfigurationError("spike_factor must exceed 1")
+        if self.spike_floor <= 0:
+            raise ConfigurationError("spike_floor must be positive")
+
+    def read(self, variable: str, read_fn: Callable[[], float]) -> SanitizedReading:
+        """Read one gauge through the sanitizer."""
+        state = self._states.setdefault(variable, _VariableState())
+        reason: str | None = None
+        try:
+            raw = float(read_fn())
+        except Exception:
+            raw = float("nan")
+            reason = "exception"
+        else:
+            if math.isnan(raw):
+                reason = "nan"
+            elif math.isinf(raw):
+                reason = "inf"
+            elif self._out_of_bounds(variable, raw):
+                reason = "bound"
+            elif (
+                self.spike_factor is not None
+                and state.last_good is not None
+                and abs(raw)
+                > self.spike_factor * max(abs(state.last_good), self.spike_floor)
+            ):
+                reason = "spike"
+
+        if reason is not None:
+            state.consecutive_bad += 1
+            self._count(variable, reason)
+            value = state.last_good if state.last_good is not None else self.default
+            return SanitizedReading(
+                variable=variable,
+                value=value,
+                raw=raw,
+                ok=False,
+                reason=reason,
+                stale=state.consecutive_bad >= self.stale_after,
+            )
+
+        # A finite reading: track the repeat run for stuck detection.
+        if state.last_value is not None and raw == state.last_value:
+            state.repeats += 1
+        else:
+            state.repeats = 0
+        state.last_value = raw
+        state.consecutive_bad = 0
+
+        if raw != 0.0 and state.repeats >= self.stuck_after:
+            # The value itself is the best estimate we have; flag, don't
+            # substitute -- a frozen gauge's last value *is* last-known-good.
+            self._count(variable, "stuck")
+            return SanitizedReading(
+                variable=variable, value=raw, raw=raw, ok=False,
+                reason="stuck", stale=True,
+            )
+
+        state.last_good = raw
+        return SanitizedReading(variable=variable, value=raw, raw=raw, ok=True)
+
+    def _out_of_bounds(self, variable: str, raw: float) -> bool:
+        if self.lower_bound is not None and raw < self.lower_bound:
+            return True
+        low, high = (self.bounds or {}).get(variable, (None, None))
+        if low is not None and raw < low:
+            return True
+        return high is not None and raw > high
+
+    def _count(self, variable: str, reason: str) -> None:
+        per_var = self.events.setdefault(variable, {})
+        per_var[reason] = per_var.get(reason, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stale_variables(self) -> list[str]:
+        """Variables currently running on substituted (or frozen) values."""
+        stale = []
+        for variable, state in self._states.items():
+            if state.consecutive_bad >= self.stale_after:
+                stale.append(variable)
+            elif (
+                state.last_value is not None
+                and state.last_value != 0.0
+                and state.repeats >= self.stuck_after
+            ):
+                stale.append(variable)
+        return stale
+
+    @property
+    def total_substitutions(self) -> int:
+        """Total bad readings absorbed across all variables."""
+        return sum(
+            count for per_var in self.events.values() for count in per_var.values()
+        )

@@ -17,7 +17,6 @@ import csv
 import json
 from pathlib import Path
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.faults.classification import CristianFailureMode

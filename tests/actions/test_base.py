@@ -1,6 +1,5 @@
 """Tests for the Action base machinery."""
 
-import pytest
 
 from repro.actions import Action, ActionCategory, ActionOutcome
 

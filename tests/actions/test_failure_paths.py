@@ -1,0 +1,208 @@
+"""Action failure paths: applicability gating, failed-outcome propagation
+through the controller, breaker suppression and escalation ordering."""
+
+
+from repro.actions.base import Action, ActionCategory, ActionOutcome
+from repro.actions.selection import ActionSelector, SelectionContext
+from repro.core.controller import PFMController
+from repro.core.mea import EvaluationResult
+from repro.resilience import EscalationChain
+
+
+class StubAction(Action):
+    """Scriptable action: fixed applicability and outcome, logged runs."""
+
+    category = ActionCategory.DOWNTIME_AVOIDANCE
+
+    def __init__(
+        self,
+        name,
+        cost=0.1,
+        success_probability=0.9,
+        applicable=True,
+        succeed=True,
+        raise_error=False,
+    ):
+        super().__init__(cost=cost, success_probability=success_probability)
+        self.name = name
+        self.complexity = 0.1
+        self._applicable = applicable
+        self._succeed = succeed
+        self._raise = raise_error
+        self.run_log = []
+
+    def applicable(self, system, target):
+        return self._applicable
+
+    def execute(self, system, target):
+        self.run_log.append(system.engine.now)
+        if self._raise:
+            raise RuntimeError(f"{self.name} blew up")
+        return ActionOutcome(
+            action=self.name,
+            target=target,
+            time=system.engine.now,
+            success=self._succeed,
+        )
+
+
+class InertPredictor:
+    threshold = 0.5
+
+    def score_samples(self, x):
+        import numpy as np
+
+        return np.zeros(np.atleast_2d(x).shape[0])
+
+
+def warning(confidence=0.9, target="c1"):
+    return EvaluationResult(
+        score=1.0, warning=True, confidence=confidence, target=target
+    )
+
+
+def make_controller(scp, repertoire, escalation=None, **kwargs):
+    return PFMController(
+        system=scp,
+        predictor=InertPredictor(),
+        variables=["cpu_utilization"],
+        repertoire=repertoire,
+        cooldown=0.0,
+        # Default chain: escalation levels exist (so bumps are visible)
+        # but are never applicable, keeping selection in the repertoire.
+        escalation=escalation
+        or EscalationChain(
+            levels=[
+                StubAction("inert-0", applicable=False),
+                StubAction("inert-1", applicable=False),
+            ]
+        ),
+        **kwargs,
+    )
+
+
+class TestApplicabilityGating:
+    def test_inapplicable_action_never_selected(self, scp):
+        tempting = StubAction("tempting", cost=0.0, applicable=False)
+        modest = StubAction("modest", cost=1.0)
+        selector = ActionSelector([tempting, modest])
+        context = SelectionContext(confidence=0.9, target="c1")
+        assert selector.utility(tempting, context) > selector.utility(modest, context)
+        assert selector.select(scp, context) is modest
+
+    def test_rank_sorts_applicable_first(self, scp):
+        inapplicable = StubAction("no", cost=0.0, applicable=False)
+        applicable = StubAction("yes", cost=5.0)
+        ranked = ActionSelector([inapplicable, applicable]).rank(
+            scp, SelectionContext(confidence=0.9, target="c1")
+        )
+        assert [s.action.name for s in ranked] == ["yes", "no"]
+        assert not ranked[1].applicable
+
+    def test_nothing_applicable_means_do_nothing(self, scp):
+        selector = ActionSelector([StubAction("no", applicable=False)])
+        assert selector.select(scp, SelectionContext(confidence=0.9, target="c1")) is None
+
+
+class TestFailedOutcomePropagation:
+    def test_failure_recorded_and_counted(self, scp):
+        flaky = StubAction("flaky", succeed=False)
+        controller = make_controller(scp, [flaky])
+        controller._act(warning())
+        assert len(controller.action_outcomes) == 1
+        assert not controller.action_outcomes[0].success
+        assert controller.breakers["flaky"].consecutive_failures == 1
+        assert controller.escalation.level("c1", scp.engine.now) == 1
+        assert controller.resilience_summary()["failed_actions"] == 1
+
+    def test_success_resets_breaker_and_escalation(self, scp):
+        solid = StubAction("solid", succeed=True)
+        controller = make_controller(scp, [solid])
+        controller._act(warning())
+        assert controller.breakers["solid"].consecutive_failures == 0
+        assert controller.escalation.level("c1", scp.engine.now) == 0
+
+    def test_action_exception_becomes_step_failure(self, scp):
+        bomb = StubAction("bomb", raise_error=True)
+        controller = make_controller(scp, [bomb])
+        controller._act(warning())
+        # The exception was absorbed: a failed outcome plus a StepFailure.
+        assert len(controller.action_outcomes) == 1
+        outcome = controller.action_outcomes[0]
+        assert not outcome.success
+        assert "bomb blew up" in outcome.details["error"]
+        assert controller.mea.failures_by_step() == {"act": 1}
+        assert controller.breakers["bomb"].consecutive_failures == 1
+
+
+class TestBreakerSuppression:
+    def test_open_breaker_excludes_action_from_selection(self, scp):
+        flaky = StubAction("flaky", cost=0.1, succeed=False)
+        backup = StubAction("backup", cost=2.0, succeed=True)
+        controller = make_controller(scp, [flaky, backup], breaker_failure_threshold=2)
+        controller._act(warning())
+        controller._act(warning())
+        assert controller.open_breakers() == ["flaky"]
+        controller._act(warning())
+        assert len(flaky.run_log) == 2  # suppressed once the breaker opened
+        assert len(backup.run_log) == 1
+        assert controller.resilience_summary()["breaker_opens"] == 1
+
+    def test_all_breakers_open_means_do_nothing(self, scp):
+        flaky = StubAction("flaky", succeed=False)
+        controller = make_controller(scp, [flaky], breaker_failure_threshold=1)
+        controller._act(warning())
+        controller._act(warning())
+        assert len(flaky.run_log) == 1
+        assert controller.warnings[-1].action is None
+
+
+class TestEscalationOrdering:
+    def test_repeated_failures_walk_the_chain(self, scp):
+        trigger = StubAction("trigger", succeed=False)
+        step1 = StubAction("esc-cleanup", succeed=False)
+        step2 = StubAction("esc-failover", succeed=False)
+        step3 = StubAction("esc-restart", succeed=False)
+        controller = make_controller(
+            scp,
+            [trigger],
+            escalation=EscalationChain(levels=[step1, step2, step3]),
+            breaker_failure_threshold=10,
+        )
+        for _ in range(3):
+            controller._act(warning())
+        # First failure escalates past level 0, so the chain is entered at
+        # step2, and the next failure moves on to step3 (which then stays
+        # capped at the chain's end).
+        assert [len(a.run_log) for a in (trigger, step1, step2, step3)] == [1, 0, 1, 1]
+        controller._act(warning())
+        assert len(step3.run_log) == 2
+
+    def test_chain_skips_inapplicable_level(self, scp):
+        trigger = StubAction("trigger", succeed=False)
+        skipped = StubAction("skipped", applicable=False)
+        fallback = StubAction("fallback", succeed=True)
+        controller = make_controller(
+            scp,
+            [trigger],
+            escalation=EscalationChain(levels=[trigger, skipped, fallback]),
+        )
+        controller._act(warning())  # trigger fails -> level 1
+        controller._act(warning())  # level-1 'skipped' inapplicable -> fallback
+        assert len(fallback.run_log) == 1
+
+    def test_chain_success_deescalates(self, scp):
+        trigger = StubAction("trigger", succeed=False)
+        healer = StubAction("healer", succeed=True)
+        controller = make_controller(
+            scp,
+            [trigger],
+            escalation=EscalationChain(levels=[trigger, healer]),
+        )
+        controller._act(warning())
+        controller._act(warning())
+        assert len(healer.run_log) == 1
+        assert controller.escalation.level("c1", scp.engine.now) == 0
+        # De-escalated: back to utility-based selection of the repertoire.
+        controller._act(warning())
+        assert len(trigger.run_log) == 2

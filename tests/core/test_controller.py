@@ -213,3 +213,128 @@ class TestWarningEpisodeAccounting:
             controller.calibrate_confidence(np.array([]))
         with pytest.raises(ConfigurationError):
             controller.calibrate_confidence(np.array([]), np.array([]))
+
+
+class FaultyPredictor(ThresholdPredictor):
+    """ThresholdPredictor that can be told to raise."""
+
+    def __init__(self):
+        self.fail = False
+
+    def score_samples(self, x):
+        if self.fail:
+            raise RuntimeError("model corrupted")
+        return super().score_samples(x)
+
+
+class SecondaryPredictor:
+    """Fallback stand-in on a different score scale."""
+
+    threshold = 10.0
+
+    def score_samples(self, x):
+        return np.atleast_2d(x)[:, 0] + 10.0
+
+
+class TestResilienceWiring:
+    def test_observation_tap_nan_is_sanitized(self, scp_and_controller):
+        system, controller = scp_and_controller
+        controller.observation_taps.append(
+            lambda variable, value: float("nan")
+            if variable == "cpu_utilization"
+            else value
+        )
+        observation = controller._monitor()
+        assert np.isfinite(observation).all()
+        assert controller.sanitizer.events["cpu_utilization"]["nan"] == 1
+
+    def test_predictor_faults_recorded_and_survived(self):
+        engine = Engine()
+        system = SCPSystem(
+            engine, RandomStreams(5), SCPConfig(enable_aging=False, n_containers=3)
+        )
+        predictor = FaultyPredictor()
+        controller = PFMController(
+            system=system,
+            predictor=predictor,
+            variables=["swap_activity", "cpu_utilization"],
+            predictor_fault_threshold=2,
+        )
+        predictor.fail = True
+        result = controller.mea.step()  # must not raise
+        assert not result.evaluation.warning
+        assert controller.scoring.primary_faults == 1
+        assert controller.resilience_summary()["predictor_faults"] == 1
+
+    def test_fallback_predictor_takes_over(self):
+        engine = Engine()
+        system = SCPSystem(
+            engine, RandomStreams(5), SCPConfig(enable_aging=False, n_containers=3)
+        )
+        predictor = FaultyPredictor()
+        controller = PFMController(
+            system=system,
+            predictor=predictor,
+            fallback_predictor=SecondaryPredictor(),
+            variables=["swap_activity", "cpu_utilization"],
+            fallback_confidence=0.6,
+            predictor_fault_threshold=1,
+        )
+        predictor.fail = True
+        evaluation = controller._evaluate(np.array([0.7, 0.0]))
+        # Secondary: score 10.7 >= its threshold 10.0 -> warning, with the
+        # configured degraded-mode confidence.
+        assert evaluation.warning
+        assert evaluation.confidence == 0.6
+        assert controller.scoring.using_fallback
+        assert controller.resilience_summary()["fallback_scores"] == 1
+
+    def test_slow_predictor_counts_as_fault(self):
+        engine = Engine()
+        system = SCPSystem(
+            engine, RandomStreams(5), SCPConfig(enable_aging=False, n_containers=3)
+        )
+        predictor = ThresholdPredictor()
+        predictor.simulated_latency = 10_000.0  # way past lead_time budget
+        controller = PFMController(
+            system=system,
+            predictor=predictor,
+            variables=["swap_activity", "cpu_utilization"],
+            lead_time=300.0,
+        )
+        controller._evaluate(np.array([0.9, 0.0]))
+        assert controller.scoring.primary_faults == 1
+
+    def test_suspect_only_computed_on_warning(self, scp_and_controller):
+        system, controller = scp_and_controller
+        calls = []
+        original = controller._suspect
+        controller._suspect = lambda: calls.append(1) or original()
+        quiet = controller._evaluate(np.array([0.0, 0.0]))
+        assert quiet.target == ""
+        assert calls == []
+        loud = controller._evaluate(np.array([0.9, 0.0]))
+        assert loud.target != ""
+        assert calls == [1]
+
+
+class TestLoadRestoration:
+    def test_restores_after_quiet_period(self, scp_and_controller):
+        system, controller = scp_and_controller
+        system.set_admission_fraction(0.5)
+        controller._throttled = True
+        controller._last_warning_time = (
+            system.engine.now - 2 * controller.lead_time - 1.0
+        )
+        controller.maybe_restore_load()
+        assert system.admission_fraction == 1.0
+        assert not controller._throttled
+
+    def test_holds_while_warnings_recent(self, scp_and_controller):
+        system, controller = scp_and_controller
+        system.set_admission_fraction(0.5)
+        controller._throttled = True
+        controller._last_warning_time = system.engine.now
+        controller.maybe_restore_load()
+        assert system.admission_fraction == 0.5
+        assert controller._throttled

@@ -81,3 +81,193 @@ class TestCycle:
     def test_rejects_bad_period(self):
         with pytest.raises(ConfigurationError):
             make_cycle(Engine(), lambda obs: 0.0, [], period=0.0)
+
+
+class Flaky:
+    """Callable that fails the first ``failures`` invocations."""
+
+    def __init__(self, fn, failures):
+        self.fn = fn
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, *args):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError("flaky step")
+        return self.fn(*args)
+
+
+class TestStepFailures:
+    def make_resilient(self, engine, monitor, retry=None, **kwargs):
+        from repro.core import MEACycle
+
+        return MEACycle(
+            engine=engine,
+            monitor=monitor,
+            evaluate=lambda obs: EvaluationResult(score=0.0, warning=False),
+            act=lambda ev: None,
+            period=10.0,
+            retry=retry,
+            **kwargs,
+        )
+
+    def test_monitor_exception_recorded_not_fatal(self):
+        engine = Engine()
+
+        def bad_monitor():
+            raise RuntimeError("gauge tree on fire")
+
+        cycle = self.make_resilient(engine, bad_monitor)
+        cycle.start()
+        engine.run(until=35.0)
+        # The cycle survived every iteration and recorded each failure.
+        assert len(cycle.history) == 4
+        assert all(r.failed_steps == ("monitor",) for r in cycle.history)
+        assert cycle.degraded_iterations == 4
+        assert cycle.failures_by_step() == {"monitor": 4}
+        failure = cycle.failures[0]
+        assert failure.step == "monitor"
+        assert failure.error_type == "RuntimeError"
+        assert "on fire" in failure.message
+
+    def test_evaluate_failure_yields_null_evaluation(self):
+        import math
+
+        engine = Engine()
+        cycle = MEACycle(
+            engine=engine,
+            monitor=lambda: 1.0,
+            evaluate=Flaky(lambda obs: EvaluationResult(0.0, False), failures=10**9),
+            act=lambda ev: "acted",
+            period=10.0,
+        )
+        record = cycle.step()
+        assert record.failed_steps == ("evaluate",)
+        assert math.isnan(record.evaluation.score)
+        assert not record.evaluation.warning
+        assert record.action_taken is None
+
+    def test_act_failure_recorded(self):
+        engine = Engine()
+        cycle = MEACycle(
+            engine=engine,
+            monitor=lambda: 1.0,
+            evaluate=lambda obs: EvaluationResult(score=1.0, warning=True),
+            act=Flaky(lambda ev: "acted", failures=10**9),
+            period=10.0,
+        )
+        record = cycle.step()
+        assert record.failed_steps == ("act",)
+        assert cycle.failures_by_step() == {"act": 1}
+
+    def test_retry_masks_transient_failure(self):
+        from repro.resilience import RetryPolicy
+
+        engine = Engine()
+        monitor = Flaky(lambda: 1.0, failures=1)
+        cycle = self.make_resilient(
+            engine, monitor, retry=RetryPolicy(max_attempts=2)
+        )
+        record = cycle.step()
+        assert record.failed_steps == ()
+        assert monitor.calls == 2
+        assert cycle.failures == []
+
+    def test_retry_exhaustion_reports_attempts(self):
+        from repro.resilience import RetryPolicy
+
+        engine = Engine()
+        monitor = Flaky(lambda: 1.0, failures=10**9)
+        cycle = self.make_resilient(
+            engine, monitor, retry=RetryPolicy(max_attempts=3)
+        )
+        cycle.step()
+        assert cycle.failures[0].attempts == 3
+
+    def test_backoff_slows_failing_cycle(self):
+        from repro.resilience import RetryPolicy
+
+        engine = Engine()
+        cycle = self.make_resilient(
+            engine,
+            Flaky(lambda: 1.0, failures=10**9),
+            retry=RetryPolicy(
+                max_attempts=1, backoff_base=40.0, backoff_factor=2.0,
+                backoff_max=1000.0,
+            ),
+        )
+        cycle.start()
+        engine.run(until=200.0)
+        # Delays: 10+40, 10+80, 10+160 ... instead of 10, 10, 10.
+        times = [r.time for r in cycle.history]
+        assert times == [0.0, 50.0, 140.0]
+
+    def test_on_step_failure_callback(self):
+        engine = Engine()
+        seen = []
+        cycle = self.make_resilient(
+            engine,
+            Flaky(lambda: 1.0, failures=10**9),
+            on_step_failure=seen.append,
+        )
+        cycle.step()
+        assert len(seen) == 1
+        assert seen[0].step == "monitor"
+
+    def test_note_failure_accepts_strings(self):
+        engine = Engine()
+        cycle = self.make_resilient(engine, lambda: 1.0)
+        cycle.note_failure("act", "outcome reported failure")
+        assert cycle.failures_by_step() == {"act": 1}
+
+
+class TestStepTimeouts:
+    def test_over_budget_step_skipped(self):
+        from repro.resilience import StepTimeout
+
+        engine = Engine()
+        cycle = MEACycle(
+            engine=engine,
+            monitor=lambda: 1.0,
+            evaluate=lambda obs: EvaluationResult(score=1.0, warning=True),
+            act=lambda ev: "acted",
+            period=10.0,
+            timeouts={"evaluate": StepTimeout(budget=100.0)},
+            step_latency=lambda step: 500.0 if step == "evaluate" else 0.0,
+        )
+        record = cycle.step()
+        assert record.failed_steps == ("evaluate",)
+        failure = cycle.failures[0]
+        assert failure.error_type == "StepFailure"
+        assert "exceeds budget" in failure.message
+
+    def test_on_budget_latency_delays_next_cycle(self):
+        from repro.resilience import StepTimeout
+
+        engine = Engine()
+        cycle = MEACycle(
+            engine=engine,
+            monitor=lambda: 1.0,
+            evaluate=lambda obs: EvaluationResult(score=0.0, warning=False),
+            act=lambda ev: None,
+            period=10.0,
+            timeouts={"evaluate": StepTimeout(budget=100.0)},
+            step_latency=lambda step: 15.0 if step == "evaluate" else 0.0,
+        )
+        cycle.start()
+        engine.run(until=60.0)
+        times = [r.time for r in cycle.history]
+        assert times == [0.0, 25.0, 50.0]  # period 10 + latency 15
+
+    def test_unknown_timeout_step_rejected(self):
+        from repro.resilience import StepTimeout
+
+        with pytest.raises(ConfigurationError):
+            MEACycle(
+                engine=Engine(),
+                monitor=lambda: 1.0,
+                evaluate=lambda obs: EvaluationResult(score=0.0, warning=False),
+                act=lambda ev: None,
+                timeouts={"transmogrify": StepTimeout(budget=1.0)},
+            )

@@ -1,0 +1,272 @@
+import numpy as np
+import pytest
+
+from repro.actions.base import Action, ActionCategory, ActionOutcome
+from repro.errors import ActionExecutionError, ConfigurationError, PFMFaultError
+from repro.faults.pfm_injectors import (
+    ActionFailureInjector,
+    FlakyActionProxy,
+    FlakyPredictorProxy,
+    MonitoringDropoutInjector,
+    ObservationCorruptionInjector,
+    PredictorFaultInjector,
+    PredictorLatencyInjector,
+    flaky_repertoire,
+)
+from repro.simulator import Engine
+
+
+class StubPredictor:
+    threshold = 0.5
+
+    def score_samples(self, x):
+        return np.atleast_2d(x)[:, 0]
+
+    def set_threshold(self, threshold):
+        self.threshold = threshold
+
+
+class RecordingAction(Action):
+    """Counts real executions so skipped inner effects are observable."""
+
+    name = "recording"
+    category = ActionCategory.DOWNTIME_AVOIDANCE
+    cost = 1.0
+    complexity = 0.5
+    success_probability = 0.9
+
+    def __init__(self):
+        self.executed = 0
+
+    def applicable(self, system, target):
+        return target == "ok"
+
+    def execute(self, system, target):
+        self.executed += 1
+        return ActionOutcome(
+            action=self.name, target=target, time=system.engine.now, success=True
+        )
+
+
+class StubSystem:
+    def __init__(self):
+        self.engine = Engine()
+
+
+class TestFlakyPredictorProxy:
+    def test_transparent_without_fault_mode(self):
+        proxy = FlakyPredictorProxy(StubPredictor())
+        assert proxy.score_samples(np.array([[0.7, 0.0]]))[0] == 0.7
+        assert proxy.threshold == 0.5
+        assert proxy.faults_injected == 0
+
+    def test_exception_mode(self):
+        proxy = FlakyPredictorProxy(StubPredictor())
+        proxy.fail_mode = "exception"
+        with pytest.raises(PFMFaultError):
+            proxy.score_samples(np.array([[0.7, 0.0]]))
+        assert proxy.faults_injected == 1
+
+    def test_nan_mode(self):
+        proxy = FlakyPredictorProxy(StubPredictor())
+        proxy.fail_mode = "nan"
+        scores = proxy.score_samples(np.array([[0.7, 0.0]]))
+        assert np.isnan(scores).all()
+
+    def test_fail_probability(self):
+        proxy = FlakyPredictorProxy(StubPredictor(), np.random.default_rng(3))
+        proxy.fail_mode = "nan"
+        proxy.fail_probability = 0.5
+        outcomes = [
+            bool(np.isnan(proxy.score_samples(np.array([[0.7, 0.0]]))).any())
+            for _ in range(50)
+        ]
+        assert any(outcomes) and not all(outcomes)
+
+    def test_delegates_unknown_attributes(self):
+        inner = StubPredictor()
+        proxy = FlakyPredictorProxy(inner)
+        proxy.set_threshold(0.9)
+        assert inner.threshold == 0.9
+
+
+class TestFlakyActionProxy:
+    def test_mirrors_selection_attributes(self):
+        inner = RecordingAction()
+        proxy = FlakyActionProxy(inner)
+        assert proxy.name == "recording"
+        assert proxy.cost == 1.0
+        assert proxy.success_probability == 0.9
+        assert proxy.inner is inner
+
+    def test_applicable_delegates(self):
+        proxy = FlakyActionProxy(RecordingAction())
+        system = StubSystem()
+        assert proxy.applicable(system, "ok")
+        assert not proxy.applicable(system, "bad")
+
+    def test_transparent_execution(self):
+        inner = RecordingAction()
+        proxy = FlakyActionProxy(inner)
+        outcome = proxy.execute(StubSystem(), "ok")
+        assert outcome.success
+        assert inner.executed == 1
+
+    def test_report_failure_skips_inner_effect(self):
+        inner = RecordingAction()
+        proxy = FlakyActionProxy(inner)
+        proxy.fail_mode = "report-failure"
+        outcome = proxy.execute(StubSystem(), "ok")
+        assert not outcome.success
+        assert outcome.details["injected"]
+        assert inner.executed == 0  # the action died before doing its work
+        assert proxy.faults_injected == 1
+
+    def test_exception_mode(self):
+        inner = RecordingAction()
+        proxy = FlakyActionProxy(inner)
+        proxy.fail_mode = "exception"
+        with pytest.raises(ActionExecutionError):
+            proxy.execute(StubSystem(), "ok")
+        assert inner.executed == 0
+
+    def test_flaky_repertoire_wraps_every_action(self):
+        proxies = flaky_repertoire([RecordingAction(), RecordingAction()])
+        assert len(proxies) == 2
+        assert all(isinstance(p, FlakyActionProxy) for p in proxies)
+
+
+class FakeController:
+    def __init__(self):
+        self.observation_taps = []
+
+
+class TestEpisodicInjectors:
+    def run_one_episode(self, injector, until=10_000.0):
+        engine = Engine()
+        injector.start(engine)
+        engine.run(until=until)
+        injector.stop()
+        return engine
+
+    def test_dropout_installs_and_removes_tap(self):
+        controller = FakeController()
+        injector = MonitoringDropoutInjector(
+            controller,
+            np.random.default_rng(0),
+            mode="nan",
+            mtbf=100.0,
+            duration=50.0,
+        )
+        self.run_one_episode(injector)
+        assert injector.episodes > 0
+        assert controller.observation_taps == []  # removed after episodes
+
+    def test_dropout_nan_mode_tap(self):
+        controller = FakeController()
+        injector = MonitoringDropoutInjector(
+            controller, np.random.default_rng(0), mode="nan"
+        )
+        injector._activate()
+        tap = controller.observation_taps[0]
+        assert np.isnan(tap("cpu", 0.4))
+        assert injector.reads_attacked == 1
+
+    def test_dropout_stuck_mode_freezes_first_value(self):
+        injector = MonitoringDropoutInjector(
+            FakeController(), np.random.default_rng(0), mode="stuck"
+        )
+        injector._activate()
+        assert injector._tap("cpu", 0.4) == 0.4
+        assert injector._tap("cpu", 0.9) == 0.4
+
+    def test_dropout_exception_mode(self):
+        injector = MonitoringDropoutInjector(
+            FakeController(), np.random.default_rng(0), mode="exception"
+        )
+        injector._activate()
+        with pytest.raises(PFMFaultError):
+            injector._tap("cpu", 0.4)
+
+    def test_dropout_respects_variable_filter(self):
+        injector = MonitoringDropoutInjector(
+            FakeController(), np.random.default_rng(0), variables=["cpu"], mode="nan"
+        )
+        injector._activate()
+        assert injector._tap("memory", 3.0) == 3.0
+        assert np.isnan(injector._tap("cpu", 0.4))
+
+    def test_corruption_spikes_or_flips(self):
+        injector = ObservationCorruptionInjector(
+            FakeController(), np.random.default_rng(0), probability=1.0, magnitude=8.0
+        )
+        injector._activate()
+        values = {injector._tap("v", 2.0) for _ in range(20)}
+        assert values <= {16.0, -2.0}
+        assert len(values) == 2
+
+    def test_predictor_fault_injector_toggles_proxy(self):
+        proxy = FlakyPredictorProxy(StubPredictor())
+        injector = PredictorFaultInjector(
+            proxy, np.random.default_rng(0), mode="exception", mtbf=100.0, duration=50.0
+        )
+        injector._activate()
+        assert proxy.fail_mode == "exception"
+        injector._deactivate()
+        assert proxy.fail_mode is None
+
+    def test_latency_injector_toggles_latency(self):
+        proxy = FlakyPredictorProxy(StubPredictor())
+        injector = PredictorLatencyInjector(
+            proxy, np.random.default_rng(0), latency=600.0
+        )
+        injector._activate()
+        assert proxy.simulated_latency == 600.0
+        injector._deactivate()
+        assert proxy.simulated_latency == 0.0
+
+    def test_action_failure_injector_toggles_all_proxies(self):
+        proxies = flaky_repertoire([RecordingAction(), RecordingAction()])
+        injector = ActionFailureInjector(proxies, np.random.default_rng(0))
+        injector._activate()
+        assert all(p.fail_mode == "report-failure" for p in proxies)
+        injector._deactivate()
+        assert all(p.fail_mode is None for p in proxies)
+
+    def test_stop_mid_episode_deactivates(self):
+        proxy = FlakyPredictorProxy(StubPredictor())
+        injector = PredictorFaultInjector(
+            proxy, np.random.default_rng(0), mtbf=10.0, duration=1e9
+        )
+        engine = Engine()
+        injector.start(engine)
+        engine.run(until=1_000.0)
+        assert injector.attacking
+        injector.stop()
+        assert proxy.fail_mode is None
+        assert not injector.attacking
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            MonitoringDropoutInjector(FakeController(), rng, mode="bogus")
+        with pytest.raises(ConfigurationError):
+            ObservationCorruptionInjector(FakeController(), rng, probability=0.0)
+        with pytest.raises(ConfigurationError):
+            ObservationCorruptionInjector(FakeController(), rng, magnitude=1.0)
+        with pytest.raises(ConfigurationError):
+            PredictorFaultInjector(FlakyPredictorProxy(StubPredictor()), rng, mode="x")
+        with pytest.raises(ConfigurationError):
+            PredictorLatencyInjector(
+                FlakyPredictorProxy(StubPredictor()), rng, latency=0.0
+            )
+        with pytest.raises(ConfigurationError):
+            ActionFailureInjector([], rng)
+        with pytest.raises(ConfigurationError):
+            ActionFailureInjector(
+                flaky_repertoire([RecordingAction()]), rng, mode="bogus"
+            )
+        with pytest.raises(ConfigurationError):
+            PredictorFaultInjector(
+                FlakyPredictorProxy(StubPredictor()), rng, mtbf=0.0
+            )

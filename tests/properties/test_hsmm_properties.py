@@ -1,7 +1,7 @@
 """Hypothesis property tests for the HMM/HSMM machinery."""
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.markov import HiddenMarkovModel, HiddenSemiMarkovModel

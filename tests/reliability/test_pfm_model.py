@@ -1,12 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.reliability import (
-    PFMModel,
-    PFMParameters,
-    STATE_NAMES,
-    closed_form_availability,
-)
+from repro.reliability import PFMModel, PFMParameters, STATE_NAMES
 from repro.reliability.pfm_model import DOWN_STATES, UP_STATES
 
 

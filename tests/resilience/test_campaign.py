@@ -1,0 +1,128 @@
+"""The graceful-degradation acceptance campaign.
+
+One short (0.8 simulated days) campaign run shared by all assertions:
+the PFM stack is attacked on every surface and must degrade gracefully
+-- the MEA cycle never dies silently, suppressed actions show up in
+breaker counters, and no attacked scenario is less available than having
+no PFM at all.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import (
+    CampaignConfig,
+    PFMFaultScenario,
+    default_scenarios,
+    run_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_campaign(
+        CampaignConfig(
+            horizon=0.8 * 86_400.0, attack_mtbf=1_800.0, attack_duration=1_200.0
+        )
+    )
+
+
+class TestScenarios:
+    def test_default_scenarios_cover_every_surface(self):
+        scenarios = default_scenarios()
+        assert len(scenarios) == 6
+        covered = set()
+        for scenario in scenarios:
+            covered.update(scenario.attacks)
+        assert covered == {
+            "monitoring_dropout",
+            "observation_corruption",
+            "predictor_exceptions",
+            "predictor_latency",
+            "action_failures",
+        }
+        all_fronts = next(s for s in scenarios if s.name == "all-fronts")
+        assert len(all_fronts.attacks) == 5
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(horizon=0.0)
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(scenarios=[])
+
+
+class TestGracefulDegradation:
+    def test_every_attacked_scenario_is_graceful(self, report):
+        # The acceptance bar: PFM under attack may lose its benefit but
+        # must never be worse than running without PFM.
+        for result in report.attacked:
+            assert report.graceful(result), result.scenario.name
+        assert report.all_graceful
+
+    def test_healthy_pfm_beats_no_pfm(self, report):
+        assert report.healthy.availability > report.baseline_availability
+
+    def test_cycle_never_dies_silently(self, report):
+        # Every run kept iterating for the whole horizon; anything that
+        # went wrong inside a step is surfaced as a StepFailure record or
+        # an absorbed fault counter, never a dead process.
+        expected_min = int(0.8 * 86_400.0 / 30.0 * 0.5)
+        for result in [report.healthy, *report.attacked]:
+            assert result.cycle_survived
+            assert result.mea_iterations >= expected_min, result.scenario.name
+
+    def test_attacks_actually_happened(self, report):
+        for result in report.attacked:
+            assert result.attack_episodes > 0, result.scenario.name
+
+    def test_monitoring_attacks_absorbed_by_sanitizer(self, report):
+        dropout = next(
+            r for r in report.attacked if r.scenario.name == "monitoring-dropout"
+        )
+        events = dropout.resilience["sanitizer_events"]
+        assert sum(per_var.get("nan", 0) for per_var in events.values()) > 0
+
+    def test_predictor_attacks_fail_over_to_secondary(self, report):
+        exceptions = next(
+            r for r in report.attacked if r.scenario.name == "predictor-exceptions"
+        )
+        assert exceptions.resilience["predictor_faults"] > 0
+        assert exceptions.resilience["fallback_scores"] > 0
+        assert exceptions.resilience["null_scores"] == 0
+
+    def test_failing_actions_open_breakers(self, report):
+        failures = next(
+            r for r in report.attacked if r.scenario.name == "action-failures"
+        )
+        assert failures.resilience["failed_actions"] > 0
+        assert failures.resilience["breaker_opens"] > 0
+        assert failures.resilience["calls_rejected"] > 0
+        assert failures.resilience["escalations"] > 0
+
+
+class TestReporting:
+    def test_summary_mentions_every_scenario(self, report):
+        text = report.summary()
+        assert "no-PFM baseline" in text
+        assert "healthy-pfm" in text
+        for result in report.attacked:
+            assert result.scenario.name in text
+
+    def test_json_roundtrip(self, report):
+        doc = json.loads(report.to_json())
+        assert doc["all_graceful"] is True
+        assert doc["healthy"]["graceful"] is None
+        assert len(doc["attacked"]) == len(report.attacked)
+        for row in doc["attacked"]:
+            assert row["cycle_survived"] is True
+
+
+class TestScenarioModel:
+    def test_attacks_property(self):
+        scenario = PFMFaultScenario(
+            "x", monitoring_dropout=True, action_failures=True
+        )
+        assert scenario.attacks == ("monitoring_dropout", "action_failures")
+        assert PFMFaultScenario("quiet").attacks == ()

@@ -1,0 +1,62 @@
+import pytest
+
+from repro.actions.cleanup import StateCleanupAction
+from repro.actions.failover import PreventiveFailoverAction
+from repro.actions.restart import PreventiveRestartAction
+from repro.errors import ConfigurationError
+from repro.resilience import EscalationChain, default_chain
+
+
+class TestDefaultChain:
+    def test_cheap_to_drastic_order(self):
+        chain = default_chain()
+        assert isinstance(chain[0], StateCleanupAction)
+        assert isinstance(chain[1], PreventiveFailoverAction)
+        assert isinstance(chain[2], PreventiveRestartAction)
+
+
+class TestLevels:
+    def test_starts_at_zero_with_no_candidates(self):
+        chain = EscalationChain()
+        assert chain.level("c1", 0.0) == 0
+        assert chain.candidates("c1", 0.0) == []
+
+    def test_failure_bumps_one_level(self):
+        chain = EscalationChain()
+        assert chain.record_failure("c1", 0.0) == 1
+        candidates = chain.candidates("c1", 10.0)
+        assert [type(a) for a in candidates] == [
+            PreventiveFailoverAction,
+            PreventiveRestartAction,
+        ]
+
+    def test_level_capped_at_chain_end(self):
+        chain = EscalationChain()
+        for t in range(5):
+            chain.record_failure("c1", float(t))
+        assert chain.level("c1", 5.0) == 2
+        assert chain.escalations == 2  # capped bumps are not counted
+
+    def test_success_resets(self):
+        chain = EscalationChain()
+        chain.record_failure("c1", 0.0)
+        chain.record_success("c1", 10.0)
+        assert chain.level("c1", 11.0) == 0
+
+    def test_quiet_period_decays(self):
+        chain = EscalationChain(reset_after=100.0)
+        chain.record_failure("c1", 0.0)
+        assert chain.level("c1", 50.0) == 1
+        assert chain.level("c1", 150.0) == 0
+
+    def test_targets_are_independent(self):
+        chain = EscalationChain()
+        chain.record_failure("c1", 0.0)
+        assert chain.level("c2", 1.0) == 0
+        assert chain.escalated_targets(1.0) == ["c1"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EscalationChain(levels=[])
+        with pytest.raises(ConfigurationError):
+            EscalationChain(reset_after=0.0)

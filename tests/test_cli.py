@@ -14,12 +14,24 @@ class TestParser:
         )
         assert set(subparsers.choices) == {
             "model", "curves", "case-study", "closed-loop", "taxonomy",
-            "policies",
+            "policies", "campaign",
         }
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_campaign_args_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--days", "0.5", "--scenario", "all-fronts", "--json"]
+        )
+        assert args.days == 0.5
+        assert args.scenario == ["all-fronts"]
+        assert args.json
+
+    def test_campaign_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--scenario", "does-not-exist"])
 
 
 class TestFastCommands:
