@@ -7,6 +7,7 @@ Commands map to the paper's artifacts:
 - ``case-study``   Sect. 3.3: simulate the SCP, train UBF + HSMM, report
 - ``closed-loop``  replay one faultload with and without PFM
 - ``campaign``     fault-inject the PFM stack itself, report degradation
+- ``trace``        instrumented closed-loop run -> JSONL trace + metrics
 - ``taxonomy``     print the Fig. 3 classification tree
 - ``policies``     cost comparison: PFM vs optimal rejuvenation vs nothing
 """
@@ -14,6 +15,7 @@ Commands map to the paper's artifacts:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -141,16 +143,55 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
             train_seed=args.train_seed,
             eval_seed=args.eval_seed,
             injection_seed=args.injection_seed,
+            seed=args.seed,
             horizon=args.days * 86_400.0,
             scenarios=scenarios,
             attack_mtbf=args.attack_mtbf,
             attack_duration=args.attack_duration,
+            telemetry=args.telemetry,
+            telemetry_dir=args.telemetry_dir,
         )
     )
     if args.json:
         print(report.to_json())
     else:
         print(report.summary())
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from repro.core import run_closed_loop
+    from repro.telemetry import (
+        TelemetryHub,
+        export_jsonl,
+        prometheus_text,
+        run_summary,
+    )
+
+    hub = TelemetryHub()
+    result = run_closed_loop(
+        train_seed=args.train_seed,
+        eval_seed=args.eval_seed,
+        horizon=args.days * 86_400.0,
+        telemetry=hub,
+    )
+    os.makedirs(args.out, exist_ok=True)
+    trace_path = os.path.join(args.out, "trace.jsonl")
+    n_events = export_jsonl(hub, trace_path)
+    prom_path = os.path.join(args.out, "metrics.prom")
+    with open(prom_path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(hub))
+    print(
+        run_summary(
+            hub,
+            title=(
+                f"closed loop: train_seed={args.train_seed} "
+                f"eval_seed={args.eval_seed} days={args.days:g}"
+            ),
+        )
+    )
+    print(f"unavailability ratio: {result.unavailability_ratio:.3f}")
+    print(f"trace: {trace_path} ({n_events} events)")
+    print(f"metrics snapshot: {prom_path}")
 
 
 def _cmd_taxonomy(args: argparse.Namespace) -> None:
@@ -223,8 +264,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run only this named scenario (repeatable)",
     )
+    campaign.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="master seed (overrides train/eval/injection seeds)",
+    )
+    campaign.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="instrument every PFM run (spans, events, quality gauges)",
+    )
+    campaign.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="write one JSONL trace per scenario into this directory "
+        "(implies --telemetry)",
+    )
     campaign.add_argument("--json", action="store_true", help="emit JSON report")
     campaign.set_defaults(func=_cmd_campaign)
+
+    trace = sub.add_parser(
+        "trace", help="instrumented closed-loop run -> JSONL trace + metrics"
+    )
+    trace.add_argument("--train-seed", type=int, default=11)
+    trace.add_argument("--eval-seed", type=int, default=21)
+    trace.add_argument("--days", type=float, default=2.0)
+    trace.add_argument(
+        "--out", default="telemetry-out", help="output directory for artifacts"
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     taxonomy = sub.add_parser("taxonomy", help="Fig. 3 tree")
     taxonomy.set_defaults(func=_cmd_taxonomy)

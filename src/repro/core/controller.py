@@ -48,6 +48,9 @@ from repro.resilience.fallback import FallbackPredictor
 from repro.resilience.policies import CircuitBreaker, RetryPolicy, StepTimeout
 from repro.resilience.sanitizer import GaugeSanitizer
 from repro.telecom.system import SCPSystem
+from repro.telemetry import events as tel_events
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
+from repro.telemetry.rolling import RollingQualityTracker
 
 
 def default_repertoire() -> list[Action]:
@@ -99,6 +102,9 @@ class PFMController:
     predictor_fault_threshold: int = 3
     predictor_retry_cooldown: float = 1_800.0
     action_outcomes: list[ActionOutcome] = field(default_factory=list)
+    # --- telemetry ----------------------------------------------------
+    telemetry: TelemetryHub = NULL_HUB
+    rolling_window: int | None = 200
 
     def __post_init__(self) -> None:
         if not self.variables:
@@ -127,6 +133,27 @@ class PFMController:
         # that arrives after the failure it predicts is worthless.
         if self.evaluate_latency_budget is None:
             self.evaluate_latency_budget = self.lead_time
+        # Wire the hub through every instrumented collaborator; the
+        # simulated clock comes from the engine so every event/span is
+        # keyed by sim time (first binding wins if the caller pre-bound).
+        self.telemetry.bind_clock(lambda: self.system.engine.now)
+        self.sanitizer.telemetry = self.telemetry
+        # Online prediction quality (paper Sect. 3.3 metrics as live
+        # gauges): a prediction at t resolves once now >= t + 2*lead_time,
+        # matching outcome_matrix()'s imminence window.
+        self.quality = RollingQualityTracker(
+            horizon=2 * self.lead_time,
+            window=self.rolling_window,
+            telemetry=self.telemetry,
+        )
+        # Predictors that support profiling spans (hsmm.score_batch etc.)
+        # get the same hub so the hot path shows up in the span profile.
+        if hasattr(self.predictor, "telemetry"):
+            self.predictor.telemetry = self.telemetry
+        if self.event_scorer is not None and hasattr(
+            self.event_scorer.predictor, "telemetry"
+        ):
+            self.event_scorer.predictor.telemetry = self.telemetry
         self.scoring = FallbackPredictor(
             primary=self.predictor,
             secondary=self.fallback_predictor,
@@ -134,6 +161,7 @@ class PFMController:
             failure_threshold=self.predictor_fault_threshold,
             cooldown=self.predictor_retry_cooldown,
             latency_budget=self.evaluate_latency_budget,
+            telemetry=self.telemetry,
         )
         self.mea = MEACycle(
             engine=self.system.engine,
@@ -147,6 +175,7 @@ class PFMController:
                 for step, budget in self.step_timeouts.items()
             },
             step_latency=self._step_latency,
+            telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -160,9 +189,20 @@ class PFMController:
                 name=action_name,
                 failure_threshold=self.breaker_failure_threshold,
                 cooldown=self.breaker_cooldown,
+                on_transition=self._breaker_transition,
             )
             self.breakers[action_name] = breaker
         return breaker
+
+    def _breaker_transition(
+        self, name: str, old: str, new: str, now: float
+    ) -> None:
+        self.telemetry.emit(
+            tel_events.BREAKER_TRANSITION, breaker=name, from_state=old, to=new
+        )
+        self.telemetry.counter(
+            "breaker_transitions_total", breaker=name, to=new
+        ).inc()
 
     def _step_latency(self, step: str) -> float:
         """Declared simulated latency of the upcoming step (for timeouts)."""
@@ -249,7 +289,10 @@ class PFMController:
             if event_prediction.warning:
                 warning = True
                 confidence = max(confidence, 0.8)
-        self.evaluations.append((self.system.engine.now, score, warning))
+        now = self.system.engine.now
+        self.evaluations.append((now, score, warning))
+        self.quality.record(now, warning)
+        self.quality.resolve(now, self.system.failure_log.failure_times())
         # Diagnosis is a full pass over all containers -- only pay for it
         # when a warning actually needs a target.
         target = self._suspect() if warning else ""
@@ -289,15 +332,21 @@ class PFMController:
             # so outcome_matrix() sees every acted-upon evaluation and
             # maybe_restore_load() sees fresh warning times during the
             # cooldown window.
-            self.warnings.append(
-                WarningEpisode(
-                    time=now,
-                    score=evaluation.score,
-                    confidence=evaluation.confidence,
-                    target=evaluation.target,
-                    action=None,
-                )
+            episode = WarningEpisode(
+                time=now,
+                score=evaluation.score,
+                confidence=evaluation.confidence,
+                target=evaluation.target,
+                action=None,
             )
+            self.warnings.append(episode)
+            self.telemetry.emit(
+                tel_events.COOLDOWN_SUPPRESSED,
+                target=evaluation.target,
+                since_last_action=now - self._last_action_time,
+            )
+            self.telemetry.counter("pfm_cooldown_suppressed_total").inc()
+            self._emit_episode(episode)
             return None
         context = SelectionContext(
             confidence=evaluation.confidence,
@@ -332,16 +381,36 @@ class PFMController:
             else:
                 breaker.record_failure(now)
                 self.escalation.record_failure(evaluation.target, now)
-        self.warnings.append(
-            WarningEpisode(
-                time=now,
-                score=evaluation.score,
-                confidence=evaluation.confidence,
-                target=evaluation.target,
-                action=name,
-            )
+                self.telemetry.emit(
+                    tel_events.ESCALATION,
+                    target=evaluation.target,
+                    action=name,
+                    level=self.escalation.level(evaluation.target, now),
+                )
+                self.telemetry.counter("pfm_escalations_total").inc()
+        episode = WarningEpisode(
+            time=now,
+            score=evaluation.score,
+            confidence=evaluation.confidence,
+            target=evaluation.target,
+            action=name,
         )
+        self.warnings.append(episode)
+        self._emit_episode(episode)
         return name
+
+    def _emit_episode(self, episode: WarningEpisode) -> None:
+        self.telemetry.emit(
+            tel_events.WARNING_EPISODE,
+            score=episode.score,
+            confidence=episode.confidence,
+            target=episode.target,
+            action=episode.action,
+        )
+        self.telemetry.counter(
+            "pfm_warning_episodes_total",
+            acted="yes" if episode.action else "no",
+        ).inc()
 
     def maybe_restore_load(self) -> None:
         """Lift admission control once no warning has fired recently."""
@@ -363,6 +432,27 @@ class PFMController:
         while self.mea.running:
             self.maybe_restore_load()
             yield Timeout(self.eval_period * 4)
+
+    # ------------------------------------------------------------------
+    # Telemetry finalization
+    # ------------------------------------------------------------------
+
+    def finalize_telemetry(self) -> None:
+        """Settle pending quality predictions against the final failure log.
+
+        Call once after the simulation finishes: predictions whose
+        resolution horizon extends past the end of the run are settled
+        against the complete failure log (no failure recorded => TN/FN by
+        the same rule as :meth:`outcome_matrix`), and a ``run.end`` event
+        closes the trace.
+        """
+        self.quality.flush(self.system.failure_log.failure_times())
+        self.telemetry.emit(
+            tel_events.RUN_END,
+            cycles=len(self.mea.history),
+            warnings=len(self.warnings),
+            **{k: int(v) for k, v in self.quality.counts.items()},
+        )
 
     # ------------------------------------------------------------------
     # Resilience introspection

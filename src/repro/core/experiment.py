@@ -317,11 +317,16 @@ def run_closed_loop(
     predictor: SymptomPredictor | None = None,
     config: DatasetConfig | None = None,
     trained: tuple[SymptomPredictor, np.ndarray] | None = None,
+    telemetry=None,
 ) -> ClosedLoopResult:
     """Train, then compare baseline vs PFM on an identical faultload.
 
     Pass ``trained = (fitted_predictor, training_scores)`` to skip the
-    training simulation (used by :func:`replicate_closed_loop`).
+    training simulation (used by :func:`replicate_closed_loop`).  Pass a
+    :class:`~repro.telemetry.hub.TelemetryHub` as ``telemetry`` to
+    instrument the PFM run (spans, events and live quality gauges); the
+    hub is finalized (pending predictions settled, ``run.end`` emitted)
+    before this returns.
     """
     variables = variables or DEFAULT_VARIABLES
     base_config = config or DatasetConfig()
@@ -339,16 +344,27 @@ def run_closed_loop(
     baseline = prepare_simulation(eval_config).run()
 
     # PFM run: identical configuration and seed, controller attached.
+    from repro.telemetry.hub import NULL_HUB
+
+    hub = telemetry if telemetry is not None else NULL_HUB
     pfm_sim = prepare_simulation(eval_config)
     controller = PFMController(
         system=pfm_sim.system,
         predictor=predictor,
         variables=variables,
         lead_time=eval_config.lead_time,
+        telemetry=hub,
     )
     controller.calibrate_confidence(training_scores)
+    hub.emit(
+        "run.start",
+        train_seed=train_seed,
+        eval_seed=eval_seed,
+        horizon=horizon,
+    )
     controller.start()
     pfm_dataset = pfm_sim.run()
+    controller.finalize_telemetry()
 
     actions_by_name: dict[str, int] = {}
     for episode in controller.warnings:

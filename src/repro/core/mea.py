@@ -14,6 +14,12 @@ simulated latency beyond its :class:`~repro.resilience.policies.StepTimeout`
 budget is skipped as a timeout.  A fully-failed iteration delays the next
 one by the policy's exponential backoff -- the cycle slows down under
 sustained trouble but never dies silently.
+
+The cycle is also self-observing: every iteration emits an ``mea.cycle``
+span with child spans per executed step (status ``error`` / ``timeout``
+on failure), plus ``mea.step_failure`` and ``resilience.retry`` events,
+through the :mod:`repro.telemetry` hub it was built with.  The default
+:data:`~repro.telemetry.hub.NULL_HUB` keeps all of it no-op.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ from repro.errors import ConfigurationError
 from repro.resilience.policies import RetryPolicy, StepTimeout
 from repro.simulator.engine import Engine
 from repro.simulator.events import Timeout
+from repro.telemetry import events as tel_events
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
 
 #: The three step names, in execution order.
 STEPS = ("monitor", "evaluate", "act")
@@ -99,6 +107,9 @@ class MEACycle:
         after the iteration so the simulated clock stays honest.
     on_step_failure:
         Optional callback invoked with every :class:`StepFailure`.
+    telemetry:
+        Telemetry hub receiving cycle/step spans and failure events
+        (disabled :data:`~repro.telemetry.hub.NULL_HUB` by default).
     """
 
     engine: Engine
@@ -112,6 +123,7 @@ class MEACycle:
     timeouts: dict[str, StepTimeout] = field(default_factory=dict)
     step_latency: Callable[[str], float] | None = None
     on_step_failure: Callable[[StepFailure], None] | None = None
+    telemetry: TelemetryHub = NULL_HUB
     failures: list[StepFailure] = field(default_factory=list)
     consecutive_failed_cycles: int = field(default=0, init=False)
     _pending_latency: float = field(default=0.0, init=False)
@@ -160,6 +172,14 @@ class MEACycle:
                 attempts=attempts,
             )
         self.failures.append(failure)
+        self.telemetry.emit(
+            tel_events.MEA_STEP_FAILURE,
+            step=failure.step,
+            error_type=failure.error_type,
+            message=failure.message,
+            attempts=failure.attempts,
+        )
+        self.telemetry.counter("mea_step_failures_total", step=failure.step).inc()
         if self.on_step_failure is not None:
             self.on_step_failure(failure)
         return failure
@@ -170,27 +190,42 @@ class MEACycle:
         Returns ``(result, ok)``; on failure the result is ``None`` and a
         :class:`StepFailure` has been recorded.
         """
-        timeout = self.timeouts.get(step)
-        if timeout is not None and self.step_latency is not None:
-            latency = float(self.step_latency(step))
-            if timeout.exceeded(latency):
-                self.note_failure(
-                    step,
-                    f"declared simulated latency {latency:.1f}s exceeds "
-                    f"budget {timeout.budget:.1f}s",
-                )
-                return None, False
-            self._pending_latency += max(latency, 0.0)
-        attempts = self.retry.max_attempts if self.retry is not None else 1
-        last_error: BaseException | None = None
-        for _ in range(attempts):
-            try:
-                return fn(*args), True
-            except Exception as exc:  # noqa: BLE001 - the whole point
-                last_error = exc
-        assert last_error is not None
-        self.note_failure(step, last_error, attempts=attempts)
-        return None, False
+        with self.telemetry.span("mea." + step) as span:
+            timeout = self.timeouts.get(step)
+            if timeout is not None and self.step_latency is not None:
+                latency = float(self.step_latency(step))
+                if timeout.exceeded(latency):
+                    span.status = "timeout"
+                    span.annotate(declared_latency=latency, budget=timeout.budget)
+                    self.note_failure(
+                        step,
+                        f"declared simulated latency {latency:.1f}s exceeds "
+                        f"budget {timeout.budget:.1f}s",
+                    )
+                    return None, False
+                self._pending_latency += max(latency, 0.0)
+            attempts = self.retry.max_attempts if self.retry is not None else 1
+            last_error: BaseException | None = None
+            for attempt in range(1, attempts + 1):
+                try:
+                    return fn(*args), True
+                except Exception as exc:  # noqa: BLE001 - the whole point
+                    last_error = exc
+                    if attempt < attempts:
+                        self.telemetry.emit(
+                            tel_events.RETRY,
+                            step=step,
+                            attempt=attempt,
+                            error_type=type(exc).__name__,
+                        )
+                        self.telemetry.counter(
+                            "mea_retries_total", step=step
+                        ).inc()
+            assert last_error is not None
+            span.status = "error"
+            span.annotate(error_type=type(last_error).__name__)
+            self.note_failure(step, last_error, attempts=attempts)
+            return None, False
 
     def step(self) -> MEARecord:
         """One M-E-A iteration right now.
@@ -199,34 +234,50 @@ class MEACycle:
         null (non-warning) evaluation, a failed act yields no action, and
         the record lists which steps failed.
         """
-        failed: list[str] = []
-        observation, ok = self._run_step("monitor", self.monitor)
-        if not ok:
-            failed.append("monitor")
-        evaluation = NULL_EVALUATION
-        if ok:
-            evaluation, ok = self._run_step("evaluate", self.evaluate, observation)
+        tel = self.telemetry
+        with tel.span("mea.cycle", iteration=len(self.history)) as cycle:
+            failed: list[str] = []
+            observation, ok = self._run_step("monitor", self.monitor)
             if not ok:
-                failed.append("evaluate")
-                evaluation = NULL_EVALUATION
-        action: str | None = None
+                failed.append("monitor")
+            evaluation = NULL_EVALUATION
+            if ok:
+                evaluation, ok = self._run_step(
+                    "evaluate", self.evaluate, observation
+                )
+                if not ok:
+                    failed.append("evaluate")
+                    evaluation = NULL_EVALUATION
+            action: str | None = None
+            if evaluation.warning:
+                action, ok = self._run_step("act", self.act, evaluation)
+                if not ok:
+                    failed.append("act")
+                    action = None
+            record = MEARecord(
+                time=self.engine.now,
+                observation=observation,
+                evaluation=evaluation,
+                action_taken=action,
+                failed_steps=tuple(failed),
+            )
+            self.history.append(record)
+            if failed:
+                self.consecutive_failed_cycles += 1
+                cycle.annotate(failed_steps=failed)
+            else:
+                self.consecutive_failed_cycles = 0
+            cycle.annotate(warning=evaluation.warning, action=action)
+        tel.counter("mea_cycles_total").inc()
         if evaluation.warning:
-            action, ok = self._run_step("act", self.act, evaluation)
-            if not ok:
-                failed.append("act")
-                action = None
-        record = MEARecord(
-            time=self.engine.now,
-            observation=observation,
-            evaluation=evaluation,
-            action_taken=action,
-            failed_steps=tuple(failed),
-        )
-        self.history.append(record)
+            tel.counter("mea_warnings_total").inc()
+        if action is not None:
+            tel.counter("mea_actions_total").inc()
         if failed:
-            self.consecutive_failed_cycles += 1
-        else:
-            self.consecutive_failed_cycles = 0
+            tel.counter("mea_degraded_cycles_total").inc()
+        tel.gauge("mea_consecutive_failed_cycles").set(
+            float(self.consecutive_failed_cycles)
+        )
         return record
 
     def _run(self):

@@ -24,6 +24,7 @@ from repro.markov.hsmm import HiddenSemiMarkovModel
 from repro.monitoring.records import EventSequence
 from repro.prediction.base import EventPredictor, PredictorInfo
 from repro.prediction.hsmm.sequences import SequenceEncoder
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
 
 
 class HSMMPredictor(EventPredictor):
@@ -47,6 +48,7 @@ class HSMMPredictor(EventPredictor):
         algorithm: str = "hard",
         strategy: str = "vectorized",
         n_jobs: int = 1,
+        telemetry: TelemetryHub = NULL_HUB,
     ) -> None:
         super().__init__()
         if n_states_failure < 1 or n_states_nonfailure < 1:
@@ -67,6 +69,11 @@ class HSMMPredictor(EventPredictor):
         self.algorithm = algorithm
         self.strategy = strategy
         self.n_jobs = n_jobs
+        #: Profiling hub: scoring runs inside ``hsmm.score`` /
+        #: ``hsmm.score_batch`` spans so the wall-vs-sim profile keeps the
+        #: vectorized hot path measurable in-situ.  Assignable after
+        #: construction (the controller/scorer wires it at run time).
+        self.telemetry = telemetry
         self.threshold = 0.0  # Bayes decision boundary
         self.failure_model: HiddenSemiMarkovModel | None = None
         self.nonfailure_model: HiddenSemiMarkovModel | None = None
@@ -123,10 +130,13 @@ class HSMMPredictor(EventPredictor):
         Bayes decision warns at score >= 0.
         """
         self._require_fitted()
-        symbols = self.encoder.encode(sequence)
-        ll_failure = self.failure_model.log_likelihood(symbols)
-        ll_nonfailure = self.nonfailure_model.log_likelihood(symbols)
-        return (ll_failure - ll_nonfailure) / len(symbols) + self.log_prior_ratio
+        with self.telemetry.span("hsmm.score", strategy=self.strategy):
+            symbols = self.encoder.encode(sequence)
+            ll_failure = self.failure_model.log_likelihood(symbols)
+            ll_nonfailure = self.nonfailure_model.log_likelihood(symbols)
+            return (
+                ll_failure - ll_nonfailure
+            ) / len(symbols) + self.log_prior_ratio
 
     def score_sequences(self, sequences: list[EventSequence]) -> np.ndarray:
         """Batched scores: encode once, score both models over the batch.
@@ -139,15 +149,18 @@ class HSMMPredictor(EventPredictor):
         self._require_fitted()
         if not sequences:
             return np.empty(0)
-        encoded = self.encoder.encode_many(sequences)
-        ll_failure = self.failure_model.log_likelihood_batch(
-            encoded, n_jobs=self.n_jobs
-        )
-        ll_nonfailure = self.nonfailure_model.log_likelihood_batch(
-            encoded, n_jobs=self.n_jobs
-        )
-        lengths = np.array([len(symbols) for symbols in encoded], dtype=float)
-        return (ll_failure - ll_nonfailure) / lengths + self.log_prior_ratio
+        with self.telemetry.span(
+            "hsmm.score_batch", sequences=len(sequences), strategy=self.strategy
+        ):
+            encoded = self.encoder.encode_many(sequences)
+            ll_failure = self.failure_model.log_likelihood_batch(
+                encoded, n_jobs=self.n_jobs
+            )
+            ll_nonfailure = self.nonfailure_model.log_likelihood_batch(
+                encoded, n_jobs=self.n_jobs
+            )
+            lengths = np.array([len(symbols) for symbols in encoded], dtype=float)
+            return (ll_failure - ll_nonfailure) / lengths + self.log_prior_ratio
 
     def sequence_likelihoods(self, sequence: EventSequence) -> tuple[float, float]:
         """Raw ``(log P(seq | failure), log P(seq | non-failure))``."""

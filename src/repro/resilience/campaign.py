@@ -22,6 +22,8 @@ its benefit, but must never become the failure it was built to prevent.
 from __future__ import annotations
 
 import json
+import os
+import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -42,6 +44,9 @@ from repro.faults.pfm_injectors import (
 from repro.prediction.baselines.mset import MSETPredictor
 from repro.resilience.sanitizer import GaugeSanitizer
 from repro.telecom.dataset import DatasetConfig, prepare_simulation
+from repro.telemetry import events as tel_events
+from repro.telemetry.exporters import export_jsonl
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
 
 #: A-priori plausibility ranges for SCP gauges (paper Sect. 4.3): every
 #: monitored variable is nonnegative, and the utilization-like ones are
@@ -115,6 +120,10 @@ class CampaignConfig:
     train_seed: int = 11
     eval_seed: int = 21
     injection_seed: int = 97
+    #: Master seed: when set, the three seeds above are derived from it
+    #: (``seed``, ``seed + 1000``, ``seed + 2000``) so one ``--seed`` flag
+    #: reproduces the whole campaign.
+    seed: int | None = None
     horizon: float = 2 * 86_400.0
     variables: list[str] | None = None
     dataset: DatasetConfig | None = None
@@ -125,12 +134,31 @@ class CampaignConfig:
     #: Declared predictor latency during latency episodes; anything above
     #: the controller's evaluate budget (= lead time) triggers fallback.
     attack_latency: float = 1_800.0
+    #: Telemetry: when enabled, every PFM run gets its own hub; with a
+    #: ``telemetry_dir`` each scenario additionally writes a JSONL trace
+    #: ``trace_<scenario>.jsonl`` keyed by simulated time.
+    telemetry: bool = False
+    telemetry_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
             raise ConfigurationError("horizon must be positive")
         if not self.scenarios:
             raise ConfigurationError("need at least one scenario")
+        if self.seed is not None:
+            self.train_seed = self.seed
+            self.eval_seed = self.seed + 1000
+            self.injection_seed = self.seed + 2000
+        if self.telemetry_dir is not None:
+            self.telemetry = True
+
+    def seeds(self) -> dict[str, int]:
+        """The resolved seeds actually used by this campaign."""
+        return {
+            "train": self.train_seed,
+            "eval": self.eval_seed,
+            "injection": self.injection_seed,
+        }
 
 
 @dataclass
@@ -145,6 +173,12 @@ class ScenarioResult:
     actions_taken: int
     attack_episodes: int
     resilience: dict
+    # --- telemetry (populated when the campaign ran with telemetry on) --
+    warning_episodes: int = 0
+    telemetry_events: int = 0
+    online_quality: dict = field(default_factory=dict)
+    trace_path: str | None = None
+    wall_seconds: float = 0.0
 
     @property
     def step_failures(self) -> int:
@@ -166,6 +200,8 @@ class CampaignReport:
     healthy: ScenarioResult
     attacked: list[ScenarioResult]
     horizon: float
+    #: The resolved RNG seeds, echoed so any row can be reproduced.
+    seeds: dict = field(default_factory=dict)
 
     def graceful(self, result: ScenarioResult) -> bool:
         """Did this attacked run degrade gracefully?
@@ -186,7 +222,9 @@ class CampaignReport:
 
     def summary(self) -> str:
         """Human-readable campaign table."""
+        seeds = " ".join(f"{k}={v}" for k, v in self.seeds.items())
         lines = [
+            f"seeds: {seeds}" if seeds else "seeds: (defaults)",
             f"no-PFM baseline: availability={self.baseline_availability:.4f} "
             f"failures={self.baseline_failures}",
             (
@@ -203,6 +241,12 @@ class CampaignReport:
                 f"{result.resilience['fallback_scores']:8d} {graceful:>8s}"
             )
         lines.append(f"all attacked scenarios graceful: {self.all_graceful}")
+        for result in [self.healthy, *self.attacked]:
+            if result.trace_path:
+                lines.append(
+                    f"trace [{result.scenario.name}]: {result.trace_path} "
+                    f"({result.telemetry_events} events)"
+                )
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -222,11 +266,17 @@ class CampaignReport:
                 "cycle_survived": result.cycle_survived,
                 "graceful": None if result is self.healthy else self.graceful(result),
                 "resilience": result.resilience,
+                "warning_episodes": result.warning_episodes,
+                "telemetry_events": result.telemetry_events,
+                "online_quality": result.online_quality,
+                "trace_path": result.trace_path,
+                "wall_seconds": result.wall_seconds,
             }
 
         return json.dumps(
             {
                 "horizon": self.horizon,
+                "seeds": self.seeds,
                 "baseline": {
                     "availability": self.baseline_availability,
                     "failures": self.baseline_failures,
@@ -317,6 +367,7 @@ def _run_scenario(
     eval_config = replace(base, seed=config.eval_seed, horizon=config.horizon)
     sim = prepare_simulation(eval_config)
 
+    hub = TelemetryHub() if config.telemetry else NULL_HUB
     rng = np.random.default_rng(config.injection_seed)
     predictor_proxy = FlakyPredictorProxy(primary, rng)
     action_proxies = flaky_repertoire(default_repertoire(), rng)
@@ -328,18 +379,37 @@ def _run_scenario(
         lead_time=eval_config.lead_time,
         repertoire=list(action_proxies),
         sanitizer=_campaign_sanitizer(),
+        telemetry=hub,
     )
     controller.calibrate_confidence(training_scores)
     injectors = _build_injectors(
         scenario, config, controller, predictor_proxy, action_proxies, rng
     )
 
+    hub.emit(
+        tel_events.RUN_START,
+        scenario=scenario.name,
+        attacks=list(scenario.attacks),
+        horizon=config.horizon,
+        **{f"{k}_seed": v for k, v in config.seeds().items()},
+    )
+    wall_start = time.perf_counter()
     controller.start()
     for injector in injectors:
         injector.start(sim.system.engine)
     dataset = sim.run()
+    wall_seconds = time.perf_counter() - wall_start
     for injector in injectors:
         injector.stop()
+    controller.finalize_telemetry()
+
+    trace_path = None
+    if config.telemetry_dir is not None:
+        os.makedirs(config.telemetry_dir, exist_ok=True)
+        trace_path = os.path.join(
+            config.telemetry_dir, f"trace_{scenario.name}.jsonl"
+        )
+        export_jsonl(hub, trace_path)
 
     return ScenarioResult(
         scenario=scenario,
@@ -350,19 +420,33 @@ def _run_scenario(
         actions_taken=controller.mea.actions_taken,
         attack_episodes=sum(injector.episodes for injector in injectors),
         resilience=controller.resilience_summary(),
+        warning_episodes=len(controller.warnings),
+        telemetry_events=len(hub.events),
+        online_quality=controller.quality.summary() if config.telemetry else {},
+        trace_path=trace_path,
+        wall_seconds=wall_seconds,
     )
 
 
-def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
+def run_campaign(
+    config: CampaignConfig | None = None,
+    trained: tuple[object, object, np.ndarray] | None = None,
+) -> CampaignReport:
     """Run the full graceful-degradation campaign.
 
     Trains once, then replays the identical evaluation faultload as a
     no-PFM baseline, a healthy-PFM run, and one attacked run per
-    scenario in ``config.scenarios``.
+    scenario in ``config.scenarios``.  Pass ``trained = (primary,
+    secondary, training_scores)`` (the tuple :func:`_train_models`
+    returns) to skip training -- used by the overhead benchmark to
+    compare otherwise-identical runs.
     """
     config = config or CampaignConfig()
     variables = config.variables or list(DEFAULT_VARIABLES)
-    primary, secondary, training_scores = _train_models(config, variables)
+    if trained is not None:
+        primary, secondary, training_scores = trained
+    else:
+        primary, secondary, training_scores = _train_models(config, variables)
 
     base = config.dataset or DatasetConfig()
     eval_config = replace(base, seed=config.eval_seed, horizon=config.horizon)
@@ -386,4 +470,5 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
         healthy=healthy,
         attacked=attacked,
         horizon=config.horizon,
+        seeds=config.seeds(),
     )

@@ -21,6 +21,8 @@ from typing import Callable
 import numpy as np
 
 from repro.resilience.policies import BreakerState, CircuitBreaker
+from repro.telemetry import events as tel_events
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
 
 
 @dataclass(frozen=True)
@@ -54,6 +56,9 @@ class FallbackPredictor:
         Optional simulated-seconds budget: a primary declaring
         ``simulated_latency`` above it counts as a fault (a prediction
         slower than the lead time is useless).
+    telemetry:
+        Telemetry hub receiving ``evaluate.score`` spans, predictor-fault
+        events and the primary breaker's transitions (disabled default).
     """
 
     def __init__(
@@ -64,19 +69,38 @@ class FallbackPredictor:
         failure_threshold: int = 3,
         cooldown: float = 1_800.0,
         latency_budget: float | None = None,
+        telemetry: TelemetryHub = NULL_HUB,
     ) -> None:
         self.primary = primary
         self.secondary = secondary
         self.clock = clock
         self.latency_budget = latency_budget
+        self.telemetry = telemetry
         self.breaker = CircuitBreaker(
             name="primary-predictor",
             failure_threshold=failure_threshold,
             cooldown=cooldown,
+            on_transition=self._breaker_transition,
         )
         self.primary_faults = 0
         self.secondary_scores = 0
         self.null_scores = 0
+
+    def _breaker_transition(
+        self, name: str, old: str, new: str, now: float
+    ) -> None:
+        self.telemetry.emit(
+            tel_events.BREAKER_TRANSITION, breaker=name, from_state=old, to=new
+        )
+        self.telemetry.counter(
+            "breaker_transitions_total", breaker=name, to=new
+        ).inc()
+
+    def _record_fault(self, now: float, reason: str) -> None:
+        self.primary_faults += 1
+        self.breaker.record_failure(now)
+        self.telemetry.emit(tel_events.PREDICTOR_FAULT, reason=reason)
+        self.telemetry.counter("predictor_faults_total", reason=reason).inc()
 
     # ------------------------------------------------------------------
     # Scoring
@@ -85,27 +109,30 @@ class FallbackPredictor:
     def score(self, observation: np.ndarray) -> ScoreResult:
         """Score one observation vector, failing over as needed."""
         now = self.clock()
-        if self.breaker.allow(now):
-            result = self._try_primary(observation, now)
-            if result is not None:
-                return result
-        return self._secondary_score(observation)
+        with self.telemetry.span("evaluate.score") as span:
+            result = None
+            if self.breaker.allow(now):
+                result = self._try_primary(observation, now)
+            if result is None:
+                result = self._secondary_score(observation)
+            span.annotate(source=result.source)
+            self.telemetry.counter(
+                "predictor_scores_total", source=result.source
+            ).inc()
+            return result
 
     def _try_primary(self, observation: np.ndarray, now: float) -> ScoreResult | None:
         latency = float(getattr(self.primary, "simulated_latency", 0.0) or 0.0)
         if self.latency_budget is not None and latency > self.latency_budget:
-            self.primary_faults += 1
-            self.breaker.record_failure(now)
+            self._record_fault(now, "latency")
             return None
         try:
             score = float(self.primary.score_samples(observation[None, :])[0])
         except Exception:
-            self.primary_faults += 1
-            self.breaker.record_failure(now)
+            self._record_fault(now, "exception")
             return None
         if not np.isfinite(score):
-            self.primary_faults += 1
-            self.breaker.record_failure(now)
+            self._record_fault(now, "non-finite")
             return None
         self.breaker.record_success(now)
         return ScoreResult(

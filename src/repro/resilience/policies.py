@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import ConfigurationError
 
@@ -95,11 +96,17 @@ class CircuitBreaker:
     seconds have passed, then transitions to HALF_OPEN on the next
     :meth:`allow`; in HALF_OPEN a recorded success closes the breaker and
     a recorded failure re-opens it (restarting the cooldown).
+
+    ``on_transition`` (if set) is invoked as
+    ``on_transition(name, old_state, new_state, now)`` on every state
+    change -- the seam the telemetry layer uses to stream breaker events
+    without the breaker importing anything above the substrate.
     """
 
     name: str = "breaker"
     failure_threshold: int = 3
     cooldown: float = 600.0
+    on_transition: Callable[[str, str, str, float], None] | None = None
     state: BreakerState = field(default=BreakerState.CLOSED, init=False)
     consecutive_failures: int = field(default=0, init=False)
     times_opened: int = field(default=0, init=False)
@@ -112,11 +119,19 @@ class CircuitBreaker:
         if self.cooldown < 0:
             raise ConfigurationError("cooldown must be >= 0")
 
+    def _set_state(self, new_state: BreakerState, now: float) -> None:
+        old = self.state
+        if old is new_state:
+            return
+        self.state = new_state
+        if self.on_transition is not None:
+            self.on_transition(self.name, old.value, new_state.value, now)
+
     def allow(self, now: float) -> bool:
         """Whether a call may proceed at simulated time ``now``."""
         if self.state is BreakerState.OPEN:
             if now - self.opened_at >= self.cooldown:
-                self.state = BreakerState.HALF_OPEN
+                self._set_state(BreakerState.HALF_OPEN, now)
             else:
                 self.calls_rejected += 1
                 return False
@@ -125,7 +140,7 @@ class CircuitBreaker:
     def record_success(self, now: float) -> None:
         """A call succeeded: close the breaker and clear the failure run."""
         self.consecutive_failures = 0
-        self.state = BreakerState.CLOSED
+        self._set_state(BreakerState.CLOSED, now)
 
     def record_failure(self, now: float) -> None:
         """A call failed: count it, tripping or re-opening as needed."""
@@ -139,7 +154,7 @@ class CircuitBreaker:
             self._trip(now)
 
     def _trip(self, now: float) -> None:
-        self.state = BreakerState.OPEN
+        self._set_state(BreakerState.OPEN, now)
         self.opened_at = now
         self.times_opened += 1
 

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ConfigurationError
+from repro.telemetry import events as tel_events
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,11 @@ class GaugeSanitizer:
         ranges from a-priori knowledge (e.g. a utilization can never be
         negative or 8.0); either end may be None.  Out-of-range readings
         are substituted with reason ``"bound"``.
+    telemetry:
+        Telemetry hub that mirrors every substitution as a
+        ``sanitizer_substitutions_total{variable,reason}`` counter plus a
+        ``sanitizer.substitution`` event, and flags staleness
+        transitions (disabled by default).
     """
 
     stale_after: int = 3
@@ -87,6 +94,7 @@ class GaugeSanitizer:
     spike_factor: float | None = None
     spike_floor: float = 1.0
     bounds: dict[str, tuple[float | None, float | None]] | None = None
+    telemetry: TelemetryHub = NULL_HUB
     events: dict[str, dict[str, int]] = field(default_factory=dict)
     _states: dict[str, _VariableState] = field(default_factory=dict)
 
@@ -127,6 +135,13 @@ class GaugeSanitizer:
         if reason is not None:
             state.consecutive_bad += 1
             self._count(variable, reason)
+            if state.consecutive_bad == self.stale_after:
+                self.telemetry.emit(
+                    tel_events.SANITIZER_STALE,
+                    variable=variable,
+                    consecutive_bad=state.consecutive_bad,
+                )
+                self.telemetry.counter("sanitizer_stale_total").inc()
             value = state.last_good if state.last_good is not None else self.default
             return SanitizedReading(
                 variable=variable,
@@ -168,6 +183,12 @@ class GaugeSanitizer:
     def _count(self, variable: str, reason: str) -> None:
         per_var = self.events.setdefault(variable, {})
         per_var[reason] = per_var.get(reason, 0) + 1
+        self.telemetry.counter(
+            "sanitizer_substitutions_total", variable=variable, reason=reason
+        ).inc()
+        self.telemetry.emit(
+            tel_events.SANITIZER_SUBSTITUTION, variable=variable, reason=reason
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,58 @@
+"""Telemetry events: the sim-time-keyed records the event bus carries.
+
+Every observable happening inside the PFM stack -- a finished MEA span, a
+raised warning episode, a circuit-breaker transition, a sanitized gauge
+read -- becomes one :class:`TelemetryEvent`: a name, the *simulated* time
+it happened, and a flat field dict.  Events are what sinks persist and
+exporters serialize; metrics (counters/gauges/histograms) are the
+aggregated view over the same happenings.
+
+Event names are dotted ``layer.happening`` strings.  The stable schema
+(documented in ``docs/observability.md``) currently comprises:
+
+- ``span``                            -- a finished span (see spans.py)
+- ``mea.step_failure``                -- a caught MEA step failure
+- ``resilience.retry``                -- an in-iteration step retry
+- ``resilience.breaker_transition``   -- circuit breaker state change
+- ``resilience.predictor_fault``      -- primary predictor fault absorbed
+- ``resilience.escalation``           -- escalation chain level bump
+- ``sanitizer.substitution``          -- a bad gauge read substituted
+- ``sanitizer.stale``                 -- a variable crossed the stale bar
+- ``pfm.warning_episode``             -- a warning and what was done
+- ``pfm.cooldown_suppressed``         -- a warning silenced by cooldown
+- ``run.start`` / ``run.end``         -- run lifecycle markers
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Canonical event names (importable so tests and docs stay in sync).
+SPAN = "span"
+MEA_STEP_FAILURE = "mea.step_failure"
+RETRY = "resilience.retry"
+BREAKER_TRANSITION = "resilience.breaker_transition"
+PREDICTOR_FAULT = "resilience.predictor_fault"
+ESCALATION = "resilience.escalation"
+SANITIZER_SUBSTITUTION = "sanitizer.substitution"
+SANITIZER_STALE = "sanitizer.stale"
+WARNING_EPISODE = "pfm.warning_episode"
+COOLDOWN_SUPPRESSED = "pfm.cooldown_suppressed"
+RUN_START = "run.start"
+RUN_END = "run.end"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One happening, keyed by simulated time."""
+
+    time: float  # simulated seconds
+    name: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-ready form: ``{"t": ..., "event": ..., **fields}``."""
+        doc: dict[str, Any] = {"t": self.time, "event": self.name}
+        doc.update(self.fields)
+        return doc

@@ -1,0 +1,180 @@
+"""Exporters: turn one run's telemetry into shareable artifacts.
+
+Three formats, matching the three consumers:
+
+- :func:`export_jsonl` -- the machine-readable *event trace*: one JSON
+  object per line, ordered by simulated time.  This is what dashboards
+  and the reconciliation tests consume.
+- :func:`prometheus_text` -- a Prometheus text-format (exposition 0.0.4)
+  snapshot of the metrics registry, for scraping-shaped pipelines.
+- :func:`run_summary` -- the human-readable run report: counters, gauges,
+  histogram quantiles, and the per-span wall-vs-simulated-time profile.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable
+
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def export_jsonl(
+    source: TelemetryHub | Iterable[TelemetryEvent], path: str | Path
+) -> int:
+    """Write the event trace as JSON lines ordered by simulated time.
+
+    Returns the number of lines written.
+    """
+    events = source.events if isinstance(source, TelemetryHub) else list(source)
+    ordered = sorted(events, key=lambda e: e.time)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for event in ordered:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+    return len(ordered)
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSONL trace back into dicts (test/analysis helper)."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if value != int(value) else str(int(value))
+
+
+def _label_text(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def prometheus_text(source: TelemetryHub | MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    registry = source.registry if isinstance(source, TelemetryHub) else source
+    lines: list[str] = []
+    for name, metrics in registry.families().items():
+        kind = metrics[0]
+        if isinstance(kind, Counter):
+            lines.append(f"# TYPE {name} counter")
+            for metric in metrics:
+                lines.append(
+                    f"{name}{_label_text(metric.labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+        elif isinstance(kind, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            for metric in metrics:
+                lines.append(
+                    f"{name}{_label_text(metric.labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+        elif isinstance(kind, Histogram):
+            lines.append(f"# TYPE {name} summary")
+            for metric in metrics:
+                for q in _QUANTILES:
+                    lines.append(
+                        f"{name}{_label_text(metric.labels, (('quantile', str(q)),))}"
+                        f" {_format_value(metric.quantile(q))}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_text(metric.labels)} "
+                    f"{_format_value(metric.total)}"
+                )
+                lines.append(
+                    f"{name}_count{_label_text(metric.labels)} {metric.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def span_profile(hub: TelemetryHub) -> dict[str, dict[str, float]]:
+    """Per-span-name totals: call count, wall seconds, simulated seconds.
+
+    This is the wall-vs-sim accounting that keeps hot-path speedups
+    (e.g. the vectorized HSMM scorer) measurable in-situ: a span whose
+    wall share grows while its simulated share stays flat is a Python
+    hot spot, not a modeled delay.
+    """
+    profile: dict[str, dict[str, float]] = {}
+    for span in hub.finished_spans:
+        row = profile.setdefault(
+            span.name,
+            {"count": 0, "wall_seconds": 0.0, "sim_seconds": 0.0, "errors": 0},
+        )
+        row["count"] += 1
+        row["wall_seconds"] += span.wall_duration
+        row["sim_seconds"] += span.sim_duration
+        if span.status != "ok":
+            row["errors"] += 1
+    return profile
+
+
+def run_summary(hub: TelemetryHub, title: str = "telemetry run") -> str:
+    """Human-readable report over one hub's metrics, spans and events."""
+    lines = [f"=== {title} ==="]
+    lines.append(f"events: {len(hub.events)}  spans: {len(hub.finished_spans)}")
+
+    counters = [m for m in hub.registry if isinstance(m, Counter)]
+    gauges = [
+        m for m in hub.registry if isinstance(m, Gauge) and not math.isnan(m.value)
+    ]
+    histograms = [
+        m
+        for m in hub.registry
+        if isinstance(m, Histogram) and not m.name.startswith("span_")
+    ]
+
+    if counters:
+        lines.append("-- counters --")
+        for metric in counters:
+            lines.append(
+                f"  {metric.name}{_label_text(metric.labels)} = "
+                f"{_format_value(metric.value)}"
+            )
+    if gauges:
+        lines.append("-- gauges --")
+        for metric in gauges:
+            lines.append(
+                f"  {metric.name}{_label_text(metric.labels)} = {metric.value:.4f}"
+            )
+    if histograms:
+        lines.append("-- histograms --")
+        for metric in histograms:
+            lines.append(
+                f"  {metric.name}{_label_text(metric.labels)}: "
+                f"count={metric.count} mean={metric.mean:.4f} "
+                f"p50={metric.quantile(0.5):.4f} p99={metric.quantile(0.99):.4f}"
+            )
+
+    profile = span_profile(hub)
+    if profile:
+        lines.append("-- span profile (wall vs simulated) --")
+        lines.append(
+            f"  {'span':<28s} {'count':>6s} {'wall_s':>9s} {'sim_s':>11s} "
+            f"{'errors':>6s}"
+        )
+        for name in sorted(
+            profile, key=lambda n: profile[n]["wall_seconds"], reverse=True
+        ):
+            row = profile[name]
+            lines.append(
+                f"  {name:<28s} {int(row['count']):>6d} "
+                f"{row['wall_seconds']:>9.3f} {row['sim_seconds']:>11.1f} "
+                f"{int(row['errors']):>6d}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""The PFM metrics registry: counters, gauges, and reservoir histograms.
+
+Prometheus-shaped metric primitives over plain Python, keyed by
+``(name, labels)``.  The registry hands out the same instrument for the
+same key, so instrumented code can call
+``registry.counter("mea_step_failures_total", step="monitor").inc()``
+from a hot loop without holding references.
+
+Histograms keep a fixed-size uniform reservoir (Vitter's algorithm R with
+a name-seeded deterministic RNG), so quantile estimates stay O(1) memory
+over arbitrarily long runs and identical across repeated runs of the same
+workload.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+#: Sorted ``(key, value)`` pairs -- the hashable form of a label dict.
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labelset(labels: dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    labels: LabelSet = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    name: str
+    labels: LabelSet = ()
+    value: float = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        base = 0.0 if math.isnan(self.value) else self.value
+        self.value = base + float(delta)
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary with reservoir quantiles.
+
+    Tracks exact ``count`` / ``sum`` / ``min`` / ``max`` and estimates
+    quantiles from a uniform sample of at most ``reservoir_size``
+    observations.  The reservoir RNG is seeded from the metric name, so a
+    deterministic workload yields a deterministic snapshot.
+    """
+
+    name: str
+    labels: LabelSet = ()
+    reservoir_size: int = 256
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    _reservoir: list[float] = field(default_factory=list)
+    _rng: random.Random = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.reservoir_size < 1:
+            raise ConfigurationError("reservoir_size must be >= 1")
+        if self._rng is None:
+            self._rng = random.Random(zlib.crc32(self.name.encode()))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Reservoir quantile estimate (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile must be in [0, 1]")
+        if not self._reservoir:
+            return math.nan
+        ordered = sorted(self._reservoir)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class MetricsRegistry:
+    """All instruments of one run, keyed by ``(name, labels)``.
+
+    A name is bound to one instrument kind on first use; reusing it with a
+    different kind is a configuration error (it would silently split the
+    series in every exporter).
+    """
+
+    def __init__(self, reservoir_size: int = 256) -> None:
+        self.reservoir_size = reservoir_size
+        self._kinds: dict[str, type] = {}
+        self._metrics: dict[tuple[str, LabelSet], object] = {}
+
+    def _get(self, kind: type, name: str, labels: dict[str, object], **kwargs):
+        bound = self._kinds.setdefault(name, kind)
+        if bound is not kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {bound.__name__}"
+            )
+        key = (name, _labelset(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = kind(name=name, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(
+            Histogram, name, labels, reservoir_size=self.reservoir_size
+        )
+
+    def __iter__(self) -> Iterator[object]:
+        """Instruments in registration order (stable for exporters)."""
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def families(self) -> dict[str, list]:
+        """Instruments grouped by metric name, preserving order."""
+        grouped: dict[str, list] = {}
+        for (name, _), metric in self._metrics.items():
+            grouped.setdefault(name, []).append(metric)
+        return grouped
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready dump of every instrument's current state."""
+        doc: dict[str, object] = {}
+        for (name, labels), metric in self._metrics.items():
+            key = name if not labels else (
+                name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+            )
+            if isinstance(metric, Histogram):
+                doc[key] = {
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "min": metric.min if metric.count else None,
+                    "max": metric.max if metric.count else None,
+                    "p50": metric.quantile(0.5),
+                    "p90": metric.quantile(0.9),
+                    "p99": metric.quantile(0.99),
+                }
+            else:
+                doc[key] = metric.value  # type: ignore[union-attr]
+        return doc
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: The singleton every disabled hub hands out -- no allocation per call.
+NULL_INSTRUMENT = _NullInstrument()

@@ -1,0 +1,69 @@
+"""Event sinks: where emitted telemetry goes.
+
+A sink is anything with ``write(event)``.  Three are provided:
+
+- :class:`NullSink` -- drops everything (the disabled-mode default),
+- :class:`MemorySink` -- buffers events in a list (tests, exporters),
+- :class:`JSONLSink` -- streams events to a JSON-lines file as they
+  happen, one ``{"t": ..., "event": ..., ...}`` object per line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.events import TelemetryEvent
+
+
+class NullSink:
+    """Swallow every event."""
+
+    __slots__ = ()
+
+    def write(self, event: TelemetryEvent) -> None:
+        pass
+
+
+#: Shared instance used by disabled hubs.
+NULL_SINK = NullSink()
+
+
+class MemorySink:
+    """Keep every event in order in ``events``."""
+
+    def __init__(self) -> None:
+        self.events: list[TelemetryEvent] = []
+
+    def write(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JSONLSink:
+    """Append events to a JSON-lines file (opened lazily, flushed on close)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.lines = 0
+
+    def write(self, event: TelemetryEvent) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self.lines += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

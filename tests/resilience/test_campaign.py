@@ -52,6 +52,18 @@ class TestScenarios:
         with pytest.raises(ConfigurationError):
             CampaignConfig(scenarios=[])
 
+    def test_master_seed_derives_all_three(self):
+        config = CampaignConfig(seed=5)
+        assert config.seeds() == {"train": 5, "eval": 1005, "injection": 2005}
+
+    def test_explicit_seeds_kept_without_master(self):
+        config = CampaignConfig(train_seed=1, eval_seed=2, injection_seed=3)
+        assert config.seeds() == {"train": 1, "eval": 2, "injection": 3}
+
+    def test_telemetry_dir_implies_telemetry(self, tmp_path):
+        config = CampaignConfig(telemetry_dir=str(tmp_path))
+        assert config.telemetry
+
 
 class TestGracefulDegradation:
     def test_every_attacked_scenario_is_graceful(self, report):

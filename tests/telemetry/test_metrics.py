@@ -1,0 +1,124 @@
+"""Counter / gauge / histogram semantics and registry identity rules."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import (
+    NULL_INSTRUMENT,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        assert math.isnan(gauge.value)
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+    def test_add_from_unset_starts_at_zero(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.add(3.0)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 10.0
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+        assert hist.mean == 2.5
+
+    def test_quantiles_exact_below_reservoir_size(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in range(101):
+            hist.observe(float(value))
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.5) == 50.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        def build():
+            hist = Histogram(name="h", reservoir_size=32)
+            for value in range(10_000):
+                hist.observe(float(value))
+            return hist
+
+        first, second = build(), build()
+        assert len(first._reservoir) == 32
+        assert first._reservoir == second._reservoir
+        assert first.count == 10_000
+        # The reservoir is a uniform sample, so the median estimate must
+        # land in the bulk of the distribution.
+        assert 1_000 < first.quantile(0.5) < 9_000
+
+    def test_quantile_validation(self):
+        hist = Histogram(name="h")
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+        assert math.isnan(hist.quantile(0.5))  # empty
+
+
+class TestRegistry:
+    def test_same_key_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", route="a")
+        again = registry.counter("hits", route="a")
+        other = registry.counter("hits", route="b")
+        assert a is again
+        assert a is not other
+        assert len(registry) == 2
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("metric")
+
+    def test_families_group_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", route="a").inc()
+        registry.counter("hits", route="b").inc(2)
+        registry.gauge("depth").set(1.0)
+        families = registry.families()
+        assert set(families) == {"hits", "depth"}
+        assert len(families["hits"]) == 2
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", route="a").inc(3)
+        registry.histogram("lat").observe(0.5)
+        snap = registry.snapshot()
+        assert snap['hits{route=a}'] == 3
+        assert snap["lat"]["count"] == 1
+
+
+class TestNullInstrument:
+    def test_all_operations_are_noops(self):
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.inc(5)
+        NULL_INSTRUMENT.set(1.0)
+        NULL_INSTRUMENT.add(2.0)
+        NULL_INSTRUMENT.observe(3.0)
+        assert not hasattr(NULL_INSTRUMENT, "__dict__")

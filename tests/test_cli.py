@@ -14,7 +14,7 @@ class TestParser:
         )
         assert set(subparsers.choices) == {
             "model", "curves", "case-study", "closed-loop", "taxonomy",
-            "policies", "campaign",
+            "policies", "campaign", "trace",
         }
 
     def test_requires_command(self):
@@ -28,6 +28,21 @@ class TestParser:
         assert args.days == 0.5
         assert args.scenario == ["all-fronts"]
         assert args.json
+
+    def test_campaign_telemetry_and_seed_flags_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--seed", "5", "--telemetry-dir", "out"]
+        )
+        assert args.seed == 5
+        assert args.telemetry_dir == "out"
+        assert not args.telemetry  # --telemetry-dir implies it downstream
+
+    def test_trace_args_parse(self):
+        args = build_parser().parse_args(
+            ["trace", "--days", "0.5", "--out", "tel"]
+        )
+        assert args.days == 0.5
+        assert args.out == "tel"
 
     def test_campaign_rejects_unknown_scenario(self):
         with pytest.raises(SystemExit):

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.reliability",
     "repro.core",
     "repro.reporting",
+    "repro.telemetry",
     "repro.cli",
 ]
 
