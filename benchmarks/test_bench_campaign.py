@@ -132,6 +132,9 @@ def test_bench_campaign_telemetry_overhead(benchmark):
             "seed": SEED,
             "seeds": plain.seeds,
             "scenarios": [r.scenario.name for r in [plain.healthy, *plain.attacked]],
+            # run_campaign rides the fleet runner; injected pre-trained
+            # models force the serial backend (see run_campaign docs).
+            "backend": "fleet-serial",
         },
         "availability": {
             "no_pfm_baseline": plain.baseline_availability,

@@ -1,0 +1,110 @@
+"""Bench: sharded fleet — parallel == serial, and how much faster.
+
+Runs one closed-loop grid twice — once on the serial backend, once
+sharded across a process pool — and records both wall times plus the
+speedup in ``BENCH_fleet.json`` next to this file.
+
+Two invariants are enforced:
+
+- **bit-identical aggregates**: the canonical aggregate JSON document of
+  the parallel run equals the serial run byte for byte (the fleet's core
+  guarantee: sharding changes wall-clock time, never results);
+- **the pool actually helps**: with effective parallelism
+  ``p = min(workers, cpu_count)``, the parallel run must beat serial by
+  ``min(2.0, 0.6 * p)`` — i.e. the full bench (4 workers on >= 4 cores)
+  must clear 2x, a 2-worker smoke must clear 1.2x, and on single-core
+  runners the speedup is recorded but not asserted, since the pool
+  cannot beat the serial loop without hardware to run on.
+
+The grid pins ``train_seed`` and sweeps the master seed, so every shard
+replays its own evaluation faultload against one shared training
+configuration — the multi-seed design :func:`replicate_closed_loop`
+used to run serially, now sharded (and the per-process training cache
+means the serial backend still trains exactly once).
+
+Shard and worker counts are env-tunable so the CI smoke job can run a
+small grid: ``FLEET_BENCH_SHARDS`` (default 16) and
+``FLEET_BENCH_WORKERS`` (default 4).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import grid, run_fleet
+from repro.fleet.shards import clear_training_cache
+
+ARTIFACT = Path(__file__).with_name("BENCH_fleet.json")
+
+SHARDS = int(os.environ.get("FLEET_BENCH_SHARDS", "16"))
+WORKERS = int(os.environ.get("FLEET_BENCH_WORKERS", "4"))
+HORIZON = 0.4 * 86_400.0
+BASE_SEED = 21
+TRAIN_SEED = 11
+
+#: Speedup the full bench (4 workers, >= 4 cores) must deliver.
+MIN_SPEEDUP = 2.0
+#: Fraction of ideal (linear) speedup required at lower parallelism.
+PARALLEL_EFFICIENCY = 0.6
+
+
+@pytest.mark.slow
+def test_bench_fleet_parallel_equals_serial():
+    specs = grid(
+        ["closed-loop"],
+        seeds=range(BASE_SEED, BASE_SEED + SHARDS),
+        horizon=HORIZON,
+        telemetry=True,
+        train_seed=TRAIN_SEED,
+    )
+
+    # Serial first; then drop the in-process training cache so the serial
+    # run cannot subsidize the parallel one's wall time.
+    serial = run_fleet(specs, backend="serial")
+    clear_training_cache()
+    parallel = run_fleet(specs, backend="process", workers=WORKERS)
+
+    serial_doc = serial.aggregate_json()
+    parallel_doc = parallel.aggregate_json()
+    assert serial_doc == parallel_doc, "parallel aggregate diverged from serial"
+
+    serial_wall = serial.timing["wall_seconds"]
+    parallel_wall = parallel.timing["wall_seconds"]
+    speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
+    cores = os.cpu_count() or 1
+
+    record = {
+        "config": {
+            "shards": SHARDS,
+            "workers": WORKERS,
+            "horizon_days": HORIZON / 86_400.0,
+            "base_seed": BASE_SEED,
+            "train_seed": TRAIN_SEED,
+            "cpu_count": cores,
+        },
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "speedup": speedup,
+        "aggregates_identical": serial_doc == parallel_doc,
+        "availability_mean": serial.scenario("closed-loop").to_json_dict()[
+            "availability"
+        ]["mean"],
+    }
+    ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+
+    print("\n=== fleet serial vs process ===")
+    print(f"shards={SHARDS} workers={WORKERS} cores={cores}")
+    print(f"serial:   {serial_wall:.1f}s")
+    print(f"parallel: {parallel_wall:.1f}s  (speedup {speedup:.2f}x)")
+
+    # The speedup assertion needs hardware that can actually run >= 2
+    # workers at once; on single-core runners we only record the numbers.
+    parallelism = min(cores, WORKERS)
+    if parallelism >= 2:
+        required = min(MIN_SPEEDUP, PARALLEL_EFFICIENCY * parallelism)
+        assert speedup >= required, (
+            f"process pool speedup {speedup:.2f}x < required {required:.2f}x "
+            f"({WORKERS} workers on {cores} cores)"
+        )

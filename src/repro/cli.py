@@ -6,6 +6,7 @@ Commands map to the paper's artifacts:
 - ``curves``       Fig. 10 reliability / hazard series
 - ``case-study``   Sect. 3.3: simulate the SCP, train UBF + HSMM, report
 - ``closed-loop``  replay one faultload with and without PFM
+- ``fleet``        sharded multi-seed grid -> per-scenario distributions
 - ``campaign``     fault-inject the PFM stack itself, report degradation
 - ``trace``        instrumented closed-loop run -> JSONL trace + metrics
 - ``taxonomy``     print the Fig. 3 classification tree
@@ -117,13 +118,60 @@ def _cmd_case_study(args: argparse.Namespace) -> None:
 
 def _cmd_closed_loop(args: argparse.Namespace) -> None:
     from repro.core import run_closed_loop
+    from repro.fleet import RunSpec
 
-    result = run_closed_loop(
+    spec = RunSpec(
+        scenario="closed-loop",
+        seed=args.train_seed,
         train_seed=args.train_seed,
         eval_seed=args.eval_seed,
         horizon=args.days * 86_400.0,
     )
+    result = run_closed_loop(spec=spec)
     print(result.summary())
+
+
+def _cmd_fleet(args: argparse.Namespace) -> None:
+    from repro.fleet import grid, run_fleet
+
+    if args.seeds:
+        seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    else:
+        seeds = list(range(args.base_seed, args.base_seed + args.num_seeds))
+    common = {}
+    if args.train_seed is not None:
+        common["train_seed"] = args.train_seed
+    specs = grid(
+        args.scenario or ["closed-loop"],
+        seeds=seeds,
+        predictors=args.predictor or ["ubf"],
+        horizon=args.days * 86_400.0,
+        telemetry=args.telemetry,
+        **common,
+    )
+
+    def progress(done: int, total: int, result) -> None:
+        print(
+            f"[{done}/{total}] {result.spec.key()} "
+            f"avail={result.availability:.4f} ({result.wall_seconds:.1f}s)",
+            file=sys.stderr,
+        )
+
+    report = run_fleet(
+        specs,
+        backend=args.backend,
+        workers=args.workers,
+        ledger_path=args.ledger,
+        progress=progress,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.aggregate_json())
+        print(f"aggregate: {args.out}", file=sys.stderr)
+    if args.json:
+        print(report.aggregate_json())
+    else:
+        print(report.summary())
 
 
 def _cmd_campaign(args: argparse.Namespace) -> None:
@@ -150,7 +198,10 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
             attack_duration=args.attack_duration,
             telemetry=args.telemetry,
             telemetry_dir=args.telemetry_dir,
-        )
+        ),
+        backend=args.backend,
+        workers=args.workers,
+        ledger_path=args.ledger,
     )
     if args.json:
         print(report.to_json())
@@ -249,6 +300,63 @@ def build_parser() -> argparse.ArgumentParser:
     loop.add_argument("--days", type=float, default=3.0)
     loop.set_defaults(func=_cmd_closed_loop)
 
+    fleet = sub.add_parser(
+        "fleet", help="sharded multi-seed grid -> per-scenario distributions"
+    )
+    fleet.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="scenario to shard over (repeatable; default closed-loop)",
+    )
+    fleet.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated master seeds (e.g. 21,22,23); overrides "
+        "--num-seeds/--base-seed",
+    )
+    fleet.add_argument(
+        "--num-seeds", type=int, default=4, help="number of consecutive seeds"
+    )
+    fleet.add_argument(
+        "--base-seed", type=int, default=21, help="first master seed"
+    )
+    fleet.add_argument(
+        "--train-seed",
+        type=int,
+        default=None,
+        help="pin one training seed across every shard (shared-predictor "
+        "sweep); default derives training from each shard's master seed",
+    )
+    fleet.add_argument(
+        "--predictor",
+        action="append",
+        default=None,
+        help="predictor registry name (repeatable; default ubf)",
+    )
+    fleet.add_argument("--days", type=float, default=2.0)
+    fleet.add_argument(
+        "--backend", choices=["serial", "process"], default="process"
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=None, help="process-pool size"
+    )
+    fleet.add_argument(
+        "--ledger",
+        default=None,
+        help="JSONL checkpoint; re-running skips completed shards",
+    )
+    fleet.add_argument(
+        "--telemetry", action="store_true", help="instrument every shard"
+    )
+    fleet.add_argument(
+        "--json", action="store_true", help="emit the aggregate JSON document"
+    )
+    fleet.add_argument(
+        "--out", default=None, help="also write the aggregate JSON to this file"
+    )
+    fleet.set_defaults(func=_cmd_fleet)
+
     campaign = sub.add_parser(
         "campaign", help="fault-inject the PFM stack, report graceful degradation"
     )
@@ -280,6 +388,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write one JSONL trace per scenario into this directory "
         "(implies --telemetry)",
+    )
+    campaign.add_argument(
+        "--backend",
+        choices=["serial", "process"],
+        default="serial",
+        help="fleet backend running the scenario shards",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=None, help="process-pool size"
+    )
+    campaign.add_argument(
+        "--ledger",
+        default=None,
+        help="JSONL checkpoint; re-running skips completed scenarios",
     )
     campaign.add_argument("--json", action="store_true", help="emit JSON report")
     campaign.set_defaults(func=_cmd_campaign)

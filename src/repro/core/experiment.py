@@ -10,16 +10,16 @@ Table 1 behaviour matrix.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.actions.checkpoint import PreparedRepairAction, RepairBreakdown
 from repro.core.controller import PFMController
+from repro.fleet.spec import RunSpec
 from repro.prediction.base import SymptomPredictor
-from repro.prediction.ubf.network import UBFNetwork
-from repro.prediction.ubf.predictor import UBFPredictor
-from repro.prediction.ubf.pwa import ProbabilisticWrapper
+from repro.prediction.registry import make_predictor
 from repro.simulator.events import Timeout
 from repro.telecom.dataset import DatasetConfig, prepare_simulation
 
@@ -50,6 +50,7 @@ class ClosedLoopResult:
     actions_by_name: dict[str, int]
     outcome_matrix: dict[str, dict[str, int]]
     predictor_threshold: float
+    mea_iterations: int = 0
 
     @property
     def unavailability_ratio(self) -> float:
@@ -80,12 +81,13 @@ class ClosedLoopResult:
 
 
 def _default_predictor(rng: np.random.Generator) -> SymptomPredictor:
-    """A fast UBF configuration for the online controller."""
-    return UBFPredictor(
-        network=UBFNetwork(n_kernels=8, max_opt_iter=15, rng=rng),
-        wrapper=ProbabilisticWrapper(n_rounds=6, samples_per_round=8, rng=rng),
-        rng=rng,
-    )
+    """A fast UBF configuration for the online controller.
+
+    Thin wrapper over the declarative registry — ``"ubf"`` with its
+    defaults IS this configuration, so fleet grids naming ``ubf``
+    reproduce historical closed-loop runs exactly.
+    """
+    return make_predictor("ubf", rng=rng)
 
 
 def train_predictor(
@@ -158,7 +160,20 @@ def replicate_closed_loop(
     One predictor is trained once (on ``train_seed``) and evaluated against
     every seed's faultload -- separating predictor luck from faultload
     luck.
+
+    .. deprecated::
+        Superseded by :func:`repro.fleet.run_fleet`, which runs the same
+        multi-seed design sharded across workers with checkpoint/resume
+        (pin ``train_seed`` and ``eval_seed`` on the specs to reproduce
+        this exact layout).  This shim keeps the old serial behaviour.
     """
+    warnings.warn(
+        "replicate_closed_loop is deprecated; use repro.fleet.run_fleet "
+        "with RunSpec(scenario='closed-loop', train_seed=..., eval_seed=...) "
+        "shards instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if not eval_seeds:
         raise ValueError("need at least one evaluation seed")
     base_config = config or DatasetConfig()
@@ -318,8 +333,16 @@ def run_closed_loop(
     config: DatasetConfig | None = None,
     trained: tuple[SymptomPredictor, np.ndarray] | None = None,
     telemetry=None,
+    spec: RunSpec | None = None,
 ) -> ClosedLoopResult:
     """Train, then compare baseline vs PFM on an identical faultload.
+
+    A :class:`~repro.fleet.spec.RunSpec` is the preferred way to describe
+    the run: ``run_closed_loop(spec=RunSpec(seed=21, horizon=86_400.0))``
+    resolves seeds, horizon, variables and the predictor (through
+    :func:`repro.prediction.make_predictor`) from the spec; the legacy
+    keyword arguments remain for existing callers and must not be mixed
+    with a spec.
 
     Pass ``trained = (fitted_predictor, training_scores)`` to skip the
     training simulation (used by :func:`replicate_closed_loop`).  Pass a
@@ -328,6 +351,19 @@ def run_closed_loop(
     hub is finalized (pending predictions settled, ``run.end`` emitted)
     before this returns.
     """
+    if spec is not None:
+        seeds = spec.seeds()
+        train_seed = seeds["train"]
+        eval_seed = seeds["eval"]
+        horizon = spec.horizon
+        if spec.variables is not None:
+            variables = list(spec.variables)
+        if predictor is None and trained is None:
+            predictor = make_predictor(
+                spec.predictor,
+                rng=np.random.default_rng(train_seed),
+                **spec.params(),
+            )
     variables = variables or DEFAULT_VARIABLES
     base_config = config or DatasetConfig()
     train_config = replace(base_config, seed=train_seed, horizon=horizon)
@@ -381,4 +417,5 @@ def run_closed_loop(
         actions_by_name=actions_by_name,
         outcome_matrix=controller.outcome_matrix(),
         predictor_threshold=predictor.threshold,
+        mea_iterations=len(controller.mea.history),
     )

@@ -1,0 +1,74 @@
+"""The shard ledger: JSONL checkpoint/resume for partially-run grids.
+
+Every completed shard is appended as one self-describing JSON line and
+flushed immediately, so a fleet killed mid-grid loses at most the shards
+that were still in flight.  On resume the runner replays the ledger,
+keeps every line whose key matches a spec in the requested grid, and
+re-runs only the missing shards.
+
+The reader is deliberately forgiving: a truncated final line (the
+signature of a hard kill during a write) or a line that no longer parses
+is skipped — the worst case is re-running a shard, never crashing or
+double-counting one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.fleet.spec import RunResult
+
+#: Schema tag so future ledger formats can be detected, not guessed.
+LEDGER_VERSION = 1
+
+
+class ShardLedger:
+    """Append-only record of completed shards at ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> dict[str, RunResult]:
+        """Completed results keyed by spec key (tolerant of torn tails)."""
+        results: dict[str, RunResult] = {}
+        if not self.exists():
+            return results
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                    key = doc["key"]
+                    result = RunResult.from_json_dict(doc["result"])
+                except (ValueError, KeyError, TypeError):
+                    # Torn write or a spec that does not JSON-round-trip
+                    # (rich config objects in options): re-run that shard.
+                    continue
+                if key != result.spec.key():
+                    continue  # stale line from an older spec layout
+                results[key] = result
+        return results
+
+    def append(self, result: RunResult) -> None:
+        """Durably record one completed shard."""
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        line = json.dumps(
+            {
+                "version": LEDGER_VERSION,
+                "key": result.spec.key(),
+                "result": result.to_json_dict(),
+            },
+            default=repr,
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

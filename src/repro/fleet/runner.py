@@ -1,0 +1,140 @@
+"""The fleet runner: fan a grid of shards across workers.
+
+Two backends behind one call:
+
+- ``serial`` — run every shard in this process, in grid order.  The
+  debugging backend: breakpoints work, tracebacks are local, and the
+  per-process training cache degenerates to "train each configuration
+  once", exactly like the pre-fleet serial experiments.
+- ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`.  Each
+  worker inherits the registered scenario runners (the pool forks after
+  imports) and keeps its own training cache.
+
+Because every shard is self-contained and the aggregator orders results
+by spec key, the two backends produce byte-identical aggregates — the
+process pool only changes wall-clock time, never results.  With a
+``ledger_path``, completed shards are checkpointed as they finish and a
+re-run executes only the shards the ledger is missing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from repro.errors import ConfigurationError
+from repro.fleet.aggregate import FleetReport
+from repro.fleet.ledger import ShardLedger
+from repro.fleet.shards import execute_spec
+from repro.fleet.spec import RunResult, RunSpec
+
+BACKENDS = ("serial", "process")
+
+
+def default_workers() -> int:
+    """Worker count when unspecified: all cores, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def run_fleet(
+    specs: list[RunSpec],
+    backend: str = "process",
+    workers: int | None = None,
+    ledger_path: str | None = None,
+    progress=None,
+) -> FleetReport:
+    """Run every shard of ``specs`` and aggregate the results.
+
+    Parameters
+    ----------
+    specs:
+        The grid (see :func:`repro.fleet.grid`).  Keys must be unique —
+        a duplicate spec would silently double-weight a distribution.
+    backend:
+        ``"process"`` (default) or ``"serial"``.
+    workers:
+        Process-pool size; ignored by the serial backend.
+    ledger_path:
+        JSONL checkpoint file.  Existing completed shards are loaded and
+        skipped; newly completed shards are appended as they finish.
+    progress:
+        Optional callable ``progress(done, total, result)`` invoked after
+        each shard (the CLI prints a line per shard through this).
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(f"unknown backend {backend!r}; use one of {BACKENDS}")
+    if not specs:
+        raise ConfigurationError("need at least one RunSpec")
+    keyed: dict[str, RunSpec] = {}
+    for spec in specs:
+        key = spec.key()
+        if key in keyed:
+            raise ConfigurationError(f"duplicate shard in grid: {key}")
+        keyed[key] = spec
+
+    ledger = ShardLedger(ledger_path) if ledger_path else None
+    results: dict[str, RunResult] = {}
+    resumed = 0
+    if ledger is not None:
+        for key, result in ledger.load().items():
+            if key in keyed:
+                results[key] = result
+        resumed = len(results)
+
+    pending = [spec for key, spec in keyed.items() if key not in results]
+    total = len(keyed)
+    done = len(results)
+    wall_start = time.perf_counter()
+
+    def _record(result: RunResult) -> None:
+        nonlocal done
+        results[result.spec.key()] = result
+        if ledger is not None:
+            ledger.append(result)
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    if backend == "serial":
+        for spec in pending:
+            _record(execute_spec(spec))
+        pool_workers = 1
+    else:
+        pool_workers = workers or default_workers()
+        if pending:
+            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                futures = {pool.submit(execute_spec, spec) for spec in pending}
+                while futures:
+                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    # Checkpoint the shards that completed this round
+                    # before surfacing any failure, so a crashed grid
+                    # resumes from everything that actually finished.
+                    failure = None
+                    for future in finished:
+                        exc = future.exception()
+                        if exc is not None:
+                            failure = failure or exc
+                        else:
+                            _record(future.result())
+                    if failure is not None:
+                        for future in futures:
+                            future.cancel()
+                        raise failure
+
+    wall_seconds = time.perf_counter() - wall_start
+    ordered = [results[key] for key in sorted(results)]
+    return FleetReport(
+        results=ordered,
+        timing={
+            "backend": backend,
+            "workers": pool_workers if backend == "process" else 1,
+            "shards": total,
+            "resumed_from_ledger": resumed,
+            "executed": total - resumed,
+            "wall_seconds": wall_seconds,
+            "shard_wall_seconds": {
+                r.spec.key(): r.wall_seconds for r in ordered
+            },
+        },
+    )

@@ -1,0 +1,171 @@
+"""Shard execution: turn one :class:`RunSpec` into one :class:`RunResult`.
+
+A shard is fully self-contained — it derives every RNG seed from the
+spec, trains its own predictor (through a per-process memo cache, so a
+worker that sees ten shards with the same training configuration trains
+once), runs the simulation, and returns a picklable result.  That
+self-containment is what makes the K-shard parallel run bit-identical to
+the serial run: no shard reads state another shard wrote.
+
+Scenario dispatch is by name:
+
+- ``closed-loop`` — train, then replay one faultload with and without the
+  PFM controller (the :func:`repro.core.run_closed_loop` experiment);
+- everything else is routed to the PFM fault-injection campaign
+  (:func:`repro.resilience.campaign.run_scenario_spec`): ``no-pfm``,
+  ``healthy-pfm``, and any attacked scenario whose attack surfaces are
+  carried in ``spec.options["attacks"]``.
+
+Custom workloads plug in via :func:`register_scenario_runner`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fleet.spec import CLOSED_LOOP, RunResult, RunSpec
+
+# ----------------------------------------------------------------------
+# Per-process training cache
+# ----------------------------------------------------------------------
+
+#: Trained-model memo, keyed by hashable training configuration.  Lives at
+#: module level so each worker process (and the serial backend) trains a
+#: given configuration exactly once.  Training is deterministic given the
+#: key, so a cache hit and a fresh train are interchangeable — the
+#: property the parallel/serial equality guarantee rests on.
+_TRAIN_CACHE: dict = {}
+
+
+def cached_training(key, builder: Callable):
+    """``builder()`` memoized on ``key`` for the life of this process."""
+    if key not in _TRAIN_CACHE:
+        _TRAIN_CACHE[key] = builder()
+    return _TRAIN_CACHE[key]
+
+
+def seed_training_cache(key, trained) -> None:
+    """Pre-populate the cache (benchmarks inject pre-trained models)."""
+    _TRAIN_CACHE[key] = trained
+
+
+def clear_training_cache() -> None:
+    """Drop every cached model (tests; memory pressure)."""
+    _TRAIN_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Scenario runners
+# ----------------------------------------------------------------------
+
+_RUNNERS: dict[str, Callable[[RunSpec], RunResult]] = {}
+
+
+def register_scenario_runner(
+    name: str, runner: Callable[[RunSpec], RunResult], overwrite: bool = False
+) -> None:
+    """Make scenario ``name`` executable by the fleet.
+
+    The runner receives the spec and must return a :class:`RunResult`.
+    Registration happens at import time of the defining module, so worker
+    processes inherit it (the pool forks after imports).
+    """
+    if name in _RUNNERS and not overwrite:
+        raise ConfigurationError(f"scenario runner {name!r} already registered")
+    _RUNNERS[name] = runner
+
+
+def _closed_loop_runner(spec: RunSpec) -> RunResult:
+    from dataclasses import replace as dc_replace
+
+    from repro.core import experiment
+    from repro.prediction.registry import make_predictor
+    from repro.telecom.dataset import DatasetConfig
+    from repro.telemetry.hub import TelemetryHub
+
+    seeds = spec.seeds()
+    variables = (
+        list(spec.variables) if spec.variables else list(experiment.DEFAULT_VARIABLES)
+    )
+    base = spec.option("dataset")
+    if base is None:
+        base = DatasetConfig()
+    elif isinstance(base, dict):
+        base = DatasetConfig(**base)
+    train_config = dc_replace(base, seed=seeds["train"], horizon=spec.horizon)
+
+    train_key = (
+        CLOSED_LOOP,
+        spec.predictor,
+        spec.predictor_params,
+        seeds["train"],
+        spec.horizon,
+        tuple(variables),
+        repr(base),
+    )
+
+    def _train():
+        predictor = make_predictor(
+            spec.predictor,
+            rng=np.random.default_rng(seeds["train"]),
+            **spec.params(),
+        )
+        return experiment.train_predictor(train_config, variables, predictor)
+
+    trained = cached_training(train_key, _train)
+
+    hub = TelemetryHub() if spec.telemetry else None
+    wall_start = time.perf_counter()
+    result = experiment.run_closed_loop(
+        train_seed=seeds["train"],
+        eval_seed=seeds["eval"],
+        horizon=spec.horizon,
+        variables=variables,
+        config=base,
+        trained=trained,
+        telemetry=hub,
+    )
+    wall_seconds = time.perf_counter() - wall_start
+
+    return RunResult(
+        spec=spec,
+        availability=result.pfm_window_availability,
+        failures=result.pfm_failures,
+        baseline_availability=result.baseline_window_availability,
+        baseline_failures=result.baseline_failures,
+        mea_iterations=result.mea_iterations,
+        warnings_raised=result.warnings_raised,
+        actions_taken=result.actions_taken,
+        outcome_matrix=result.outcome_matrix,
+        telemetry_events=len(hub.events) if hub is not None else 0,
+        metrics_state=hub.registry.to_state() if hub is not None else None,
+        wall_seconds=wall_seconds,
+    )
+
+
+register_scenario_runner(CLOSED_LOOP, _closed_loop_runner)
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one shard in this process (the worker entry point).
+
+    Module-level (hence picklable) so a ``ProcessPoolExecutor`` can ship
+    it; the campaign runners resolve lazily to keep import cycles out of
+    the fleet substrate.
+    """
+    runner = _RUNNERS.get(spec.scenario)
+    if runner is None:
+        from repro.resilience import campaign
+
+        if campaign.knows_scenario(spec):
+            runner = campaign.run_scenario_spec
+        else:
+            raise ConfigurationError(
+                f"no runner for scenario {spec.scenario!r}; known: "
+                f"{sorted(_RUNNERS) + sorted(campaign.known_scenario_names())}"
+            )
+    return runner(spec)

@@ -15,7 +15,9 @@
   MSET, error-rate and failure-tracking predictors,
 - :mod:`~repro.prediction.meta` -- stacked-generalization meta-learner,
 - :mod:`~repro.prediction.changepoint` -- retraining triggers,
-- :mod:`~repro.prediction.evaluation` -- train/test evaluation harness.
+- :mod:`~repro.prediction.evaluation` -- train/test evaluation harness,
+- :mod:`~repro.prediction.registry` -- declarative predictor construction
+  (:func:`make_predictor`), the factory behind fleet :class:`RunSpec`\\ s.
 """
 
 from repro.prediction.adaptive import AdaptiveRetrainingPredictor
@@ -31,6 +33,11 @@ from repro.prediction.metrics import (
     ContingencyTable,
     auc,
     roc_curve,
+)
+from repro.prediction.registry import (
+    available_predictors,
+    make_predictor,
+    register_predictor,
 )
 from repro.prediction.thresholds import (
     max_f_threshold,
@@ -51,4 +58,7 @@ __all__ = [
     "roc_curve",
     "max_f_threshold",
     "precision_recall_equality_threshold",
+    "available_predictors",
+    "make_predictor",
+    "register_predictor",
 ]

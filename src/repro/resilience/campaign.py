@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.controller import PFMController, default_repertoire
 from repro.core.experiment import DEFAULT_VARIABLES, _default_predictor
 from repro.errors import ConfigurationError
+from repro.fleet.spec import RunResult, RunSpec
 from repro.faults.pfm_injectors import (
     ActionFailureInjector,
     FlakyPredictorProxy,
@@ -47,6 +48,10 @@ from repro.telecom.dataset import DatasetConfig, prepare_simulation
 from repro.telemetry import events as tel_events
 from repro.telemetry.exporters import export_jsonl
 from repro.telemetry.hub import NULL_HUB, TelemetryHub
+
+#: Fleet scenario names of the two non-attacked campaign runs.
+NO_PFM = "no-pfm"
+HEALTHY_PFM = "healthy-pfm"
 
 #: A-priori plausibility ranges for SCP gauges (paper Sect. 4.3): every
 #: monitored variable is nonnegative, and the utilization-like ones are
@@ -178,6 +183,7 @@ class ScenarioResult:
     telemetry_events: int = 0
     online_quality: dict = field(default_factory=dict)
     trace_path: str | None = None
+    metrics_state: list | None = None
     wall_seconds: float = 0.0
 
     @property
@@ -250,7 +256,13 @@ class CampaignReport:
         return "\n".join(lines)
 
     def to_json(self) -> str:
-        """JSON document of the full report (for dashboards / CI artifacts)."""
+        """JSON document of the full report (for dashboards / CI artifacts).
+
+        Scenario rows are sorted by scenario name and every object's keys
+        are sorted, so two runs of the same campaign — regardless of the
+        order scenarios were configured or finished in — serialize to the
+        identical document.
+        """
 
         def row(result: ScenarioResult) -> dict:
             return {
@@ -282,10 +294,16 @@ class CampaignReport:
                     "failures": self.baseline_failures,
                 },
                 "healthy": row(self.healthy),
-                "attacked": [row(result) for result in self.attacked],
+                "attacked": [
+                    row(result)
+                    for result in sorted(
+                        self.attacked, key=lambda r: r.scenario.name
+                    )
+                ],
                 "all_graceful": self.all_graceful,
             },
             indent=2,
+            sort_keys=True,
         )
 
 
@@ -424,49 +442,278 @@ def _run_scenario(
         telemetry_events=len(hub.events),
         online_quality=controller.quality.summary() if config.telemetry else {},
         trace_path=trace_path,
+        metrics_state=hub.registry.to_state() if config.telemetry else None,
         wall_seconds=wall_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fleet integration: campaign scenarios as RunSpec shards
+# ----------------------------------------------------------------------
+
+#: Default episodic-attack knobs, mirrored from :class:`CampaignConfig`
+#: so a bare spec (no options) reproduces the default campaign exactly.
+_ATTACK_DEFAULTS = {
+    "attack_mtbf": 3_600.0,
+    "attack_duration": 1_200.0,
+    "attack_latency": 1_800.0,
+}
+
+_ATTACK_TAGS = (
+    "monitoring_dropout",
+    "observation_corruption",
+    "predictor_exceptions",
+    "predictor_latency",
+    "action_failures",
+)
+
+
+def known_scenario_names() -> list[str]:
+    """Every campaign scenario the fleet can run by name alone."""
+    return [NO_PFM, HEALTHY_PFM] + [s.name for s in default_scenarios()]
+
+
+def knows_scenario(spec: RunSpec) -> bool:
+    """Can :func:`run_scenario_spec` execute this spec?
+
+    True for the built-in scenario names, and for any custom-named spec
+    that carries its attack surfaces in ``options["attacks"]``.
+    """
+    return (
+        spec.scenario in known_scenario_names()
+        or spec.option("attacks") is not None
+    )
+
+
+def _scenario_from_spec(spec: RunSpec) -> PFMFaultScenario:
+    """Reconstruct the attack scenario a spec describes.
+
+    Attack surfaces travel inside the spec (``options["attacks"]``), so a
+    pool worker can rebuild any scenario without a shared registry; specs
+    naming a default scenario work without options.
+    """
+    if spec.scenario == HEALTHY_PFM:
+        return PFMFaultScenario(HEALTHY_PFM)
+    attacks = spec.option("attacks")
+    if attacks is not None:
+        unknown = [tag for tag in attacks if tag not in _ATTACK_TAGS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown attack surfaces {unknown}; valid: {list(_ATTACK_TAGS)}"
+            )
+        return PFMFaultScenario(spec.scenario, **{tag: True for tag in attacks})
+    for scenario in default_scenarios():
+        if scenario.name == spec.scenario:
+            return scenario
+    raise ConfigurationError(
+        f"unknown campaign scenario {spec.scenario!r}; pass its attack "
+        f"surfaces via options['attacks'] or use one of {known_scenario_names()}"
+    )
+
+
+def _config_from_spec(spec: RunSpec) -> CampaignConfig:
+    """The CampaignConfig one shard runs under (seeds resolved by the spec)."""
+    seeds = spec.seeds()
+    dataset = spec.option("dataset")
+    if isinstance(dataset, dict):
+        dataset = DatasetConfig(**dataset)
+    return CampaignConfig(
+        train_seed=seeds["train"],
+        eval_seed=seeds["eval"],
+        injection_seed=seeds["injection"],
+        horizon=spec.horizon,
+        variables=list(spec.variables) if spec.variables is not None else None,
+        dataset=dataset,
+        attack_mtbf=spec.option("attack_mtbf", _ATTACK_DEFAULTS["attack_mtbf"]),
+        attack_duration=spec.option(
+            "attack_duration", _ATTACK_DEFAULTS["attack_duration"]
+        ),
+        attack_latency=spec.option(
+            "attack_latency", _ATTACK_DEFAULTS["attack_latency"]
+        ),
+        telemetry=spec.telemetry,
+        telemetry_dir=spec.option("telemetry_dir"),
+    )
+
+
+def _train_key(spec: RunSpec) -> tuple:
+    """Cache key of the campaign's trained-model pair for this spec.
+
+    Only fields that influence training participate, so every shard of
+    one campaign (healthy and attacked alike) shares a single entry in
+    the per-process training cache — the serial backend then trains once,
+    exactly like the pre-fleet campaign did.
+    """
+    return (
+        "campaign",
+        spec.seeds()["train"],
+        spec.horizon,
+        spec.variables,
+        repr(spec.option("dataset")),
+    )
+
+
+def campaign_specs(config: CampaignConfig | None = None) -> list[RunSpec]:
+    """The campaign as a fleet grid: baseline, healthy, one spec per attack.
+
+    Order is stable: ``[no-pfm, healthy-pfm, *config.scenarios]``.
+    """
+    config = config or CampaignConfig()
+    options: dict[str, object] = {
+        "attack_mtbf": config.attack_mtbf,
+        "attack_duration": config.attack_duration,
+        "attack_latency": config.attack_latency,
+    }
+    if config.dataset is not None:
+        options["dataset"] = config.dataset
+    if config.telemetry_dir is not None:
+        options["telemetry_dir"] = config.telemetry_dir
+    common = dict(
+        seed=config.seed if config.seed is not None else config.train_seed,
+        train_seed=config.train_seed,
+        eval_seed=config.eval_seed,
+        injection_seed=config.injection_seed,
+        horizon=config.horizon,
+        variables=tuple(config.variables) if config.variables else None,
+        telemetry=config.telemetry,
+    )
+    specs = [
+        RunSpec(scenario=NO_PFM, options=options, **common),
+        RunSpec(scenario=HEALTHY_PFM, options=options, **common),
+    ]
+    for scenario in config.scenarios:
+        specs.append(
+            RunSpec(
+                scenario=scenario.name,
+                options={**options, "attacks": scenario.attacks},
+                **common,
+            )
+        )
+    return specs
+
+
+def run_scenario_spec(spec: RunSpec) -> RunResult:
+    """Execute one campaign shard (the fleet's entry point).
+
+    ``no-pfm`` replays the evaluation faultload with no controller at
+    all; every other scenario trains (through the per-process cache) and
+    runs the attacked / healthy PFM comparison.
+    """
+    config = _config_from_spec(spec)
+    if spec.scenario == NO_PFM:
+        base = config.dataset or DatasetConfig()
+        eval_config = replace(base, seed=config.eval_seed, horizon=config.horizon)
+        wall_start = time.perf_counter()
+        dataset = prepare_simulation(eval_config).run()
+        wall_seconds = time.perf_counter() - wall_start
+        return RunResult(
+            spec=spec,
+            availability=dataset.system.sla.overall_availability(),
+            failures=len(dataset.failure_log),
+            wall_seconds=wall_seconds,
+        )
+
+    from repro.fleet.shards import cached_training
+
+    variables = config.variables or list(DEFAULT_VARIABLES)
+    trained = cached_training(
+        _train_key(spec), lambda: _train_models(config, variables)
+    )
+    scenario = _scenario_from_spec(spec)
+    result = _run_scenario(scenario, config, variables, *trained)
+    return RunResult(
+        spec=spec,
+        availability=result.availability,
+        failures=result.failures,
+        mea_iterations=result.mea_iterations,
+        warnings_raised=result.warnings_raised,
+        warning_episodes=result.warning_episodes,
+        actions_taken=result.actions_taken,
+        attack_episodes=result.attack_episodes,
+        resilience=result.resilience,
+        online_quality=result.online_quality,
+        telemetry_events=result.telemetry_events,
+        metrics_state=result.metrics_state,
+        artifacts=(
+            {"trace_path": result.trace_path} if result.trace_path else {}
+        ),
+        wall_seconds=result.wall_seconds,
+    )
+
+
+def _scenario_result(scenario: PFMFaultScenario, result: RunResult) -> ScenarioResult:
+    """Fold a fleet shard result back into the campaign's report row."""
+    return ScenarioResult(
+        scenario=scenario,
+        availability=result.availability,
+        failures=result.failures,
+        mea_iterations=result.mea_iterations,
+        warnings_raised=result.warnings_raised,
+        actions_taken=result.actions_taken,
+        attack_episodes=result.attack_episodes,
+        resilience=result.resilience,
+        warning_episodes=result.warning_episodes,
+        telemetry_events=result.telemetry_events,
+        online_quality=result.online_quality,
+        trace_path=result.artifacts.get("trace_path"),
+        metrics_state=result.metrics_state,
+        wall_seconds=result.wall_seconds,
     )
 
 
 def run_campaign(
     config: CampaignConfig | None = None,
     trained: tuple[object, object, np.ndarray] | None = None,
+    *,
+    backend: str = "serial",
+    workers: int | None = None,
+    ledger_path: str | None = None,
+    progress=None,
 ) -> CampaignReport:
     """Run the full graceful-degradation campaign.
 
-    Trains once, then replays the identical evaluation faultload as a
-    no-PFM baseline, a healthy-PFM run, and one attacked run per
-    scenario in ``config.scenarios``.  Pass ``trained = (primary,
-    secondary, training_scores)`` (the tuple :func:`_train_models`
-    returns) to skip training -- used by the overhead benchmark to
-    compare otherwise-identical runs.
+    The campaign now rides the fleet runner: every scenario (the no-PFM
+    baseline, healthy PFM, and each attacked run) is one self-contained
+    :class:`~repro.fleet.spec.RunSpec` shard.  The default ``serial``
+    backend trains once per process (via the shard training cache) and
+    reproduces the pre-fleet campaign bit-for-bit; ``backend="process"``
+    fans scenarios across workers, and ``ledger_path`` checkpoints
+    completed scenarios for resume.
+
+    Pass ``trained = (primary, secondary, training_scores)`` (the tuple
+    :func:`_train_models` returns) to skip training -- used by the
+    overhead benchmark to compare otherwise-identical runs.  Injected
+    models force the serial backend (they cannot cross process
+    boundaries into a fresh worker's cache).
     """
     config = config or CampaignConfig()
-    variables = config.variables or list(DEFAULT_VARIABLES)
+    specs = campaign_specs(config)
     if trained is not None:
-        primary, secondary, training_scores = trained
-    else:
-        primary, secondary, training_scores = _train_models(config, variables)
+        from repro.fleet.shards import seed_training_cache
 
-    base = config.dataset or DatasetConfig()
-    eval_config = replace(base, seed=config.eval_seed, horizon=config.horizon)
-    baseline = prepare_simulation(eval_config).run()
+        backend = "serial"
+        seed_training_cache(_train_key(specs[1]), trained)
 
-    healthy = _run_scenario(
-        PFMFaultScenario("healthy-pfm"),
-        config,
-        variables,
-        primary,
-        secondary,
-        training_scores,
+    from repro.fleet.runner import run_fleet
+
+    fleet = run_fleet(
+        specs,
+        backend=backend,
+        workers=workers,
+        ledger_path=ledger_path,
+        progress=progress,
+    )
+    baseline = fleet.result_for(specs[0])
+    healthy = _scenario_result(
+        PFMFaultScenario(HEALTHY_PFM), fleet.result_for(specs[1])
     )
     attacked = [
-        _run_scenario(scenario, config, variables, primary, secondary, training_scores)
-        for scenario in config.scenarios
+        _scenario_result(scenario, fleet.result_for(spec))
+        for scenario, spec in zip(config.scenarios, specs[2:])
     ]
     return CampaignReport(
-        baseline_availability=baseline.system.sla.overall_availability(),
-        baseline_failures=len(baseline.failure_log),
+        baseline_availability=baseline.availability,
+        baseline_failures=baseline.failures,
         healthy=healthy,
         attacked=attacked,
         horizon=config.horizon,

@@ -105,6 +105,27 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram of the same series into this one.
+
+        Counts, sums and extrema combine exactly; the reservoirs are
+        pooled and, when over capacity, downsampled with an RNG seeded
+        from the metric name and the combined count — so merging the same
+        shard histograms in the same order always yields the same
+        reservoir, regardless of which process produced each shard.
+        """
+        combined = self.count + other.count
+        self.total += other.total
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        pooled = self._reservoir + other._reservoir
+        if len(pooled) > self.reservoir_size:
+            rng = random.Random(zlib.crc32(self.name.encode()) ^ combined)
+            pooled = rng.sample(pooled, self.reservoir_size)
+        self._reservoir = pooled
+        self.count = combined
+
     def quantile(self, q: float) -> float:
         """Reservoir quantile estimate (linear interpolation)."""
         if not 0.0 <= q <= 1.0:
@@ -169,6 +190,90 @@ class MetricsRegistry:
         for (name, _), metric in self._metrics.items():
             grouped.setdefault(name, []).append(metric)
         return grouped
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one (fleet aggregation).
+
+        Counters add, gauges take the incoming value (last merge wins,
+        matching their last-write-wins semantics within a run), and
+        histograms pool via :meth:`Histogram.merge`.  Merging per-shard
+        registries in a deterministic shard order therefore yields a
+        deterministic merged registry.
+        """
+        for (name, labels), metric in other._metrics.items():
+            kind = type(metric)
+            if kind is Counter:
+                self._get(Counter, name, dict(labels)).inc(metric.value)
+            elif kind is Gauge:
+                if not math.isnan(metric.value):
+                    self._get(Gauge, name, dict(labels)).set(metric.value)
+            elif kind is Histogram:
+                mine = self._get(
+                    Histogram, name, dict(labels), reservoir_size=self.reservoir_size
+                )
+                mine.merge(metric)
+            else:  # pragma: no cover - registry only hands out these kinds
+                raise ConfigurationError(f"cannot merge metric kind {kind.__name__}")
+        return self
+
+    def to_state(self) -> list[dict]:
+        """Lossless JSON-ready dump (unlike :meth:`snapshot`, mergeable).
+
+        Preserves histogram reservoirs so registries round-trip through
+        the shard ledger and still merge exactly.
+        """
+        state: list[dict] = []
+        for (name, labels), metric in self._metrics.items():
+            entry: dict[str, object] = {"name": name, "labels": [list(kv) for kv in labels]}
+            if isinstance(metric, Counter):
+                entry.update(kind="counter", value=metric.value)
+            elif isinstance(metric, Gauge):
+                entry.update(
+                    kind="gauge",
+                    value=None if math.isnan(metric.value) else metric.value,
+                )
+            else:
+                entry.update(
+                    kind="histogram",
+                    count=metric.count,
+                    total=metric.total,
+                    min=metric.min if metric.count else None,
+                    max=metric.max if metric.count else None,
+                    reservoir=list(metric._reservoir),
+                    reservoir_size=metric.reservoir_size,
+                )
+            state.append(entry)
+        return state
+
+    @classmethod
+    def from_state(cls, state: list[dict]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_state` output."""
+        registry = cls()
+        for entry in state:
+            labels = {k: v for k, v in entry.get("labels", [])}
+            kind = entry["kind"]
+            if kind == "counter":
+                registry.counter(entry["name"], **labels).inc(entry["value"])
+            elif kind == "gauge":
+                if entry["value"] is not None:
+                    registry.gauge(entry["name"], **labels).set(entry["value"])
+                else:
+                    registry.gauge(entry["name"], **labels)
+            elif kind == "histogram":
+                hist = registry._get(
+                    Histogram,
+                    entry["name"],
+                    labels,
+                    reservoir_size=entry.get("reservoir_size", 256),
+                )
+                hist.count = int(entry["count"])
+                hist.total = float(entry["total"])
+                hist.min = math.inf if entry["min"] is None else float(entry["min"])
+                hist.max = -math.inf if entry["max"] is None else float(entry["max"])
+                hist._reservoir = [float(v) for v in entry["reservoir"]]
+            else:
+                raise ConfigurationError(f"unknown metric kind {kind!r} in state")
+        return registry
 
     def snapshot(self) -> dict[str, object]:
         """JSON-ready dump of every instrument's current state."""

@@ -1,0 +1,139 @@
+"""Aggregation determinism: bootstrap CIs, metric merges, stable JSON."""
+
+import json
+import math
+
+import pytest
+
+from repro.fleet.aggregate import FleetReport, ScenarioAggregate, bootstrap_ci
+from repro.fleet.spec import RunResult, RunSpec
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _result(scenario="s", seed=1, availability=0.9, **kw):
+    return RunResult(
+        spec=RunSpec(scenario=scenario, seed=seed),
+        availability=availability,
+        failures=kw.pop("failures", 2),
+        **kw,
+    )
+
+
+class TestBootstrap:
+    def test_deterministic_for_same_inputs(self):
+        values = [0.91, 0.93, 0.95, 0.97, 0.92]
+        assert bootstrap_ci(values, "s:availability") == bootstrap_ci(
+            values, "s:availability"
+        )
+
+    def test_seed_key_matters(self):
+        values = [0.91, 0.93, 0.95, 0.97, 0.92]
+        assert bootstrap_ci(values, "a") != bootstrap_ci(values, "b")
+
+    def test_interval_brackets_the_mean(self):
+        values = [0.90, 0.92, 0.94, 0.96]
+        lo, hi = bootstrap_ci(values, "k")
+        mean = sum(values) / len(values)
+        assert lo <= mean <= hi
+        assert min(values) <= lo <= hi <= max(values)
+
+    def test_single_value_degenerates(self):
+        assert bootstrap_ci([0.5], "k") == (0.5, 0.5)
+
+    def test_empty_is_nan(self):
+        lo, hi = bootstrap_ci([], "k")
+        assert math.isnan(lo) and math.isnan(hi)
+
+
+class TestScenarioAggregate:
+    def test_distribution_and_sums(self):
+        agg = ScenarioAggregate(
+            scenario="s",
+            results=[
+                _result(seed=1, availability=0.90, warnings_raised=3),
+                _result(seed=2, availability=0.94, warnings_raised=5),
+            ],
+        )
+        doc = agg.to_json_dict()
+        assert doc["shards"] == 2
+        assert doc["availability"]["mean"] == pytest.approx(0.92)
+        assert doc["warnings_raised"] == 8
+        assert "unavailability_ratio" not in doc  # no baselines shipped
+
+    def test_baseline_ratio_distribution(self):
+        agg = ScenarioAggregate(
+            scenario="s",
+            results=[
+                _result(seed=1, availability=0.99, baseline_availability=0.98),
+            ],
+        )
+        doc = agg.to_json_dict()
+        assert doc["unavailability_ratio"]["mean"] == pytest.approx(0.5)
+
+    def test_outcome_matrices_sum_cellwise(self):
+        agg = ScenarioAggregate(
+            scenario="s",
+            results=[
+                _result(seed=1, outcome_matrix={"tp": {"acted": 2}}),
+                _result(seed=2, outcome_matrix={"tp": {"acted": 3}, "fp": {"noop": 1}}),
+            ],
+        )
+        matrix = agg.to_json_dict()["outcome_matrix"]
+        assert matrix["tp"]["acted"] == 5
+        assert matrix["fp"]["noop"] == 1
+
+
+class TestFleetReport:
+    def test_aggregate_json_independent_of_input_order(self):
+        results = [_result(scenario="a", seed=s) for s in (3, 1, 2)]
+        forward = FleetReport(results=list(results))
+        backward = FleetReport(results=list(reversed(results)))
+        assert forward.aggregate_json() == backward.aggregate_json()
+
+    def test_scenarios_sorted_by_name(self):
+        report = FleetReport(
+            results=[_result(scenario="zz", seed=1), _result(scenario="aa", seed=1)]
+        )
+        assert [a.scenario for a in report.scenarios()] == ["aa", "zz"]
+
+    def test_result_for_round_trips_spec(self):
+        results = [_result(seed=s) for s in (1, 2)]
+        report = FleetReport(results=results)
+        assert report.result_for(RunSpec(scenario="s", seed=2)).spec.seed == 2
+        with pytest.raises(KeyError):
+            report.result_for(RunSpec(scenario="s", seed=99))
+
+    def test_metrics_merge_across_shards(self):
+        def shard(seed):
+            registry = MetricsRegistry()
+            registry.counter("mea_iterations").inc(10 * seed)
+            registry.histogram("lead").observe(float(seed))
+            return _result(seed=seed, metrics_state=registry.to_state())
+
+        report = FleetReport(results=[shard(1), shard(2)])
+        merged = report.merged_metrics()
+        assert merged.counter("mea_iterations").value == 30
+        assert merged.histogram("lead").count == 2
+        doc = report.aggregate()
+        assert doc["metrics"]["mea_iterations"] == 30
+
+    def test_wall_clock_metrics_excluded_from_aggregate(self):
+        registry = MetricsRegistry()
+        registry.gauge("run_wall_seconds").set(12.5)
+        registry.counter("mea_iterations").inc()
+        report = FleetReport(
+            results=[_result(metrics_state=registry.to_state())],
+            timing={"backend": "serial", "wall_seconds": 99.0},
+        )
+        doc = report.aggregate()
+        assert "run_wall_seconds" not in doc["metrics"]
+        assert "wall_seconds" not in json.dumps(doc)
+
+    def test_summary_mentions_backend_and_scenarios(self):
+        report = FleetReport(
+            results=[_result(seed=1)],
+            timing={"backend": "serial", "workers": 1, "wall_seconds": 1.0},
+        )
+        text = report.summary()
+        assert "serial" in text
+        assert "s" in text

@@ -1,0 +1,72 @@
+"""Shard-ledger checkpointing: append, resume, and corruption tolerance."""
+
+import json
+
+from repro.fleet.ledger import ShardLedger
+from repro.fleet.spec import RunResult, RunSpec
+
+
+def _result(seed: int) -> RunResult:
+    return RunResult(spec=RunSpec(seed=seed), availability=0.9, failures=seed)
+
+
+class TestRoundTrip:
+    def test_append_then_load(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = ShardLedger(str(path))
+        for seed in (1, 2, 3):
+            ledger.append(_result(seed))
+        loaded = ShardLedger(str(path)).load()
+        assert len(loaded) == 3
+        for seed in (1, 2, 3):
+            key = RunSpec(seed=seed).key()
+            assert loaded[key].failures == seed
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        ledger = ShardLedger(str(tmp_path / "absent.jsonl"))
+        assert not ledger.exists()
+        assert ledger.load() == {}
+
+    def test_duplicate_keys_keep_last(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = ShardLedger(str(path))
+        ledger.append(_result(1))
+        updated = _result(1)
+        updated.availability = 0.5
+        ledger.append(updated)
+        loaded = ledger.load()
+        assert len(loaded) == 1
+        assert loaded[RunSpec(seed=1).key()].availability == 0.5
+
+
+class TestCorruptionTolerance:
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = ShardLedger(str(path))
+        ledger.append(_result(1))
+        ledger.append(_result(2))
+        # Simulate a crash mid-write: truncate the last line.
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2 * 2 - 40])
+        loaded = ShardLedger(str(path)).load()
+        assert len(loaded) == 1
+
+    def test_blank_and_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = ShardLedger(str(path))
+        ledger.append(_result(1))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n")
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"version": 1, "key": "x"}) + "\n")
+        assert len(ShardLedger(str(path)).load()) == 1
+
+    def test_key_spec_mismatch_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = ShardLedger(str(path))
+        ledger.append(_result(1))
+        # Tamper: claim the entry belongs to a different shard.
+        entry = json.loads(path.read_text())
+        entry["key"] = RunSpec(seed=99).key()
+        path.write_text(json.dumps(entry) + "\n")
+        assert ShardLedger(str(path)).load() == {}

@@ -1,0 +1,142 @@
+"""Fleet runner mechanics on a cheap registered scenario.
+
+The fake runner is module-level and registered at import time, so the
+process-pool workers (forked after imports) inherit it — the same
+mechanism the real campaign runners rely on.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import RunResult, RunSpec, grid, run_fleet
+from repro.fleet.ledger import ShardLedger
+from repro.fleet.shards import execute_spec, register_scenario_runner
+
+FAKE = "fake-scenario"
+FAKE_BOOM = "fake-boom"
+
+
+def _fake_runner(spec: RunSpec) -> RunResult:
+    # Deterministic in the spec alone — the fleet invariant in miniature.
+    return RunResult(
+        spec=spec,
+        availability=0.9 + (spec.seed % 10) / 100.0,
+        failures=spec.seed % 3,
+        wall_seconds=0.001 * spec.seed,
+    )
+
+
+def _boom_runner(spec: RunSpec) -> RunResult:
+    if spec.seed % 2 == 0:
+        raise RuntimeError(f"shard {spec.seed} exploded")
+    return _fake_runner(spec)
+
+
+register_scenario_runner(FAKE, _fake_runner, overwrite=True)
+register_scenario_runner(FAKE_BOOM, _boom_runner, overwrite=True)
+
+
+class TestValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            run_fleet(grid([FAKE], seeds=[1]), backend="threads")
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_fleet([], backend="serial")
+
+    def test_duplicate_shards_rejected(self):
+        spec = RunSpec(scenario=FAKE, seed=1)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            run_fleet([spec, spec], backend="serial")
+
+    def test_unknown_scenario_lists_known_names(self):
+        with pytest.raises(ConfigurationError, match="no-pfm"):
+            execute_spec(RunSpec(scenario="nonsense"))
+
+
+class TestBackends:
+    def test_serial_runs_all_shards(self):
+        specs = grid([FAKE], seeds=range(6))
+        report = run_fleet(specs, backend="serial")
+        assert len(report.results) == 6
+        assert report.timing["backend"] == "serial"
+        assert report.timing["executed"] == 6
+
+    def test_process_matches_serial_byte_for_byte(self):
+        specs = grid([FAKE], seeds=range(8))
+        serial = run_fleet(specs, backend="serial")
+        parallel = run_fleet(specs, backend="process", workers=2)
+        assert serial.aggregate_json() == parallel.aggregate_json()
+
+    def test_results_ordered_by_key_not_completion(self):
+        specs = grid([FAKE], seeds=[9, 1, 5])
+        report = run_fleet(specs, backend="serial")
+        keys = [r.spec.key() for r in report.results]
+        assert keys == sorted(keys)
+
+    def test_progress_callback_sees_every_shard(self):
+        seen = []
+        run_fleet(
+            grid([FAKE], seeds=range(4)),
+            backend="serial",
+            progress=lambda done, total, result: seen.append((done, total)),
+        )
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+class TestResume:
+    def test_resume_runs_only_missing_shards(self, tmp_path):
+        ledger_path = str(tmp_path / "fleet.jsonl")
+        specs = grid([FAKE], seeds=range(6))
+        # First pass: only half the grid completes (simulated kill).
+        first = run_fleet(specs[:3], backend="serial", ledger_path=ledger_path)
+        assert first.timing["executed"] == 3
+        # Second pass over the full grid resumes from the ledger.
+        executed = []
+        second = run_fleet(
+            specs,
+            backend="serial",
+            ledger_path=ledger_path,
+            progress=lambda done, total, result: executed.append(result.spec.seed),
+        )
+        assert second.timing["resumed_from_ledger"] == 3
+        assert second.timing["executed"] == 3
+        assert sorted(executed) == [3, 4, 5]  # progress fires for new shards only
+        assert len(second.results) == 6
+
+    def test_resumed_report_identical_to_uninterrupted(self, tmp_path):
+        specs = grid([FAKE], seeds=range(5))
+        uninterrupted = run_fleet(specs, backend="serial")
+        ledger_path = str(tmp_path / "fleet.jsonl")
+        run_fleet(specs[:2], backend="serial", ledger_path=ledger_path)
+        resumed = run_fleet(specs, backend="serial", ledger_path=ledger_path)
+        assert resumed.aggregate_json() == uninterrupted.aggregate_json()
+
+    def test_ledger_ignores_shards_outside_grid(self, tmp_path):
+        ledger_path = str(tmp_path / "fleet.jsonl")
+        run_fleet(grid([FAKE], seeds=[99]), backend="serial", ledger_path=ledger_path)
+        report = run_fleet(
+            grid([FAKE], seeds=[1]), backend="serial", ledger_path=ledger_path
+        )
+        assert report.timing["resumed_from_ledger"] == 0
+        assert [r.spec.seed for r in report.results] == [1]
+
+
+class TestFailures:
+    def test_process_failure_checkpoints_completed_shards(self, tmp_path):
+        ledger_path = str(tmp_path / "fleet.jsonl")
+        specs = grid([FAKE_BOOM], seeds=[1, 2, 3])
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_fleet(
+                specs, backend="process", workers=2, ledger_path=ledger_path
+            )
+        completed = ShardLedger(ledger_path).load()
+        assert all(r.spec.seed % 2 == 1 for r in completed.values())
+        # The crashed grid resumes: only the poisoned shard re-raises.
+        with pytest.raises(RuntimeError):
+            run_fleet(specs, backend="serial", ledger_path=ledger_path)
+
+    def test_serial_failure_propagates(self):
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_fleet(grid([FAKE_BOOM], seeds=[2]), backend="serial")

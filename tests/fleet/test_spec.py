@@ -1,0 +1,167 @@
+"""RunSpec / RunResult semantics: seeds, keys, serialization, grids."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.spec import (
+    EVAL_SEED_OFFSET,
+    INJECTION_SEED_OFFSET,
+    RunResult,
+    RunSpec,
+    grid,
+)
+
+
+class TestSeeds:
+    def test_master_seed_derivation_matches_campaign(self):
+        spec = RunSpec(seed=5)
+        assert spec.seeds() == {
+            "train": 5,
+            "eval": 5 + EVAL_SEED_OFFSET,
+            "injection": 5 + INJECTION_SEED_OFFSET,
+        }
+
+    def test_explicit_overrides_win(self):
+        spec = RunSpec(seed=5, train_seed=11, eval_seed=21)
+        seeds = spec.seeds()
+        assert seeds["train"] == 11
+        assert seeds["eval"] == 21
+        assert seeds["injection"] == 5 + INJECTION_SEED_OFFSET  # still derived
+
+
+class TestValidation:
+    def test_rejects_empty_scenario(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(scenario="")
+
+    def test_rejects_empty_predictor(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(predictor="")
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(horizon=0.0)
+
+
+class TestCanonicalization:
+    def test_params_order_does_not_matter(self):
+        a = RunSpec(predictor_params={"a": 1, "b": 2})
+        b = RunSpec(predictor_params={"b": 2, "a": 1})
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_specs_are_hashable_and_picklable(self):
+        spec = RunSpec(predictor_params={"n_kernels": 4}, options={"x": [1, 2]})
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+    def test_params_round_trip_as_dict(self):
+        spec = RunSpec(predictor_params={"n_kernels": 4, "nested": {"a": 1}})
+        assert spec.params() == {"n_kernels": 4, "nested": {"a": 1}}
+
+    def test_option_lookup(self):
+        spec = RunSpec(options={"attacks": ["monitoring_dropout"]})
+        assert spec.option("attacks") == ["monitoring_dropout"]
+        assert spec.option("missing", 7) == 7
+
+
+class TestKey:
+    def test_key_is_stable_and_readable(self):
+        spec = RunSpec(scenario="closed-loop", seed=21)
+        assert spec.key() == RunSpec(scenario="closed-loop", seed=21).key()
+        assert spec.key().startswith("closed-loop:ubf:seed21:")
+
+    def test_any_field_change_changes_key(self):
+        base = RunSpec()
+        for changed in [
+            base.replace(seed=99),
+            base.replace(horizon=86_400.0),
+            base.replace(predictor="mset"),
+            base.replace(telemetry=True),
+            base.replace(train_seed=1),
+            base.replace(options={"attacks": ["action_failures"]}),
+        ]:
+            assert changed.key() != base.key()
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        spec = RunSpec(
+            scenario="all-fronts",
+            seed=5,
+            predictor="ubf",
+            predictor_params={"n_kernels": 4},
+            variables=("cpu_utilization",),
+            telemetry=True,
+            options={"attacks": ["action_failures"]},
+        )
+        clone = RunSpec.from_json_dict(spec.to_json_dict())
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown RunSpec"):
+            RunSpec.from_json_dict({"scenario": "x", "bogus": 1})
+
+
+class TestGrid:
+    def test_cross_product(self):
+        specs = grid(["a", "b"], seeds=[1, 2, 3], predictors=["ubf", "mset"])
+        assert len(specs) == 12
+        assert len({s.key() for s in specs}) == 12
+
+    def test_predictor_params_pairs(self):
+        specs = grid(["a"], seeds=[1], predictors=[("ubf", {"n_kernels": 4})])
+        assert specs[0].params() == {"n_kernels": 4}
+
+    def test_duplicates_collapse(self):
+        specs = grid(["a", "a"], seeds=[1, 1])
+        assert len(specs) == 1
+
+    def test_common_fields_shared(self):
+        specs = grid(["a"], seeds=[1, 2], horizon=86_400.0, telemetry=True)
+        assert all(s.horizon == 86_400.0 and s.telemetry for s in specs)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid([], seeds=[1])
+
+
+class TestRunResult:
+    def _result(self, **kw):
+        defaults = dict(spec=RunSpec(seed=1), availability=0.99, failures=3)
+        defaults.update(kw)
+        return RunResult(**defaults)
+
+    def test_json_round_trip(self):
+        result = self._result(
+            baseline_availability=0.95,
+            baseline_failures=9,
+            outcome_matrix={"tp": {"acted": 2}},
+            artifacts={"trace_path": "x.jsonl"},
+        )
+        clone = RunResult.from_json_dict(result.to_json_dict())
+        assert clone == result
+        assert clone.spec.key() == result.spec.key()
+
+    def test_unavailability_ratio(self):
+        result = self._result(availability=0.99, baseline_availability=0.98)
+        assert result.unavailability_ratio == pytest.approx(0.5)
+
+    def test_ratio_nan_without_baseline(self):
+        import math
+
+        assert math.isnan(self._result().unavailability_ratio)
+
+    def test_metrics_registry_rebuild(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        result = self._result(metrics_state=registry.to_state())
+        rebuilt = result.metrics_registry()
+        assert rebuilt.counter("hits").value == 3
+
+    def test_empty_metrics_registry_when_no_state(self):
+        assert len(self._result().metrics_registry()) == 0

@@ -1,0 +1,84 @@
+"""The declarative predictor registry behind fleet specs and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.registry import (
+    available_predictors,
+    make_predictor,
+    register_predictor,
+)
+
+BUILTINS = [
+    "ubf",
+    "mset",
+    "hsmm",
+    "dft",
+    "eventset",
+    "trend",
+    "rate",
+    "failure-tracking",
+]
+
+
+class TestCatalog:
+    def test_builtins_registered(self):
+        names = available_predictors()
+        for name in BUILTINS:
+            assert name in names
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_every_builtin_constructs(self, name):
+        predictor = make_predictor(name, seed=3)
+        assert predictor is not None
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ConfigurationError, match="ubf"):
+            make_predictor("nope")
+
+
+class TestConstruction:
+    def test_ubf_default_matches_closed_loop_configuration(self):
+        predictor = make_predictor("ubf", rng=np.random.default_rng(0))
+        assert predictor.network.n_kernels == 8
+        assert predictor.network.max_opt_iter == 15
+        assert predictor.wrapper.n_rounds == 6
+        assert predictor.wrapper.samples_per_round == 8
+
+    def test_params_forwarded(self):
+        predictor = make_predictor("ubf", seed=0, n_kernels=4)
+        assert predictor.network.n_kernels == 4
+
+    def test_seed_pins_stochastic_construction(self):
+        a = make_predictor("hsmm", seed=7)
+        b = make_predictor("hsmm", seed=7)
+        c = make_predictor("hsmm", seed=8)
+        assert a.seed == b.seed
+        assert a.seed != c.seed
+
+    def test_default_predictor_wrapper_uses_registry(self):
+        from repro.core.experiment import _default_predictor
+
+        wrapped = _default_predictor(np.random.default_rng(0))
+        direct = make_predictor("ubf", rng=np.random.default_rng(0))
+        assert type(wrapped) is type(direct)
+        assert wrapped.network.n_kernels == direct.network.n_kernels
+
+
+class TestRegistration:
+    def test_double_registration_rejected(self):
+        register_predictor("test-only", lambda rng: object())
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_predictor("test-only", lambda rng: object())
+            register_predictor("test-only", lambda rng: 42, overwrite=True)
+            assert make_predictor("test-only") == 42
+        finally:
+            from repro.prediction import registry
+
+            registry._REGISTRY.pop("test-only", None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_predictor("", lambda rng: object())

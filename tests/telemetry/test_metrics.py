@@ -114,6 +114,100 @@ class TestRegistry:
         assert snap["lat"]["count"] == 1
 
 
+class TestMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(3)
+        b.counter("hits").inc(4)
+        b.counter("other").inc(1)
+        a.merge(b)
+        assert a.counter("hits").value == 7
+        assert a.counter("other").value == 1
+
+    def test_gauges_last_merge_wins_but_nan_skipped(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(2.0)
+        b.gauge("depth")  # never set: NaN must not clobber 2.0
+        a.merge(b)
+        assert a.gauge("depth").value == 2.0
+        c = MetricsRegistry()
+        c.gauge("depth").set(9.0)
+        a.merge(c)
+        assert a.gauge("depth").value == 9.0
+
+    def test_histograms_pool_exactly_below_reservoir_size(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (1.0, 2.0):
+            a.histogram("lat").observe(value)
+        for value in (3.0, 4.0):
+            b.histogram("lat").observe(value)
+        a.merge(b)
+        hist = a.histogram("lat")
+        assert hist.count == 4
+        assert hist.total == 10.0
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+        assert hist.quantile(0.5) == 2.5
+
+    def test_histogram_merge_over_capacity_is_deterministic(self):
+        def merged():
+            a = Histogram(name="h", reservoir_size=16)
+            b = Histogram(name="h", reservoir_size=16)
+            for value in range(100):
+                a.observe(float(value))
+                b.observe(float(value) + 0.5)
+            a.merge(b)
+            return a
+
+        first, second = merged(), merged()
+        assert first.count == 200
+        assert len(first._reservoir) == 16
+        assert first._reservoir == second._reservoir
+
+    def test_labels_participate_in_merge_identity(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits", route="x").inc()
+        b.counter("hits", route="y").inc()
+        a.merge(b)
+        assert len(a) == 2
+
+
+class TestState:
+    def test_round_trip_preserves_values(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", route="a").inc(3)
+        registry.gauge("depth").set(1.5)
+        registry.histogram("lat").observe(0.5)
+        clone = MetricsRegistry.from_state(registry.to_state())
+        assert clone.counter("hits", route="a").value == 3
+        assert clone.gauge("depth").value == 1.5
+        assert clone.histogram("lat").count == 1
+        assert clone.snapshot() == registry.snapshot()
+
+    def test_state_is_json_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(2.0)
+        registry.gauge("unset")
+        text = json.dumps(registry.to_state())
+        clone = MetricsRegistry.from_state(json.loads(text))
+        assert clone.histogram("lat").total == 2.0
+        assert math.isnan(clone.gauge("unset").value)
+
+    def test_state_then_merge_equals_direct_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        direct = MetricsRegistry()
+        direct.merge(a)
+        direct.merge(b)
+        via_state = MetricsRegistry()
+        via_state.merge(MetricsRegistry.from_state(a.to_state()))
+        via_state.merge(MetricsRegistry.from_state(b.to_state()))
+        assert direct.snapshot() == via_state.snapshot()
+
+
 class TestNullInstrument:
     def test_all_operations_are_noops(self):
         NULL_INSTRUMENT.inc()

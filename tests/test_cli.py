@@ -13,8 +13,8 @@ class TestParser:
             a for a in parser._actions if hasattr(a, "choices") and a.choices
         )
         assert set(subparsers.choices) == {
-            "model", "curves", "case-study", "closed-loop", "taxonomy",
-            "policies", "campaign", "trace",
+            "model", "curves", "case-study", "closed-loop", "fleet",
+            "taxonomy", "policies", "campaign", "trace",
         }
 
     def test_requires_command(self):
@@ -36,6 +36,45 @@ class TestParser:
         assert args.seed == 5
         assert args.telemetry_dir == "out"
         assert not args.telemetry  # --telemetry-dir implies it downstream
+
+    def test_fleet_args_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fleet", "--scenario", "closed-loop", "--seeds", "21,22,23",
+                "--backend", "process", "--workers", "2",
+                "--ledger", "fleet.jsonl", "--json",
+            ]
+        )
+        assert args.scenario == ["closed-loop"]
+        assert args.seeds == "21,22,23"
+        assert args.backend == "process"
+        assert args.workers == 2
+        assert args.ledger == "fleet.jsonl"
+        assert args.json
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.scenario is None  # -> closed-loop downstream
+        assert args.backend == "process"
+        assert args.num_seeds == 4
+        assert args.base_seed == 21
+        assert args.train_seed is None  # derive from each master seed
+        assert args.ledger is None
+
+    def test_fleet_pinned_train_seed_parses(self):
+        args = build_parser().parse_args(["fleet", "--train-seed", "11"])
+        assert args.train_seed == 11
+
+    def test_fleet_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--backend", "threads"])
+
+    def test_campaign_backend_flags_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--backend", "process", "--workers", "3"]
+        )
+        assert args.backend == "process"
+        assert args.workers == 3
 
     def test_trace_args_parse(self):
         args = build_parser().parse_args(

@@ -21,6 +21,8 @@ PACKAGES = [
     "repro.core",
     "repro.reporting",
     "repro.telemetry",
+    "repro.fleet",
+    "repro.resilience",
     "repro.cli",
 ]
 
@@ -41,6 +43,47 @@ def test_all_exports_resolve(name):
 def test_version_exposed():
     assert isinstance(repro.__version__, str)
     assert repro.__version__.count(".") == 2
+
+
+def test_top_level_surface_pinned():
+    """The curated ``repro`` namespace: the one-import experiment API."""
+    assert set(repro.__all__) == {
+        "__version__",
+        "RunSpec",
+        "RunResult",
+        "FleetReport",
+        "grid",
+        "run_fleet",
+        "run_closed_loop",
+        "run_campaign",
+        "CampaignConfig",
+        "make_predictor",
+        "available_predictors",
+        "TelemetryHub",
+    }
+
+
+def test_top_level_exports_resolve_lazily():
+    for symbol in repro.__all__:
+        assert getattr(repro, symbol) is not None
+    with pytest.raises(AttributeError):
+        repro.not_a_symbol
+
+
+def test_top_level_identity_matches_canonical_modules():
+    from repro.fleet.spec import RunSpec
+    from repro.prediction.registry import make_predictor
+
+    assert repro.RunSpec is RunSpec
+    assert repro.make_predictor is make_predictor
+
+
+def test_replicate_closed_loop_is_a_deprecation_shim():
+    from repro.core.experiment import replicate_closed_loop
+
+    with pytest.warns(DeprecationWarning, match="run_fleet"):
+        with pytest.raises(ValueError):
+            replicate_closed_loop([])
 
 
 def test_exception_hierarchy():
