@@ -105,6 +105,7 @@ def test_bench_campaign_telemetry_overhead(benchmark):
     for off, on in zip(
         [plain.healthy, *plain.attacked],
         [instrumented.healthy, *instrumented.attacked],
+        strict=True,
     ):
         assert on.availability == off.availability, off.scenario.name
         assert on.failures == off.failures

@@ -14,7 +14,7 @@ from repro.reliability import PFMParameters, unavailability_ratio
 def test_bench_closed_loop_vs_model(benchmark):
     result = benchmark.pedantic(
         run_closed_loop,
-        kwargs=dict(train_seed=11, eval_seed=23, horizon=3 * 86_400.0),
+        kwargs={"train_seed": 11, "eval_seed": 23, "horizon": 3 * 86_400.0},
         rounds=1,
         iterations=1,
     )

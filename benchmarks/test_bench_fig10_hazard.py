@@ -18,7 +18,7 @@ def test_bench_fig10b_hazard_curves(benchmark):
     print("\n=== Fig. 10(b): hazard rate h(t) [1/s] ===")
     print(f"{'t [s]':>8s}  {'with PFM':>12s}  {'w/o PFM':>12s}")
     for t, with_pfm, without in zip(
-        curves["t"], curves["with_pfm"], curves["without_pfm"]
+        curves["t"], curves["with_pfm"], curves["without_pfm"], strict=True
     ):
         print(f"{t:8.0f}  {with_pfm:12.3e}  {without:12.3e}")
 

@@ -20,7 +20,7 @@ def test_bench_fig10a_reliability_curves(benchmark):
     print("\n=== Fig. 10(a): reliability R(t) ===")
     print(f"{'t [s]':>8s}  {'with PFM':>9s}  {'w/o PFM':>9s}")
     for t, with_pfm, without in zip(
-        curves["t"], curves["with_pfm"], curves["without_pfm"]
+        curves["t"], curves["with_pfm"], curves["without_pfm"], strict=True
     ):
         print(f"{t:8.0f}  {with_pfm:9.4f}  {without:9.4f}")
 

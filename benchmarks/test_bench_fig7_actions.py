@@ -51,7 +51,7 @@ def test_bench_fig7_all_action_classes(benchmark, scp):
 
     print("\n=== Fig. 7: prediction-triggered action classes ===")
     print(f"{'action':<22s} {'goal':<24s} {'success':<8s} {'downtime [s]':>12s}")
-    for action, outcome in zip(actions, outcomes):
+    for action, outcome in zip(actions, outcomes, strict=True):
         print(
             f"{action.name:<22s} {action.category.value:<24s} "
             f"{str(outcome.success):<8s} {outcome.downtime_incurred:>12.1f}"

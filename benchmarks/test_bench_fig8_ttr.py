@@ -51,7 +51,7 @@ def test_bench_fig8_measured_k_closed_loop(benchmark):
 
     result = benchmark.pedantic(
         measure_repair_improvement,
-        kwargs=dict(train_seed=11, eval_seed=21, horizon=2 * 86_400.0),
+        kwargs={"train_seed": 11, "eval_seed": 21, "horizon": 2 * 86_400.0},
         rounds=1,
         iterations=1,
     )

@@ -11,6 +11,7 @@ Commands map to the paper's artifacts:
 - ``trace``        instrumented closed-loop run -> JSONL trace + metrics
 - ``taxonomy``     print the Fig. 3 classification tree
 - ``policies``     cost comparison: PFM vs optimal rejuvenation vs nothing
+- ``lint``         run pfmlint, the determinism & dependability linter
 """
 
 from __future__ import annotations
@@ -268,6 +269,15 @@ def _cmd_policies(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint.cli import main as lint_main
+
+    lint_args = args.lint_args
+    if lint_args and lint_args[0] == "--":
+        lint_args = lint_args[1:]
+    return lint_main(lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -424,15 +434,39 @@ def build_parser() -> argparse.ArgumentParser:
     policies.add_argument("--unplanned-cost", type=float, default=10.0)
     policies.add_argument("--planned-cost", type=float, default=1.0)
     policies.set_defaults(func=_cmd_policies)
+
+    lint = sub.add_parser(
+        "lint",
+        help="pfmlint: determinism & dependability static analysis",
+        description="Arguments after 'lint' are passed through to pfmlint "
+        "(see `repro lint -- --help`).",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="pfmlint arguments (paths, --json, --baseline, ...)",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse.REMAINDER does not capture leading options ("lint --json"),
+    # so the lint passthrough is dispatched before the main parser runs.
+    if argv and argv[0] == "lint":
+        from repro.devtools.lint.cli import main as lint_main
+
+        rest = argv[1:]
+        if rest and rest[0] == "--":
+            rest = rest[1:]
+        return lint_main(rest)
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    code = args.func(args)
+    return 0 if code is None else int(code)
 
 
 if __name__ == "__main__":

@@ -363,7 +363,7 @@ class PFMController:
                 self._throttled = True
             try:
                 outcome = action.execute(self.system, evaluation.target)
-            except Exception as exc:  # noqa: BLE001 - degrade, don't die
+            except Exception as exc:  # broad by design - degrade, don't die
                 self.mea.note_failure("act", exc)
                 outcome = ActionOutcome(
                     action=name,

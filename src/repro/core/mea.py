@@ -209,7 +209,7 @@ class MEACycle:
             for attempt in range(1, attempts + 1):
                 try:
                     return fn(*args), True
-                except Exception as exc:  # noqa: BLE001 - the whole point
+                except Exception as exc:  # broad by design - the whole point
                     last_error = exc
                     if attempt < attempts:
                         self.telemetry.emit(

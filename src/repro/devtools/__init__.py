@@ -1,0 +1,11 @@
+"""Developer tooling that ships with the library.
+
+``repro.devtools`` holds tools that guard the *code*, the way
+``repro.resilience`` guards the running system: proactive checks that
+catch faults before they become failures.  Currently:
+
+- ``repro.devtools.lint`` -- "pfmlint", an AST-based static-analysis
+  pass enforcing the repository's determinism and dependability
+  invariants (seeded RNG discipline, no wall-clock in sim-time paths,
+  picklable fleet callables, ...).
+"""

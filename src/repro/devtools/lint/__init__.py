@@ -1,0 +1,55 @@
+"""pfmlint: determinism & dependability static analysis for the PFM stack.
+
+An AST-based linter enforcing the repository's reproducibility
+invariants -- the properties that make fleet runs byte-identical across
+backends and BENCH documents reproducible:
+
+========  ==========================================================
+PFM001    unseeded / legacy RNG (global ``np.random`` API, hard-coded
+          ``default_rng`` fallbacks in library code)
+PFM002    wall-clock reads inside sim-time paths (simulator, MEA,
+          telemetry sim spans)
+PFM003    ``==`` / ``!=`` against float literals
+PFM004    iteration over unordered sets feeding ordered output
+PFM005    mutable default arguments
+PFM006    unpicklable callables crossing process-pool boundaries
+PFM007    frozen-spec field mutation outside ``dataclasses.replace``
+PFM008    ``__all__`` drift versus the module's real public surface
+========  ==========================================================
+
+Run it with ``python -m repro.devtools.lint src`` (or ``repro.cli
+lint``); see ``docs/static-analysis.md`` for the rule catalogue,
+suppression syntax and baseline workflow.
+"""
+
+from repro.devtools.lint.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.devtools.lint.engine import (
+    LintResult,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+)
+from repro.devtools.lint.findings import Finding, ModuleContext
+from repro.devtools.lint.rules import REGISTRY, Rule, all_rules, register
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "REGISTRY",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "parse_suppressions",
+    "register",
+    "split_baselined",
+    "write_baseline",
+]

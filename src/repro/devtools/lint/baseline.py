@@ -1,0 +1,90 @@
+"""The committed findings baseline.
+
+A baseline is a JSON document pinning pre-existing findings by
+fingerprint so a newly introduced rule can gate CI immediately without
+blocking on legacy code.  The workflow:
+
+1. ``python -m repro.devtools.lint src --write-baseline`` records every
+   current finding (each entry keeps its message and snippet so the
+   file reviews like a TODO list).
+2. CI runs ``python -m repro.devtools.lint src``; findings whose
+   fingerprint appears in the baseline are reported as *baselined* and
+   do not fail the run.  New findings do.
+3. Fixing a baselined finding and re-writing the baseline shrinks the
+   file -- the diff shows the debt being paid down.
+
+Fingerprints ignore line numbers (see
+:meth:`repro.devtools.lint.findings.Finding.fingerprint`), so unrelated
+edits never invalidate the baseline.  Duplicate fingerprints are counted:
+a baseline entry absorbs exactly as many findings as were recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+
+from repro.devtools.lint.findings import Finding
+
+#: Default baseline filename, looked up in the working directory.
+DEFAULT_BASELINE = "pfmlint-baseline.json"
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Counter:
+    """Fingerprint multiset from a baseline file (empty if absent)."""
+    if not os.path.exists(path):
+        return Counter()
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}"
+        )
+    return Counter(entry["fingerprint"] for entry in doc.get("findings", []))
+
+
+def write_baseline(path: str, findings: list[Finding]) -> int:
+    """Write the baseline document for ``findings``; returns entry count."""
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "snippet": f.snippet,
+            "message": f.message,
+            "fingerprint": f.fingerprint(),
+        }
+        for f in sorted(findings)
+    ]
+    doc = {
+        "version": BASELINE_VERSION,
+        "tool": "pfmlint",
+        "findings": entries,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def split_baselined(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into ``(new, baselined)`` against the baseline.
+
+    Each baseline fingerprint absorbs at most its recorded count, so a
+    *second* copy of a baselined defect still fails the gate.
+    """
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if budget[fingerprint] > 0:
+            budget[fingerprint] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,139 @@
+"""The pfmlint engine: discover files, run rules, honour suppressions.
+
+Inline suppression syntax (same line as the finding)::
+
+    value = raw != 0.0  # pfmlint: disable=PFM003 -- exact-zero sentinel
+
+Multiple rules separate with commas; ``disable=all`` silences every rule
+on that line.  Text after the rule list (conventionally introduced with
+``--``) is the human-readable justification and is ignored by the
+parser, but reviewers should treat a suppression without one as a bug.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.devtools.lint.findings import Finding, ModuleContext
+from repro.devtools.lint.rules import Rule, all_rules
+
+#: Rule id reserved for files the engine cannot parse at all.
+PARSE_ERROR_RULE = "PFM000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*pfmlint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: Directory names never descended into during discovery.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules", ".eggs"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, before baseline filtering."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map 1-based line number -> rule ids suppressed on that line."""
+    suppressions: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            suppressions[lineno] = {r.upper() for r in rules if r}
+    return suppressions
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: list[Rule] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one module's source text.
+
+    Returns ``(findings, n_suppressed)``; ``path`` is used for scoped
+    rules (e.g. PFM002) and reporting, the file itself is never read.
+    """
+    rules = all_rules() if rules is None else rules
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"file does not parse: {exc.msg}",
+            snippet=(exc.text or "").strip(),
+        )
+        return [finding], 0
+
+    module = ModuleContext(path=path, source=source, tree=tree)
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    n_suppressed = 0
+    for rule in rules:
+        for finding in rule.check(module):
+            suppressed_here = suppressions.get(finding.line, set())
+            if finding.rule in suppressed_here or "ALL" in suppressed_here:
+                n_suppressed += 1
+            else:
+                findings.append(finding)
+    findings.sort()
+    return findings, n_suppressed
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in SKIP_DIRS and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(set(files))
+
+
+def _display_path(file_path: str) -> str:
+    """Posix-style path, relative to CWD when possible (stable baselines)."""
+    path = file_path
+    try:
+        rel = os.path.relpath(file_path)
+        if not rel.startswith(".."):
+            path = rel
+    except ValueError:  # different drive on Windows
+        pass
+    return path.replace(os.sep, "/")
+
+
+def lint_paths(
+    paths: list[str],
+    rules: list[Rule] | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    rules = all_rules() if rules is None else rules
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        with open(file_path, encoding="utf-8") as handle:
+            source = handle.read()
+        findings, suppressed = lint_source(
+            source, _display_path(file_path), rules
+        )
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+        result.files_checked += 1
+    result.findings.sort()
+    return result

@@ -1,0 +1,83 @@
+"""Finding records and the per-module analysis context.
+
+A :class:`Finding` is one violation at one source location.  Its
+:meth:`~Finding.fingerprint` deliberately excludes the line number, so a
+baselined finding keeps matching after unrelated edits move it around --
+only the rule, the file, and the offending source text identify it.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline.
+
+        Two findings share a fingerprint iff they are the same rule, in
+        the same file, on identical (whitespace-normalized) source text.
+        Duplicates are legal; the baseline counts them.
+        """
+        normalized = " ".join(self.snippet.split())
+        payload = f"{self.rule}|{self.path}|{normalized}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        """``path:line:col`` -- the clickable prefix of a report line."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_json_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to analyse one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def snippet(self, node: ast.AST) -> str:
+        """The stripped source line a node starts on (best effort)."""
+        lineno = getattr(node, "lineno", 0)
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Build a Finding anchored at ``node``."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+            snippet=self.snippet(node),
+        )

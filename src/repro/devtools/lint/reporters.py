@@ -1,0 +1,66 @@
+"""Human-readable and machine-readable pfmlint reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.rules import REGISTRY
+
+
+def text_report(
+    new: list[Finding],
+    baselined: list[Finding],
+    files_checked: int,
+    suppressed: int,
+) -> str:
+    """The terminal report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in new:
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    summary = (
+        f"pfmlint: {len(new)} finding(s) in {files_checked} file(s)"
+        f" ({len(baselined)} baselined, {suppressed} suppressed inline)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def json_report(
+    new: list[Finding],
+    baselined: list[Finding],
+    files_checked: int,
+    suppressed: int,
+) -> str:
+    """The JSON document published as a CI artifact."""
+    doc = {
+        "tool": "pfmlint",
+        "summary": {
+            "files_checked": files_checked,
+            "new_findings": len(new),
+            "baselined_findings": len(baselined),
+            "suppressed_inline": suppressed,
+        },
+        "rules": {
+            rule_id: {
+                "title": rule_cls.title,
+                "severity": rule_cls.severity,
+                "doc": rule_cls.doc(),
+            }
+            for rule_id, rule_cls in sorted(REGISTRY.items())
+        },
+        "findings": [f.to_json_dict() for f in new],
+        "baselined": [f.to_json_dict() for f in baselined],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def list_rules_text() -> str:
+    """The ``--list-rules`` catalogue."""
+    lines = []
+    for rule_id, rule_cls in sorted(REGISTRY.items()):
+        lines.append(f"{rule_id}  [{rule_cls.severity}]  {rule_cls.title}")
+        lines.append(f"    {rule_cls.doc()}")
+    return "\n".join(lines)

@@ -25,6 +25,12 @@ the gauge sanitizer by construction.
 All injectors are episodic simulation processes: episodes start after
 exponentially distributed gaps (``mtbf``) and last ``duration`` simulated
 seconds, mirroring the system-level faultload's activation model.
+
+Every proxy and injector requires an **explicit** random generator (or
+seed) -- typically derived from the owning spec's injection seed.  There
+is deliberately no seed-zero fallback: with one, two fleet shards that
+forgot to pass a stream would silently replay the same attack schedule
+(pfmlint rule PFM001).
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import numpy as np
 
 from repro.actions.base import Action, ActionOutcome
 from repro.errors import ActionExecutionError, ConfigurationError, PFMFaultError
+from repro.rng import ensure_rng
 from repro.simulator.engine import Engine
 from repro.simulator.events import Timeout
 
@@ -59,9 +66,11 @@ class FlakyPredictorProxy:
     Everything else delegates to the wrapped predictor.
     """
 
-    def __init__(self, inner, rng: np.random.Generator | None = None) -> None:
+    def __init__(self, inner, rng: np.random.Generator | int) -> None:
         self.inner = inner
-        self.rng = rng or np.random.default_rng(0)
+        # An explicit stream is mandatory: two shards that both fell back
+        # to a seed-zero default would replay identical attack schedules.
+        self.rng = ensure_rng(rng)
         self.fail_mode: str | None = None
         self.fail_probability = 1.0
         self.simulated_latency = 0.0
@@ -90,9 +99,9 @@ class FlakyActionProxy(Action):
     action died before doing its work).
     """
 
-    def __init__(self, inner: Action, rng: np.random.Generator | None = None) -> None:
+    def __init__(self, inner: Action, rng: np.random.Generator | int) -> None:
         self.__dict__["inner"] = inner
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = ensure_rng(rng)
         self.name = inner.name
         self.category = inner.category
         self.cost = inner.cost
@@ -128,10 +137,10 @@ class FlakyActionProxy(Action):
 
 
 def flaky_repertoire(
-    actions: list[Action], rng: np.random.Generator | None = None
+    actions: list[Action], rng: np.random.Generator | int
 ) -> list[FlakyActionProxy]:
     """Wrap a whole repertoire in action-failure proxies (one shared rng)."""
-    rng = rng or np.random.default_rng(0)
+    rng = ensure_rng(rng)
     return [FlakyActionProxy(action, rng) for action in actions]
 
 

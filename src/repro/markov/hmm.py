@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConvergenceError, ModelError
+from repro.rng import ensure_rng
 
 _EPS = 1e-12
 
@@ -51,7 +52,7 @@ class HiddenMarkovModel:
             raise ModelError("need at least one state and one symbol")
         self.n_states = int(n_states)
         self.n_symbols = int(n_symbols)
-        rng = rng or np.random.default_rng(0)
+        rng = ensure_rng(rng, default_seed=0)
         self.initial = np.full(n_states, 1.0 / n_states)
         self.transition = _normalize_rows(rng.random((n_states, n_states)) + 0.5)
         self.emission = _normalize_rows(rng.random((n_states, n_symbols)) + 0.5)

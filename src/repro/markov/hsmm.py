@@ -53,6 +53,7 @@ from scipy.special import logsumexp
 
 from repro.errors import ModelError, NotFittedError
 from repro.markov.distributions import DiscreteDuration, EmpiricalDuration
+from repro.rng import ensure_rng
 
 _EPS = 1e-12
 _LOG_EPS = np.log(_EPS)
@@ -254,7 +255,7 @@ class HiddenSemiMarkovModel:
         self.n_symbols = int(n_symbols)
         self.max_duration = int(max_duration)
         self.strategy = strategy
-        rng = rng or np.random.default_rng(0)
+        rng = ensure_rng(rng, default_seed=0)
         factory = duration_factory or _default_duration_factory
         self._duration_factory = factory
         self.initial = np.full(n_states, 1.0 / n_states)
@@ -609,7 +610,7 @@ class HiddenSemiMarkovModel:
         if n_restarts < 1:
             raise ModelError("n_restarts must be >= 1")
         if n_restarts > 1:
-            rng = restart_rng or np.random.default_rng(0)
+            rng = ensure_rng(restart_rng, default_seed=0)
             if n_jobs > 1:
                 return self._fit_restarts_parallel(
                     sequences, max_iter, tol, pseudocount, n_restarts,
@@ -661,10 +662,12 @@ class HiddenSemiMarkovModel:
         if not observations:
             raise ModelError("need at least one training sequence")
         seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=n_restarts)]
-        fit_kwargs = dict(
-            max_iter=max_iter, tol=tol, pseudocount=pseudocount,
-            algorithm=algorithm,
-        )
+        fit_kwargs = {
+            "max_iter": max_iter,
+            "tol": tol,
+            "pseudocount": pseudocount,
+            "algorithm": algorithm,
+        }
         results: list[tuple[list[float], tuple]] = []
         try:
             payloads = [
@@ -706,7 +709,7 @@ class HiddenSemiMarkovModel:
                 segments = self.viterbi(obs)
                 total_score += self._segmentation_score(obs, segments)
                 init_acc[segments[0].state] += 1.0
-                for prev, cur in zip(segments, segments[1:]):
+                for prev, cur in zip(segments, segments[1:], strict=False):
                     trans_acc[prev.state, cur.state] += 1.0
                 state_of_slot = np.empty(obs.size, dtype=int)
                 for seg in segments:
@@ -919,7 +922,7 @@ class HiddenSemiMarkovModel:
     def _segmentation_score(self, obs: np.ndarray, segments: list[Segment]) -> float:
         log_pi, log_a, log_b, log_d = self._log_params()
         score = log_pi[segments[0].state]
-        for prev, cur in zip(segments, segments[1:]):
+        for prev, cur in zip(segments, segments[1:], strict=False):
             score += log_a[prev.state, cur.state]
         for seg in segments:
             score += log_d[seg.state, seg.duration - 1]

@@ -18,6 +18,7 @@ import scipy.cluster.vq
 
 from repro.errors import ConfigurationError
 from repro.prediction.base import PredictorInfo, SymptomPredictor
+from repro.rng import ensure_rng
 
 
 class MSETPredictor(SymptomPredictor):
@@ -42,7 +43,7 @@ class MSETPredictor(SymptomPredictor):
             raise ConfigurationError("bandwidth must be positive")
         self.n_exemplars = n_exemplars
         self.bandwidth = bandwidth
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = ensure_rng(rng, default_seed=0)
         self._mean: np.ndarray | None = None
         self._std: np.ndarray | None = None
         self.memory_: np.ndarray | None = None

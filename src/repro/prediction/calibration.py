@@ -97,7 +97,7 @@ def expected_calibration_error(
     edges = np.linspace(0.0, 1.0, n_bins + 1)
     total = probabilities.size
     ece = 0.0
-    for lo, hi in zip(edges[:-1], edges[1:]):
+    for lo, hi in zip(edges[:-1], edges[1:], strict=True):
         mask = (probabilities >= lo) & (
             (probabilities < hi) if hi < 1.0 else (probabilities <= hi)
         )

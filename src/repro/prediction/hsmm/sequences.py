@@ -73,7 +73,9 @@ class SequenceEncoder:
         if self._symbol_of is None:
             raise NotFittedError("encoder has not been fitted")
         symbols: list[int] = []
-        for delay, message_id in zip(sequence.delays, sequence.message_ids):
+        for delay, message_id in zip(
+            sequence.delays, sequence.message_ids, strict=True
+        ):
             n_gaps = min(int(delay // self.gap_unit), self.max_gap_symbols)
             symbols.extend([self.gap_symbol] * n_gaps)
             symbols.append(self._symbol_of.get(int(message_id), self.unk_symbol))

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.rng import ensure_rng
 
 
 @dataclass(frozen=True)
@@ -164,7 +165,7 @@ def bootstrap_metric(
         raise ConfigurationError("confidence must be in (0, 1)")
     if n_resamples < 10:
         raise ConfigurationError("need at least 10 resamples")
-    rng = rng or np.random.default_rng(0)
+    rng = ensure_rng(rng, default_seed=0)
     point = float(metric(scores, labels))
     n = scores.size
     values = []

@@ -75,7 +75,7 @@ class OnlineEventScorer:
                 warning=float(score) >= self.predictor.threshold,
                 lead_time=self.lead_time,
             )
-            for now, score in zip(instants, scores)
+            for now, score in zip(instants, scores, strict=True)
         ]
 
     def evaluate_against_failures(

@@ -27,6 +27,7 @@ import scipy.optimize
 
 from repro.errors import ConfigurationError, NotFittedError
 from repro.prediction.ubf.kernels import UBFKernel, kernel_matrix
+from repro.rng import ensure_rng
 
 
 class UBFNetwork:
@@ -69,7 +70,7 @@ class UBFNetwork:
         self.mixture_init = mixture_init
         self.optimize_mixtures = optimize_mixtures
         self.max_opt_iter = max_opt_iter
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = ensure_rng(rng, default_seed=0)
 
         self._fitted = False
         self._x_mean: np.ndarray | None = None

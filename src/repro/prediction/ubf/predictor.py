@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError
 from repro.prediction.base import PredictorInfo, SymptomPredictor
 from repro.prediction.ubf.network import UBFNetwork
 from repro.prediction.ubf.pwa import ProbabilisticWrapper, SelectionResult
+from repro.rng import ensure_rng
 
 _EPS = 1e-6
 
@@ -59,7 +60,7 @@ class UBFPredictor(SymptomPredictor):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = ensure_rng(rng, default_seed=0)
         self.select_variables = select_variables
         self.wrapper = wrapper or ProbabilisticWrapper(rng=rng)
         self.network = network or UBFNetwork(n_kernels=n_kernels, rng=rng)

@@ -25,6 +25,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.rng import ensure_rng
 
 #: A fitness function maps (X restricted to a subset, y) to a score
 #: (higher is better).
@@ -117,7 +118,7 @@ class ProbabilisticWrapper:
         self.n_rounds = n_rounds
         self.samples_per_round = samples_per_round
         self.learning_rate = learning_rate
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = ensure_rng(rng, default_seed=0)
 
     def select(self, x: np.ndarray, y: np.ndarray) -> SelectionResult:
         x = np.atleast_2d(np.asarray(x, dtype=float))
@@ -160,7 +161,11 @@ class ProbabilisticWrapper:
             if finite.sum() < 2:
                 continue
             median = np.median(fits_arr[finite])
-            good = [m for m, f in zip(subsets, fits) if np.isfinite(f) and f >= median]
+            good = [
+                m
+                for m, f in zip(subsets, fits, strict=True)
+                if np.isfinite(f) and f >= median
+            ]
             if not good:
                 continue
             target = np.mean(np.vstack(good), axis=0)

@@ -91,7 +91,7 @@ class PFMModel:
     def steady_state(self) -> dict[str, float]:
         """Steady-state probability of each named state."""
         pi = self._ctmc.steady_state()
-        return dict(zip(STATE_NAMES, pi))
+        return dict(zip(STATE_NAMES, pi, strict=True))
 
     def availability(self) -> float:
         """Steady-state availability: probability mass in the up states (Eq. 7)."""

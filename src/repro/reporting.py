@@ -41,7 +41,7 @@ def ascii_chart(
     if hi <= lo:
         hi = lo + 1.0
     grid = [[" "] * width for _ in range(height)]
-    for k, (name, values) in enumerate(arrays.items()):
+    for k, (_name, values) in enumerate(arrays.items()):
         marker = markers[k % len(markers)]
         for col in range(width):
             idx = int(round(col * (n - 1) / (width - 1)))
@@ -71,7 +71,7 @@ def ascii_histogram(
     counts, edges = np.histogram(values, bins=bins)
     peak = counts.max() if counts.max() > 0 else 1
     lines = []
-    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:], strict=True):
         bar = "#" * int(round(count / peak * width))
         lines.append(f"[{lo:10.3g}, {hi:10.3g}) {count:6d} {bar}")
     return "\n".join(lines)
@@ -112,7 +112,10 @@ def table(
     sep = " " * pad
 
     def fmt(cells: Sequence[str]) -> str:
-        return sep.join(cell.ljust(width) for cell, width in zip(cells, widths))
+        return sep.join(
+            cell.ljust(width)
+            for cell, width in zip(cells, widths, strict=True)
+        )
 
     lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in text_rows)

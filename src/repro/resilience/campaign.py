@@ -568,15 +568,15 @@ def campaign_specs(config: CampaignConfig | None = None) -> list[RunSpec]:
         options["dataset"] = config.dataset
     if config.telemetry_dir is not None:
         options["telemetry_dir"] = config.telemetry_dir
-    common = dict(
-        seed=config.seed if config.seed is not None else config.train_seed,
-        train_seed=config.train_seed,
-        eval_seed=config.eval_seed,
-        injection_seed=config.injection_seed,
-        horizon=config.horizon,
-        variables=tuple(config.variables) if config.variables else None,
-        telemetry=config.telemetry,
-    )
+    common = {
+        "seed": config.seed if config.seed is not None else config.train_seed,
+        "train_seed": config.train_seed,
+        "eval_seed": config.eval_seed,
+        "injection_seed": config.injection_seed,
+        "horizon": config.horizon,
+        "variables": tuple(config.variables) if config.variables else None,
+        "telemetry": config.telemetry,
+    }
     specs = [
         RunSpec(scenario=NO_PFM, options=options, **common),
         RunSpec(scenario=HEALTHY_PFM, options=options, **common),
@@ -709,7 +709,7 @@ def run_campaign(
     )
     attacked = [
         _scenario_result(scenario, fleet.result_for(spec))
-        for scenario, spec in zip(config.scenarios, specs[2:])
+        for scenario, spec in zip(config.scenarios, specs[2:], strict=True)
     ]
     return CampaignReport(
         baseline_availability=baseline.availability,

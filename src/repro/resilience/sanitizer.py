@@ -160,7 +160,9 @@ class GaugeSanitizer:
         state.last_value = raw
         state.consecutive_bad = 0
 
-        if raw != 0.0 and state.repeats >= self.stuck_after:
+        # Exact-zero sentinel: a gauge resting at literal 0.0 is a
+        # legitimate idle reading, not a stuck value.
+        if raw != 0.0 and state.repeats >= self.stuck_after:  # pfmlint: disable=PFM003
             # The value itself is the best estimate we have; flag, don't
             # substitute -- a frozen gauge's last value *is* last-known-good.
             self._count(variable, "stuck")
@@ -202,7 +204,8 @@ class GaugeSanitizer:
                 stale.append(variable)
             elif (
                 state.last_value is not None
-                and state.last_value != 0.0
+                # Same exact-zero sentinel as the stuck check above.
+                and state.last_value != 0.0  # pfmlint: disable=PFM003
                 and state.repeats >= self.stuck_after
             ):
                 stale.append(variable)

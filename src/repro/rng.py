@@ -1,0 +1,59 @@
+"""The one sanctioned place RNG defaulting happens.
+
+Every stochastic component takes an ``rng``; scattering
+``rng or np.random.default_rng(0)`` fallbacks through library code is
+how two fleet shards end up silently sharing one stream (pfmlint rule
+PFM001).  :func:`ensure_rng` centralizes the policy:
+
+- a :class:`numpy.random.Generator` passes through untouched,
+- an ``int`` / :class:`~numpy.random.SeedSequence` seeds a fresh
+  generator,
+- ``None`` either raises (components whose stream identity matters,
+  e.g. fault injectors) or, where a module documents a reproducible
+  default, seeds ``default_seed``.
+
+Simulation components should prefer a named stream from
+:class:`repro.simulator.random_streams.RandomStreams`; experiment specs
+derive seeds from the master seed (:meth:`repro.fleet.RunSpec.seeds`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def ensure_rng(
+    rng: np.random.Generator | np.random.SeedSequence | int | None = None,
+    *,
+    default_seed: int | None = None,
+) -> np.random.Generator:
+    """Normalize ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        A generator (returned as-is), a seed (``int`` /
+        ``SeedSequence``), or ``None``.
+    default_seed:
+        Seed used when ``rng`` is ``None``.  Omit it to make the
+        generator mandatory: ``None`` then raises
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        handing every caller the same stream.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None:
+        if default_seed is None:
+            raise ConfigurationError(
+                "an explicit rng (or seed) is required here; implicit "
+                "defaults would share one stream across callers"
+            )
+        return np.random.default_rng(default_seed)
+    if isinstance(rng, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(rng)
+    raise ConfigurationError(
+        f"cannot build a Generator from {type(rng).__name__}: pass a "
+        "numpy Generator, an integer seed, or a SeedSequence"
+    )

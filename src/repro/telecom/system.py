@@ -253,7 +253,9 @@ class SCPSystem:
             weights = weights / weights.sum()
             request_split = self._rt_rng.multinomial(admitted, weights)
             prob_acc = 0.0
-            for component, n_requests, weight in zip(up, request_split, weights):
+            for component, n_requests, weight in zip(
+                up, request_split, weights, strict=True
+            ):
                 stretch = component.stretch_factor(demand * weight, dt)
                 mean_rt = (
                     frontend_time + component.service_time * stretch + db_time

@@ -47,7 +47,7 @@ def export_traces(dataset, directory: str | Path) -> Path:
         writer.writerow(["time", "variable", "value"])
         for variable in dataset.store.variables:
             series = dataset.store.series(variable)
-            for t, v in zip(series.times, series.values):
+            for t, v in zip(series.times, series.values, strict=True):
                 writer.writerow([f"{t:.3f}", variable, f"{v:.6g}"])
 
     with open(directory / ERRORS_FILE, "w", newline="") as handle:

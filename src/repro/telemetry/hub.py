@@ -183,7 +183,9 @@ class TelemetryHub:
             span_id=self._next_span_id,
             parent_id=parent.span_id if parent else None,
             sim_start=self.clock(),
-            wall_start=time.perf_counter(),
+            # pfmlint suppression: this is the *wall* half of the span's
+            # dual sim/wall accounting; results never depend on it.
+            wall_start=time.perf_counter(),  # pfmlint: disable=PFM002
             attributes=dict(attributes),
         )
         self._next_span_id += 1
@@ -192,7 +194,7 @@ class TelemetryHub:
 
     def _close_span(self, span: Span) -> None:
         span.sim_end = self.clock()
-        span.wall_end = time.perf_counter()
+        span.wall_end = time.perf_counter()  # pfmlint: disable=PFM002 -- wall half
         # Close any dangling children first (a step that escaped via an
         # exception still yields well-formed nesting).
         while self._span_stack and self._span_stack[-1] is not span:

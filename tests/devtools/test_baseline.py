@@ -1,0 +1,68 @@
+"""Baseline round-trip and count-consuming semantics."""
+
+import json
+
+import pytest
+
+from repro.devtools.lint.baseline import (
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.devtools.lint.findings import Finding
+
+
+def make_finding(snippet="x != 0.0", path="src/repro/m.py", line=1):
+    return Finding(
+        path=path, line=line, col=1,
+        rule="PFM003", message="msg", snippet=snippet,
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_load_recovers_fingerprints(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        findings = [make_finding(), make_finding(snippet="y != 1.0")]
+        assert write_baseline(path, findings) == 2
+        baseline = load_baseline(path)
+        assert sum(baseline.values()) == 2
+        assert baseline[findings[0].fingerprint()] == 1
+        # The document keeps human-reviewable context per entry.
+        doc = json.loads((tmp_path / "baseline.json").read_text())
+        assert doc["tool"] == "pfmlint"
+        assert {e["rule"] for e in doc["findings"]} == {"PFM003"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == {}
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(str(path))
+
+
+class TestSplit:
+    def test_baselined_findings_do_not_gate(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        finding = make_finding()
+        write_baseline(path, [finding])
+        # Same defect on a different line still matches the baseline.
+        new, baselined = split_baselined(
+            [make_finding(line=40)], load_baseline(path)
+        )
+        assert new == []
+        assert len(baselined) == 1
+
+    def test_second_copy_of_baselined_defect_is_new(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [make_finding()])
+        duplicates = [make_finding(line=1), make_finding(line=9)]
+        new, baselined = split_baselined(duplicates, load_baseline(path))
+        assert len(baselined) == 1
+        assert len(new) == 1
+
+    def test_unknown_finding_is_new(self):
+        new, baselined = split_baselined([make_finding()], {})
+        assert len(new) == 1
+        assert baselined == []

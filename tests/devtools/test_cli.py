@@ -1,0 +1,99 @@
+"""pfmlint CLI exit codes, report formats, and the repro.cli alias."""
+
+import json
+
+from repro import cli as repro_cli
+from repro.devtools.lint.cli import main as lint_main
+
+
+def write_module(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = write_module(tmp_path, "clean.py", "x = 1\n")
+        assert lint_main([clean, "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_new_finding_exits_one(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        assert lint_main([dirty, "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "PFM003" in out and "dirty.py" in out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        import pytest
+
+        clean = write_module(tmp_path, "clean.py", "x = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main([clean, "--select", "PFM999"])
+        assert excinfo.value.code == 2
+
+
+class TestBaselineFlow:
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        baseline = str(tmp_path / "baseline.json")
+        assert lint_main([dirty, "--baseline", baseline, "--write-baseline"]) == 0
+        # The recorded finding no longer gates; a fresh one does.
+        assert lint_main([dirty, "--baseline", baseline]) == 0
+        dirtier = write_module(
+            tmp_path, "dirty.py", "bad = x != 0.5\nworse = y != 1.5\n"
+        )
+        assert lint_main([dirtier, "--baseline", baseline]) == 1
+
+    def test_no_baseline_ignores_file(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        baseline = str(tmp_path / "baseline.json")
+        lint_main([dirty, "--baseline", baseline, "--write-baseline"])
+        capsys.readouterr()
+        assert lint_main([dirty, "--baseline", baseline, "--no-baseline"]) == 1
+
+
+class TestReports:
+    def test_json_report_shape(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        assert lint_main([dirty, "--no-baseline", "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "pfmlint"
+        assert doc["summary"]["new_findings"] == 1
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "PFM003"
+        assert finding["fingerprint"]
+
+    def test_output_file(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        out = tmp_path / "report.json"
+        lint_main([dirty, "--no-baseline", "--output", str(out)])
+        doc = json.loads(out.read_text())
+        assert doc["summary"]["new_findings"] == 1
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        dirty = write_module(
+            tmp_path, "dirty.py", "bad = x != 0.5\n\ndef f(log=[]):\n    pass\n"
+        )
+        assert lint_main([dirty, "--no-baseline", "--select", "PFM005"]) == 1
+        out = capsys.readouterr().out
+        assert "PFM005" in out and "PFM003" not in out
+
+    def test_list_rules_covers_registry(self, capsys):
+        from repro.devtools.lint.rules import REGISTRY
+
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in REGISTRY:
+            assert rule_id in out
+
+
+class TestReproCliAlias:
+    def test_lint_subcommand_delegates(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        assert repro_cli.main(["lint", dirty, "--no-baseline"]) == 1
+        assert "PFM003" in capsys.readouterr().out
+
+    def test_lint_subcommand_passes_options_after_separator(self, capsys):
+        assert repro_cli.main(["lint", "--", "--list-rules"]) == 0
+        assert "PFM001" in capsys.readouterr().out

@@ -1,0 +1,43 @@
+"""Meta-tests: the rule set stays documented as it grows."""
+
+from pathlib import Path
+
+from repro.devtools.lint.rules import REGISTRY, Rule, all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC = REPO_ROOT / "docs" / "static-analysis.md"
+
+
+class TestRuleHygiene:
+    def test_registry_ids_are_well_formed_and_sorted(self):
+        for rule_id, cls in REGISTRY.items():
+            assert rule_id == cls.id
+            assert rule_id.startswith("PFM") and rule_id[3:].isdigit()
+        ids = [rule.id for rule in all_rules()]
+        assert ids == sorted(ids)
+
+    def test_every_rule_has_docstring_title_and_severity(self):
+        for cls in REGISTRY.values():
+            assert cls.__doc__ and cls.__doc__.strip(), cls.id
+            assert cls.doc(), cls.id
+            assert cls.title, cls.id
+            assert cls.severity in ("error", "warning"), cls.id
+
+    def test_check_is_overridden(self):
+        for cls in REGISTRY.values():
+            assert cls.check is not Rule.check, cls.id
+
+
+class TestRuleDocs:
+    def test_docs_page_exists(self):
+        assert DOC.exists(), "docs/static-analysis.md is the rule catalogue"
+
+    def test_every_rule_is_documented(self):
+        text = DOC.read_text(encoding="utf-8")
+        for rule_id in REGISTRY:
+            assert rule_id in text, f"{rule_id} missing from {DOC.name}"
+
+    def test_suppression_syntax_documented(self):
+        text = DOC.read_text(encoding="utf-8")
+        assert "pfmlint: disable=" in text
+        assert "baseline" in text.lower()

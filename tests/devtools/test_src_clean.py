@@ -1,0 +1,25 @@
+"""Regression gate: the shipped src/ tree stays pfmlint-clean.
+
+Runs the full rule set over ``src`` in-process (no subprocess, no
+installed entry point needed) and asserts nothing new slipped past the
+committed baseline.  This is the same gate CI runs via
+``python -m repro.devtools.lint src``.
+"""
+
+from pathlib import Path
+
+from repro.devtools.lint.baseline import DEFAULT_BASELINE, load_baseline, split_baselined
+from repro.devtools.lint.engine import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_has_no_unbaselined_findings():
+    result = lint_paths([str(REPO_ROOT / "src")])
+    assert result.files_checked > 100  # the whole tree, not a subset
+    baseline = load_baseline(str(REPO_ROOT / DEFAULT_BASELINE))
+    new, _ = split_baselined(result.findings, baseline)
+    details = "\n".join(
+        f"{f.location()} {f.rule} {f.message}" for f in new
+    )
+    assert not new, f"new pfmlint findings in src/:\n{details}"

@@ -36,7 +36,7 @@ class TestGeneration:
             100_000.0, SPECS, ["c1"], rng, min_gap=500.0
         )
         activations = list(load)
-        for prev, cur in zip(activations, activations[1:]):
+        for prev, cur in zip(activations, activations[1:], strict=False):
             assert cur.start - prev.end >= 500.0
 
     def test_reproducible(self):

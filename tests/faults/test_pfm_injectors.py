@@ -55,20 +55,20 @@ class StubSystem:
 
 class TestFlakyPredictorProxy:
     def test_transparent_without_fault_mode(self):
-        proxy = FlakyPredictorProxy(StubPredictor())
+        proxy = FlakyPredictorProxy(StubPredictor(), np.random.default_rng(0))
         assert proxy.score_samples(np.array([[0.7, 0.0]]))[0] == 0.7
         assert proxy.threshold == 0.5
         assert proxy.faults_injected == 0
 
     def test_exception_mode(self):
-        proxy = FlakyPredictorProxy(StubPredictor())
+        proxy = FlakyPredictorProxy(StubPredictor(), np.random.default_rng(0))
         proxy.fail_mode = "exception"
         with pytest.raises(PFMFaultError):
             proxy.score_samples(np.array([[0.7, 0.0]]))
         assert proxy.faults_injected == 1
 
     def test_nan_mode(self):
-        proxy = FlakyPredictorProxy(StubPredictor())
+        proxy = FlakyPredictorProxy(StubPredictor(), np.random.default_rng(0))
         proxy.fail_mode = "nan"
         scores = proxy.score_samples(np.array([[0.7, 0.0]]))
         assert np.isnan(scores).all()
@@ -83,9 +83,23 @@ class TestFlakyPredictorProxy:
         ]
         assert any(outcomes) and not all(outcomes)
 
+    def test_requires_explicit_rng(self):
+        # No seed-zero fallback: two shards that both forgot the rng
+        # must not silently replay the same attack stream.
+        with pytest.raises(ConfigurationError):
+            FlakyPredictorProxy(StubPredictor(), None)
+        with pytest.raises(ConfigurationError):
+            FlakyActionProxy(RecordingAction(), None)
+        with pytest.raises(ConfigurationError):
+            flaky_repertoire([RecordingAction()], None)
+
+    def test_accepts_plain_seed(self):
+        proxy = FlakyPredictorProxy(StubPredictor(), 7)
+        assert isinstance(proxy.rng, np.random.Generator)
+
     def test_delegates_unknown_attributes(self):
         inner = StubPredictor()
-        proxy = FlakyPredictorProxy(inner)
+        proxy = FlakyPredictorProxy(inner, np.random.default_rng(0))
         proxy.set_threshold(0.9)
         assert inner.threshold == 0.9
 
@@ -93,28 +107,28 @@ class TestFlakyPredictorProxy:
 class TestFlakyActionProxy:
     def test_mirrors_selection_attributes(self):
         inner = RecordingAction()
-        proxy = FlakyActionProxy(inner)
+        proxy = FlakyActionProxy(inner, np.random.default_rng(0))
         assert proxy.name == "recording"
         assert proxy.cost == 1.0
         assert proxy.success_probability == 0.9
         assert proxy.inner is inner
 
     def test_applicable_delegates(self):
-        proxy = FlakyActionProxy(RecordingAction())
+        proxy = FlakyActionProxy(RecordingAction(), np.random.default_rng(0))
         system = StubSystem()
         assert proxy.applicable(system, "ok")
         assert not proxy.applicable(system, "bad")
 
     def test_transparent_execution(self):
         inner = RecordingAction()
-        proxy = FlakyActionProxy(inner)
+        proxy = FlakyActionProxy(inner, np.random.default_rng(0))
         outcome = proxy.execute(StubSystem(), "ok")
         assert outcome.success
         assert inner.executed == 1
 
     def test_report_failure_skips_inner_effect(self):
         inner = RecordingAction()
-        proxy = FlakyActionProxy(inner)
+        proxy = FlakyActionProxy(inner, np.random.default_rng(0))
         proxy.fail_mode = "report-failure"
         outcome = proxy.execute(StubSystem(), "ok")
         assert not outcome.success
@@ -124,14 +138,14 @@ class TestFlakyActionProxy:
 
     def test_exception_mode(self):
         inner = RecordingAction()
-        proxy = FlakyActionProxy(inner)
+        proxy = FlakyActionProxy(inner, np.random.default_rng(0))
         proxy.fail_mode = "exception"
         with pytest.raises(ActionExecutionError):
             proxy.execute(StubSystem(), "ok")
         assert inner.executed == 0
 
     def test_flaky_repertoire_wraps_every_action(self):
-        proxies = flaky_repertoire([RecordingAction(), RecordingAction()])
+        proxies = flaky_repertoire([RecordingAction(), RecordingAction()], np.random.default_rng(0))
         assert len(proxies) == 2
         assert all(isinstance(p, FlakyActionProxy) for p in proxies)
 
@@ -206,7 +220,7 @@ class TestEpisodicInjectors:
         assert len(values) == 2
 
     def test_predictor_fault_injector_toggles_proxy(self):
-        proxy = FlakyPredictorProxy(StubPredictor())
+        proxy = FlakyPredictorProxy(StubPredictor(), np.random.default_rng(0))
         injector = PredictorFaultInjector(
             proxy, np.random.default_rng(0), mode="exception", mtbf=100.0, duration=50.0
         )
@@ -216,7 +230,7 @@ class TestEpisodicInjectors:
         assert proxy.fail_mode is None
 
     def test_latency_injector_toggles_latency(self):
-        proxy = FlakyPredictorProxy(StubPredictor())
+        proxy = FlakyPredictorProxy(StubPredictor(), np.random.default_rng(0))
         injector = PredictorLatencyInjector(
             proxy, np.random.default_rng(0), latency=600.0
         )
@@ -226,7 +240,7 @@ class TestEpisodicInjectors:
         assert proxy.simulated_latency == 0.0
 
     def test_action_failure_injector_toggles_all_proxies(self):
-        proxies = flaky_repertoire([RecordingAction(), RecordingAction()])
+        proxies = flaky_repertoire([RecordingAction(), RecordingAction()], np.random.default_rng(0))
         injector = ActionFailureInjector(proxies, np.random.default_rng(0))
         injector._activate()
         assert all(p.fail_mode == "report-failure" for p in proxies)
@@ -234,7 +248,7 @@ class TestEpisodicInjectors:
         assert all(p.fail_mode is None for p in proxies)
 
     def test_stop_mid_episode_deactivates(self):
-        proxy = FlakyPredictorProxy(StubPredictor())
+        proxy = FlakyPredictorProxy(StubPredictor(), np.random.default_rng(0))
         injector = PredictorFaultInjector(
             proxy, np.random.default_rng(0), mtbf=10.0, duration=1e9
         )
@@ -255,18 +269,20 @@ class TestEpisodicInjectors:
         with pytest.raises(ConfigurationError):
             ObservationCorruptionInjector(FakeController(), rng, magnitude=1.0)
         with pytest.raises(ConfigurationError):
-            PredictorFaultInjector(FlakyPredictorProxy(StubPredictor()), rng, mode="x")
+            PredictorFaultInjector(
+                FlakyPredictorProxy(StubPredictor(), rng), rng, mode="x"
+            )
         with pytest.raises(ConfigurationError):
             PredictorLatencyInjector(
-                FlakyPredictorProxy(StubPredictor()), rng, latency=0.0
+                FlakyPredictorProxy(StubPredictor(), rng), rng, latency=0.0
             )
         with pytest.raises(ConfigurationError):
             ActionFailureInjector([], rng)
         with pytest.raises(ConfigurationError):
             ActionFailureInjector(
-                flaky_repertoire([RecordingAction()]), rng, mode="bogus"
+                flaky_repertoire([RecordingAction()], rng), rng, mode="bogus"
             )
         with pytest.raises(ConfigurationError):
             PredictorFaultInjector(
-                FlakyPredictorProxy(StubPredictor()), rng, mtbf=0.0
+                FlakyPredictorProxy(StubPredictor(), rng), rng, mtbf=0.0
             )

@@ -130,7 +130,7 @@ class TestGrid:
 
 class TestRunResult:
     def _result(self, **kw):
-        defaults = dict(spec=RunSpec(seed=1), availability=0.99, failures=3)
+        defaults = {"spec": RunSpec(seed=1), "availability": 0.99, "failures": 3}
         defaults.update(kw)
         return RunResult(**defaults)
 

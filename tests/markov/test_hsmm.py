@@ -86,7 +86,7 @@ class TestViterbi:
         segments = model.viterbi(obs)
         assert segments[0].start == 0
         assert segments[-1].end == len(obs) - 1
-        for prev, cur in zip(segments, segments[1:]):
+        for prev, cur in zip(segments, segments[1:], strict=False):
             assert cur.start == prev.end + 1
 
     def test_segmentation_matches_pattern(self):

@@ -109,7 +109,7 @@ class TestTrainingEquivalence:
         np.testing.assert_allclose(model.initial, ref.initial, atol=1e-8)
         np.testing.assert_allclose(model.transition, ref.transition, atol=1e-8)
         np.testing.assert_allclose(model.emission, ref.emission, atol=1e-8)
-        for dist, ref_dist in zip(model.durations, ref.durations):
+        for dist, ref_dist in zip(model.durations, ref.durations, strict=True):
             np.testing.assert_allclose(dist.pmf(), ref_dist.pmf(), atol=1e-8)
 
     def test_hard_em_matches_reference(self):
@@ -242,7 +242,7 @@ class TestSampleDrawAccounting:
             states, observations = model.sample(length, rng)
             assert len(observations) == length
             runs = 1 + sum(
-                1 for a, b in zip(states, states[1:]) if a != b
+                1 for a, b in zip(states, states[1:], strict=False) if a != b
             )
             # 1 initial draw + one duration draw per segment + one emission
             # draw per slot + one transition draw per segment *boundary*.

@@ -34,7 +34,7 @@ class TestAdaptation:
             min_interval=5.0, target_cv=0.05
         )
         rng = np.random.default_rng(0)
-        for i, t in enumerate(range(0, 600, 30)):
+        for t in range(0, 600, 30):
             store.record(float(t), "x", 10.0 + 8.0 * rng.standard_normal())
         interval = monitor.adapt(600.0)
         assert interval < 60.0

@@ -33,7 +33,8 @@ def feed(adaptive, values, targets=None):
     targets = np.asarray(targets, dtype=float)
     targets[::7] = 1.0
     return [
-        adaptive.observe(np.array([v]), t) for v, t in zip(values, targets)
+        adaptive.observe(np.array([v]), t)
+        for v, t in zip(values, targets, strict=True)
     ]
 
 

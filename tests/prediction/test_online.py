@@ -88,7 +88,7 @@ class TestScoreSeriesBatching:
         scorer.predictor.set_threshold(5.0)
         times = np.arange(0.0, 1000.0, 50.0)
         series = scorer.score_series(log, times)
-        for prediction, t in zip(series, times):
+        for prediction, t in zip(series, times, strict=True):
             single = scorer.score_at(log, float(t))
             assert prediction.time == single.time
             assert prediction.score == single.score

@@ -96,5 +96,5 @@ class TestSLAProperties:
         for t in sorted(times):
             checker.record_batch(t, 1, 0)
         checker.flush(max(times) + 200.0)
-        for prev, cur in zip(checker.windows, checker.windows[1:]):
+        for prev, cur in zip(checker.windows, checker.windows[1:], strict=False):
             assert cur.start == prev.end

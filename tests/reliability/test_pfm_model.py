@@ -81,7 +81,7 @@ class TestReliability:
     def test_reliability_decreasing_from_one(self, model):
         assert model.reliability(0.0) == pytest.approx(1.0)
         values = [model.reliability(t) for t in [0.0, 1_000.0, 10_000.0, 50_000.0]]
-        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert all(a >= b for a, b in zip(values, values[1:], strict=False))
 
     def test_mttf_effective_exceeds_unprotected(self, model):
         """PFM defuses some failure-prone situations, so the mean time to

@@ -7,13 +7,13 @@ from repro.telecom import Component, Tier
 
 
 def make_component(**kwargs):
-    defaults = dict(
-        name="c1",
-        tier=Tier.SERVICE_LOGIC,
-        capacity=2,
-        service_time=0.02,
-        memory_mb=4096.0,
-    )
+    defaults = {
+        "name": "c1",
+        "tier": Tier.SERVICE_LOGIC,
+        "capacity": 2,
+        "service_time": 0.02,
+        "memory_mb": 4096.0,
+    }
     defaults.update(kwargs)
     return Component(**defaults)
 

@@ -247,7 +247,7 @@ class TestHSMMProfiling:
 
         def seqs(n, origin=0.0):
             out = []
-            for i in range(n):
+            for _ in range(n):
                 times = sorted(rng.uniform(0, 50, size=6))
                 ids = [int(x) for x in rng.integers(0, 3, size=6)]
                 out.append(

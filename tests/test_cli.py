@@ -14,7 +14,7 @@ class TestParser:
         )
         assert set(subparsers.choices) == {
             "model", "curves", "case-study", "closed-loop", "fleet",
-            "taxonomy", "policies", "campaign", "trace",
+            "taxonomy", "policies", "campaign", "trace", "lint",
         }
 
     def test_requires_command(self):
