@@ -1,30 +1,41 @@
 """Bench: sharded fleet — parallel == serial, and how much faster.
 
 Runs one closed-loop grid twice — once on the serial backend, once
-sharded across a process pool — and records both wall times plus the
-speedup in ``BENCH_fleet.json`` next to this file.
+sharded across a process pool with a shared trained-model artifact store
+— and records both wall times plus the speedup in ``BENCH_fleet.json``
+next to this file.
 
 Two invariants are enforced:
 
 - **bit-identical aggregates**: the canonical aggregate JSON document of
   the parallel run equals the serial run byte for byte (the fleet's core
-  guarantee: sharding changes wall-clock time, never results);
+  guarantee: sharding changes wall-clock time, never results).  This is
+  asserted unconditionally, on any hardware.
 - **the pool actually helps**: with effective parallelism
   ``p = min(workers, cpu_count)``, the parallel run must beat serial by
   ``min(2.0, 0.6 * p)`` — i.e. the full bench (4 workers on >= 4 cores)
-  must clear 2x, a 2-worker smoke must clear 1.2x, and on single-core
-  runners the speedup is recorded but not asserted, since the pool
-  cannot beat the serial loop without hardware to run on.
+  must clear 2x, a 2-worker smoke must clear 1.2x.  The assertion is
+  gated on ``p >= 2``: a 1-CPU runner cannot run two workers at once, so
+  its "speedup" is recorded for the report (with ``cpu_count`` and
+  ``speedup_asserted: false`` making the gate auditable) but proves
+  nothing either way.
+
+Each backend gets its own fresh artifact store, so both pay one pre-warm
+training pass and the comparison stays symmetric: serial = train once +
+N evaluations in sequence; parallel = train once + N evaluations fanned
+over the pool, with workers *loading* the shared artifact instead of
+re-training per process (the bug that made the pre-artifact fleet slower
+than serial).
 
 The grid pins ``train_seed`` and sweeps the master seed, so every shard
 replays its own evaluation faultload against one shared training
 configuration — the multi-seed design :func:`replicate_closed_loop`
-used to run serially, now sharded (and the per-process training cache
-means the serial backend still trains exactly once).
+used to run serially, now sharded.
 
 Shard and worker counts are env-tunable so the CI smoke job can run a
-small grid: ``FLEET_BENCH_SHARDS`` (default 16) and
-``FLEET_BENCH_WORKERS`` (default 4).
+small grid: ``FLEET_BENCH_SHARDS`` (default 16), ``FLEET_BENCH_WORKERS``
+(default 4), and ``FLEET_BENCH_ARTIFACTS=0`` to benchmark the legacy
+train-per-worker behavior for comparison.
 """
 
 import json
@@ -40,6 +51,7 @@ ARTIFACT = Path(__file__).with_name("BENCH_fleet.json")
 
 SHARDS = int(os.environ.get("FLEET_BENCH_SHARDS", "16"))
 WORKERS = int(os.environ.get("FLEET_BENCH_WORKERS", "4"))
+USE_ARTIFACT_STORE = os.environ.get("FLEET_BENCH_ARTIFACTS", "1") != "0"
 HORIZON = 0.4 * 86_400.0
 BASE_SEED = 21
 TRAIN_SEED = 11
@@ -51,7 +63,7 @@ PARALLEL_EFFICIENCY = 0.6
 
 
 @pytest.mark.slow
-def test_bench_fleet_parallel_equals_serial():
+def test_bench_fleet_parallel_equals_serial(tmp_path):
     specs = grid(
         ["closed-loop"],
         seeds=range(BASE_SEED, BASE_SEED + SHARDS),
@@ -60,11 +72,22 @@ def test_bench_fleet_parallel_equals_serial():
         train_seed=TRAIN_SEED,
     )
 
-    # Serial first; then drop the in-process training cache so the serial
-    # run cannot subsidize the parallel one's wall time.
-    serial = run_fleet(specs, backend="serial")
+    # Separate stores per backend (and a cleared in-process cache in
+    # between), so the serial run cannot subsidize the parallel one's
+    # wall time through either cache layer.
+    serial_store = str(tmp_path / "artifacts-serial") if USE_ARTIFACT_STORE else None
+    process_store = (
+        str(tmp_path / "artifacts-process") if USE_ARTIFACT_STORE else None
+    )
     clear_training_cache()
-    parallel = run_fleet(specs, backend="process", workers=WORKERS)
+    serial = run_fleet(specs, backend="serial", artifact_store=serial_store)
+    clear_training_cache()
+    parallel = run_fleet(
+        specs,
+        backend="process",
+        workers=WORKERS,
+        artifact_store=process_store,
+    )
 
     serial_doc = serial.aggregate_json()
     parallel_doc = parallel.aggregate_json()
@@ -74,6 +97,11 @@ def test_bench_fleet_parallel_equals_serial():
     parallel_wall = parallel.timing["wall_seconds"]
     speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
     cores = os.cpu_count() or 1
+    parallelism = min(cores, WORKERS)
+    # The speedup assertion needs hardware that can actually run >= 2
+    # workers at once; on single-core runners we only record the numbers.
+    speedup_asserted = parallelism >= 2
+    required = min(MIN_SPEEDUP, PARALLEL_EFFICIENCY * parallelism)
 
     record = {
         "config": {
@@ -83,10 +111,17 @@ def test_bench_fleet_parallel_equals_serial():
             "base_seed": BASE_SEED,
             "train_seed": TRAIN_SEED,
             "cpu_count": cores,
+            "effective_parallelism": parallelism,
+            "artifact_store": USE_ARTIFACT_STORE,
+            "chunks": parallel.timing["chunks"],
+            "chunk_size": parallel.timing["chunk_size"],
         },
         "serial_wall_seconds": serial_wall,
         "parallel_wall_seconds": parallel_wall,
         "speedup": speedup,
+        "speedup_asserted": speedup_asserted,
+        "required_speedup": required if speedup_asserted else None,
+        "prewarm": parallel.timing["prewarm"],
         "aggregates_identical": serial_doc == parallel_doc,
         "availability_mean": serial.scenario("closed-loop").to_json_dict()[
             "availability"
@@ -95,15 +130,14 @@ def test_bench_fleet_parallel_equals_serial():
     ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
 
     print("\n=== fleet serial vs process ===")
-    print(f"shards={SHARDS} workers={WORKERS} cores={cores}")
+    print(
+        f"shards={SHARDS} workers={WORKERS} cores={cores} "
+        f"artifact_store={USE_ARTIFACT_STORE}"
+    )
     print(f"serial:   {serial_wall:.1f}s")
     print(f"parallel: {parallel_wall:.1f}s  (speedup {speedup:.2f}x)")
 
-    # The speedup assertion needs hardware that can actually run >= 2
-    # workers at once; on single-core runners we only record the numbers.
-    parallelism = min(cores, WORKERS)
-    if parallelism >= 2:
-        required = min(MIN_SPEEDUP, PARALLEL_EFFICIENCY * parallelism)
+    if speedup_asserted:
         assert speedup >= required, (
             f"process pool speedup {speedup:.2f}x < required {required:.2f}x "
             f"({WORKERS} workers on {cores} cores)"

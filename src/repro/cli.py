@@ -164,6 +164,8 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
         workers=args.workers,
         ledger_path=args.ledger,
         progress=progress,
+        artifact_store=args.artifact_store,
+        chunk_size=args.chunk_size,
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -203,6 +205,7 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
         backend=args.backend,
         workers=args.workers,
         ledger_path=args.ledger,
+        artifact_store=args.artifact_store,
     )
     if args.json:
         print(report.to_json())
@@ -357,6 +360,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL checkpoint; re-running skips completed shards",
     )
     fleet.add_argument(
+        "--artifact-store",
+        default=None,
+        metavar="DIR",
+        help="shared trained-model store: pre-warm each unique training "
+        "configuration once, workers load instead of re-training",
+    )
+    fleet.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="shards per submitted chunk (default: sized to the workers)",
+    )
+    fleet.add_argument(
         "--telemetry", action="store_true", help="instrument every shard"
     )
     fleet.add_argument(
@@ -412,6 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--ledger",
         default=None,
         help="JSONL checkpoint; re-running skips completed scenarios",
+    )
+    campaign.add_argument(
+        "--artifact-store",
+        default=None,
+        metavar="DIR",
+        help="shared trained-model store for the scenario shards",
     )
     campaign.add_argument("--json", action="store_true", help="emit JSON report")
     campaign.set_defaults(func=_cmd_campaign)

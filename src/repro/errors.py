@@ -40,3 +40,23 @@ class ActionExecutionError(ActionError):
 
 class PFMFaultError(ReproError):
     """Raised by injected faults attacking the PFM stack itself."""
+
+
+class ReproWarning(UserWarning):
+    """Base class for all warnings emitted by the repro library."""
+
+
+class FleetConfigWarning(ReproWarning):
+    """A fleet configuration value is accepted but has no effect."""
+
+
+class LedgerRoundTripWarning(ReproWarning):
+    """A ledger line will not survive resume (spec key mismatch on re-parse).
+
+    The shard completed and its line was written, but the spec's options
+    do not JSON-round-trip, so on resume the tolerant reader will drop
+    the line and the shard will re-run — work is burned, not lost."""
+
+
+class ArtifactStoreWarning(ReproWarning):
+    """A trained-model artifact was unreadable and will be re-trained."""

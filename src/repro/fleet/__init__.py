@@ -15,6 +15,7 @@ Quickstart::
     report = run_fleet(
         grid(["closed-loop"], seeds=range(21, 29), horizon=86_400.0),
         backend="process", workers=4, ledger_path="fleet.jsonl",
+        artifact_store="fleet-artifacts",   # train once, load per worker
     )
     print(report.summary())
     report.scenario("closed-loop").to_json_dict()["availability"]["ci95"]
@@ -32,22 +33,34 @@ __all__ = [
     "RunResult",
     "grid",
     # lazily loaded:
+    "ArtifactStore",
     "FleetReport",
     "ScenarioAggregate",
     "ShardLedger",
     "bootstrap_ci",
     "execute_spec",
+    "executor_names",
+    "prewarm_training",
+    "register_executor",
     "register_scenario_runner",
+    "register_training_plan",
     "run_fleet",
+    "train_key_digest",
 ]
 
 _LAZY = {
     "FleetReport": ("repro.fleet.aggregate", "FleetReport"),
     "ScenarioAggregate": ("repro.fleet.aggregate", "ScenarioAggregate"),
     "bootstrap_ci": ("repro.fleet.aggregate", "bootstrap_ci"),
+    "ArtifactStore": ("repro.fleet.artifacts", "ArtifactStore"),
+    "prewarm_training": ("repro.fleet.artifacts", "prewarm_training"),
+    "train_key_digest": ("repro.fleet.artifacts", "train_key_digest"),
+    "executor_names": ("repro.fleet.executors", "executor_names"),
+    "register_executor": ("repro.fleet.executors", "register_executor"),
     "ShardLedger": ("repro.fleet.ledger", "ShardLedger"),
     "execute_spec": ("repro.fleet.shards", "execute_spec"),
     "register_scenario_runner": ("repro.fleet.shards", "register_scenario_runner"),
+    "register_training_plan": ("repro.fleet.shards", "register_training_plan"),
     "run_fleet": ("repro.fleet.runner", "run_fleet"),
 }
 

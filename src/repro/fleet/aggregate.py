@@ -9,7 +9,8 @@ telemetry metrics registry across all shards.
 
 Everything here is deterministic:
 
-- shards are processed in sorted-key order (never completion order),
+- shards are processed in sorted-key order (never completion order —
+  the runner's in-order commit already hands them over that way),
 - the bootstrap RNG is seeded from the scenario name and sample size by
   the same hash-derivation trick :class:`repro.simulator.RandomStreams`
   uses, and
@@ -240,6 +241,17 @@ class FleetReport:
             + (
                 f", {self.timing['resumed_from_ledger']} resumed"
                 if self.timing.get("resumed_from_ledger")
+                else ""
+            )
+            + (
+                f", {self.timing['chunks']} chunks of {self.timing['chunk_size']}"
+                if self.timing.get("chunks")
+                else ""
+            )
+            + (
+                f", prewarmed {self.timing['prewarm']['unique_keys']} "
+                "training configs"
+                if self.timing.get("prewarm")
                 else ""
             )
             + ")",

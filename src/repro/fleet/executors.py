@@ -1,0 +1,165 @@
+"""Executor backends: the seam between ``run_fleet`` and its workers.
+
+``run_fleet`` used to wire a ``ProcessPoolExecutor`` inline, which made
+the serial path a separate code branch and left no room for other
+executors (a distributed one, a thread pool for IO-bound scenario
+runners, ...).  This module extracts the minimal protocol the runner
+actually needs — ``submit`` / ``as_completed`` / ``shutdown``, shaped
+after :mod:`concurrent.futures` — and a registry so new backends are
+drop-in:
+
+- :class:`SerialExecutor` queues tasks at ``submit`` time and runs them
+  one at a time, lazily, as :meth:`~SerialExecutor.as_completed` is
+  consumed — so progress callbacks and ledger writes still stream
+  shard-by-shard, and ``shutdown(cancel_futures=True)`` really does
+  abandon the queued remainder.
+- :class:`ProcessExecutor` wraps :class:`concurrent.futures.\
+ProcessPoolExecutor`; completed futures are yielded in *submission*
+  order within each completion batch, so no unordered-set iteration
+  (the PFM004 shape) leaks out of the seam.
+
+Both yield plain :class:`concurrent.futures.Future` objects (or the
+process pool's), so the runner handles results, exceptions and
+cancellation uniformly.  Register additional backends with
+:func:`register_executor`; ``run_fleet(backend=name)`` resolves through
+:func:`create_executor`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+class SerialExecutor:
+    """Run submitted tasks in this process, in submission order, lazily."""
+
+    name = "serial"
+
+    def __init__(
+        self, workers: int = 1, initializer: Callable | None = None, initargs=()
+    ) -> None:
+        # One process, one worker: the initializer runs right here, so
+        # serial shards see exactly the environment pool workers would.
+        if initializer is not None:
+            initializer(*initargs)
+        self._queue: list[tuple[Future, Callable, tuple]] = []
+
+    def submit(self, fn: Callable, *args) -> Future:
+        future: Future = Future()
+        self._queue.append((future, fn, args))
+        return future
+
+    def as_completed(self):
+        """Execute-and-yield one task at a time (streaming, cancellable)."""
+        while self._queue:
+            future, fn, args = self._queue.pop(0)
+            if not future.set_running_or_notify_cancel():
+                continue  # cancelled while queued
+            try:
+                future.set_result(fn(*args))
+            except Exception as exc:  # propagate via Future, like a pool
+                future.set_exception(exc)
+            yield future
+
+    def shutdown(self, cancel_futures: bool = False) -> None:
+        if cancel_futures:
+            for future, _fn, _args in self._queue:
+                future.cancel()
+            self._queue.clear()
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class ProcessExecutor:
+    """A ``ProcessPoolExecutor`` behind the fleet executor protocol."""
+
+    name = "process"
+
+    def __init__(
+        self, workers: int, initializer: Callable | None = None, initargs=()
+    ) -> None:
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
+        self._outstanding: set[Future] = set()
+        self._submit_order: dict[Future, int] = {}
+
+    def submit(self, fn: Callable, *args) -> Future:
+        future = self._pool.submit(fn, *args)
+        self._submit_order[future] = len(self._submit_order)
+        self._outstanding.add(future)
+        return future
+
+    def as_completed(self):
+        """Yield futures as they finish, submission-ordered per batch.
+
+        ``wait`` returns an unordered *set*; sorting each batch by
+        submission index keeps everything downstream of this seam
+        deterministic given the same completion timing.
+        """
+        while self._outstanding:
+            finished, self._outstanding = wait(
+                self._outstanding, return_when=FIRST_COMPLETED
+            )
+            for future in sorted(finished, key=self._submit_order.__getitem__):
+                yield future
+
+    def shutdown(self, cancel_futures: bool = False) -> None:
+        # cancel_futures drops everything still queued inside the pool;
+        # wait=True lets already-running tasks finish so their results
+        # can still be checkpointed by the caller.
+        self._pool.shutdown(wait=True, cancel_futures=cancel_futures)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: name -> factory(workers, initializer, initargs) -> executor
+_EXECUTORS: dict[str, Callable] = {
+    "serial": SerialExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def executor_names() -> tuple[str, ...]:
+    """The registered backend names, sorted (for messages and docs)."""
+    return tuple(sorted(_EXECUTORS))
+
+
+def register_executor(name: str, factory: Callable, overwrite: bool = False) -> None:
+    """Make ``run_fleet(backend=name)`` resolve to ``factory``.
+
+    ``factory(workers, initializer=..., initargs=...)`` must return an
+    object with the ``submit`` / ``as_completed`` / ``shutdown`` shape
+    above.  This is the drop-in point for a future distributed executor.
+    """
+    if name in _EXECUTORS and not overwrite:
+        raise ConfigurationError(f"executor backend {name!r} already registered")
+    _EXECUTORS[name] = factory
+
+
+def create_executor(
+    name: str, workers: int, initializer: Callable | None = None, initargs=()
+):
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _EXECUTORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; use one of {executor_names()}"
+        ) from None
+    return factory(workers, initializer=initializer, initargs=initargs)

@@ -16,11 +16,18 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import warnings
 
+from repro.errors import LedgerRoundTripWarning, ReproError
 from repro.fleet.spec import RunResult
 
 #: Schema tag so future ledger formats can be detected, not guessed.
 LEDGER_VERSION = 1
+
+#: The signature of CPython's default ``object.__repr__``: a memory
+#: address, which no other process can reproduce.
+_ID_REPR = re.compile(r" at 0x[0-9a-fA-F]+")
 
 
 class ShardLedger:
@@ -56,19 +63,69 @@ class ShardLedger:
         return results
 
     def append(self, result: RunResult) -> None:
-        """Durably record one completed shard."""
+        """Durably record one completed shard.
+
+        ``default=repr`` keeps the write from ever crashing on a rich
+        options value, but that tolerance has two resume-breaking
+        failure shapes, both validated here at append time instead of
+        silently burning work on every later resume:
+
+        - the line does not re-parse into a result whose spec key
+          matches — :meth:`load` will drop it;
+        - a value fell back to an *id-based* repr (``... at 0x...``).
+          Within this process the re-parsed key still matches, but in
+          the resuming process the fresh spec reprs a different address,
+          its key never matches the line, and the shard re-runs forever.
+          (Deterministic reprs — dataclass configs and the like — are
+          fine and stay silent.)
+
+        Either way a :class:`~repro.errors.LedgerRoundTripWarning` names
+        the shard; the line is still written, since it remains useful to
+        humans and to non-resume tooling.
+        """
+        key = result.spec.key()
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         line = json.dumps(
             {
                 "version": LEDGER_VERSION,
-                "key": result.spec.key(),
+                "key": key,
                 "result": result.to_json_dict(),
             },
             default=repr,
         )
+        problem = self._round_trip_problem(line, key)
+        if problem is not None:
+            warnings.warn(
+                LedgerRoundTripWarning(f"shard {key}: {problem}"),
+                stacklevel=2,
+            )
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+    @staticmethod
+    def _round_trip_problem(line: str, key: str) -> str | None:
+        """Why :meth:`load` would fail to restore this line (or ``None``)."""
+        try:
+            doc = json.loads(line)
+            restored = RunResult.from_json_dict(doc["result"])
+        except (ValueError, KeyError, TypeError, ReproError):
+            return (
+                "does not survive the ledger's JSON round trip; it will be "
+                "dropped and re-run on every resume"
+            )
+        if restored.spec.key() != key:
+            return (
+                "re-parses to a different spec key; it will be dropped and "
+                "re-run on every resume"
+            )
+        if _ID_REPR.search(line):
+            return (
+                "serialized through a memory-address repr, which the "
+                "resuming process cannot reproduce; it will re-run on every "
+                "resume (pass plain JSON values in spec options instead)"
+            )
+        return None

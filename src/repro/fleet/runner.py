@@ -1,40 +1,100 @@
 """The fleet runner: fan a grid of shards across workers.
 
-Two backends behind one call:
+Backends live behind the executor seam (:mod:`repro.fleet.executors`):
 
-- ``serial`` — run every shard in this process, in grid order.  The
+- ``serial`` — run every shard in this process, in key order.  The
   debugging backend: breakpoints work, tracebacks are local, and the
   per-process training cache degenerates to "train each configuration
   once", exactly like the pre-fleet serial experiments.
-- ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`.  Each
-  worker inherits the registered scenario runners (the pool forks after
-  imports) and keeps its own training cache.
+- ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`.
+  Workers inherit the registered scenario runners (the pool forks after
+  imports) and, with an ``artifact_store``, *load* pre-trained models
+  instead of re-training them.
+- anything registered via
+  :func:`repro.fleet.executors.register_executor` — a distributed
+  executor drops in without touching this module.
+
+Three mechanisms make parallelism actually pay:
+
+1. **Shared training artifacts** — with ``artifact_store=...`` each
+   unique training configuration is trained exactly once (a pre-warm
+   pass in the parent, before fan-out) and serialized to a
+   content-addressed store; workers load, never train.  Without it the
+   per-worker training caches are cold and every worker re-trains.
+2. **Chunked scheduling** — pending shards are submitted in key-ordered
+   chunks so pool/pickle overhead is paid per chunk, not per shard.
+3. **In-order commit** — chunk results are buffered and committed in
+   chunk-index (= spec-key) order, so ledger line order, ``progress``
+   callback order, and *which* failure propagates (the smallest spec
+   key) are all byte-stable run to run, whatever the completion timing.
 
 Because every shard is self-contained and the aggregator orders results
-by spec key, the two backends produce byte-identical aggregates — the
-process pool only changes wall-clock time, never results.  With a
-``ledger_path``, completed shards are checkpointed as they finish and a
+by spec key, all backends produce byte-identical aggregates — the
+executor only changes wall-clock time, never results.  With a
+``ledger_path``, completed shards are checkpointed as they commit and a
 re-run executes only the shards the ledger is missing.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import warnings
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FleetConfigWarning
 from repro.fleet.aggregate import FleetReport
+from repro.fleet.artifacts import (
+    ArtifactStore,
+    active_artifact_store,
+    configure_artifact_store,
+    prewarm_training,
+    worker_store_initializer,
+)
+from repro.fleet.executors import create_executor, executor_names
 from repro.fleet.ledger import ShardLedger
 from repro.fleet.shards import execute_spec
 from repro.fleet.spec import RunResult, RunSpec
 
+#: The built-in backends (dynamic registrations extend executor_names()).
 BACKENDS = ("serial", "process")
+
+#: Scheduling waves per worker: chunks are sized so each worker sees
+#: about this many chunks, balancing pickle amortization (bigger chunks)
+#: against tail latency when shard costs vary (smaller chunks).
+CHUNK_WAVES = 2
 
 
 def default_workers() -> int:
     """Worker count when unspecified: all cores, capped at 8."""
     return max(1, min(8, os.cpu_count() or 1))
+
+
+def default_chunk_size(n_pending: int, workers: int) -> int:
+    """Shards per submitted chunk: ``workers * CHUNK_WAVES`` chunks total.
+
+    One worker (the serial backend) gets chunks of 1 so progress and
+    ledger writes stream shard by shard with nothing to amortize.
+    """
+    if workers <= 1:
+        return 1
+    return max(1, math.ceil(n_pending / (workers * CHUNK_WAVES)))
+
+
+def _execute_chunk(specs: list[RunSpec]) -> list[tuple]:
+    """Run one chunk of shards in this worker, capturing per-spec failures.
+
+    Returns one entry per spec, in order: ``("ok", result)`` or
+    ``("err", spec_key, exception)``.  Execution continues past a failed
+    spec so the rest of the chunk is still checkpointable.
+    """
+    outcomes: list[tuple] = []
+    for spec in specs:
+        try:
+            outcomes.append(("ok", execute_spec(spec)))
+        except Exception as exc:
+            outcomes.append(("err", spec.key(), exc))
+    return outcomes
 
 
 def run_fleet(
@@ -43,6 +103,9 @@ def run_fleet(
     workers: int | None = None,
     ledger_path: str | None = None,
     progress=None,
+    artifact_store: ArtifactStore | str | None = None,
+    prewarm: bool = True,
+    chunk_size: int | None = None,
 ) -> FleetReport:
     """Run every shard of ``specs`` and aggregate the results.
 
@@ -52,20 +115,50 @@ def run_fleet(
         The grid (see :func:`repro.fleet.grid`).  Keys must be unique —
         a duplicate spec would silently double-weight a distribution.
     backend:
-        ``"process"`` (default) or ``"serial"``.
+        ``"process"`` (default), ``"serial"``, or any backend registered
+        with :func:`repro.fleet.executors.register_executor`.
     workers:
-        Process-pool size; ignored by the serial backend.
+        Process-pool size.  The serial backend runs exactly one worker:
+        passing ``workers > 1`` with ``backend="serial"`` raises a
+        :class:`~repro.errors.FleetConfigWarning` instead of silently
+        ignoring the value.
     ledger_path:
         JSONL checkpoint file.  Existing completed shards are loaded and
-        skipped; newly completed shards are appended as they finish.
+        skipped; newly completed shards are appended in spec-key order.
     progress:
-        Optional callable ``progress(done, total, result)`` invoked after
-        each shard (the CLI prints a line per shard through this).
+        Optional callable ``progress(done, total, result)`` invoked as
+        each shard commits (the CLI prints a line per shard through
+        this).  Commit order is spec-key order, deterministically.
+    artifact_store:
+        Root directory (or :class:`~repro.fleet.artifacts.ArtifactStore`)
+        for shared trained-model artifacts.  Enables the pre-warm pass
+        and worker-side artifact loading; omit to keep the historical
+        train-per-process behavior.
+    prewarm:
+        With an ``artifact_store``, train each unique training
+        configuration once in this process before fan-out (default).
+        Set ``False`` to let workers train-and-publish on first miss
+        instead (first-come duplication, but no up-front serial phase).
+    chunk_size:
+        Shards per submitted chunk; default
+        :func:`default_chunk_size` (``workers * CHUNK_WAVES`` chunks).
     """
-    if backend not in BACKENDS:
-        raise ConfigurationError(f"unknown backend {backend!r}; use one of {BACKENDS}")
+    if backend not in executor_names():
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; use one of {executor_names()}"
+        )
     if not specs:
         raise ConfigurationError("need at least one RunSpec")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if backend == "serial" and workers not in (None, 1):
+        warnings.warn(
+            FleetConfigWarning(
+                f"backend='serial' runs in-process; workers={workers} is "
+                "ignored (use backend='process' to parallelize)"
+            ),
+            stacklevel=2,
+        )
     keyed: dict[str, RunSpec] = {}
     for spec in specs:
         key = spec.key()
@@ -82,10 +175,24 @@ def run_fleet(
                 results[key] = result
         resumed = len(results)
 
-    pending = [spec for key, spec in keyed.items() if key not in results]
+    # Key order everywhere: submission, commit, ledger lines, progress.
+    pending = [keyed[key] for key in sorted(keyed) if key not in results]
     total = len(keyed)
     done = len(results)
+    pool_workers = 1 if backend == "serial" else (workers or default_workers())
+    size = (
+        chunk_size
+        if chunk_size is not None
+        else default_chunk_size(len(pending), pool_workers)
+    )
+    chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
     wall_start = time.perf_counter()
+
+    store = artifact_store
+    if isinstance(store, str):
+        store = ArtifactStore(store)
+    previous_store = active_artifact_store()
+    prewarm_stats: dict | None = None
 
     def _record(result: RunResult) -> None:
         nonlocal done
@@ -96,31 +203,64 @@ def run_fleet(
         if progress is not None:
             progress(done, total, result)
 
-    if backend == "serial":
-        for spec in pending:
-            _record(execute_spec(spec))
-        pool_workers = 1
-    else:
-        pool_workers = workers or default_workers()
+    #: ``(spec_key, exception)`` pairs, committed in chunk order.
+    failures: list[tuple[str, BaseException]] = []
+
+    def _commit(outcome: list[tuple]) -> None:
+        for entry in outcome:
+            if entry[0] == "ok":
+                _record(entry[1])
+            else:
+                failures.append((entry[1], entry[2]))
+
+    try:
+        configure_artifact_store(store)
+        if store is not None and prewarm and pending:
+            prewarm_stats = prewarm_training(pending, store)
         if pending:
-            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
-                futures = {pool.submit(execute_spec, spec) for spec in pending}
-                while futures:
-                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                    # Checkpoint the shards that completed this round
-                    # before surfacing any failure, so a crashed grid
-                    # resumes from everything that actually finished.
-                    failure = None
-                    for future in finished:
-                        exc = future.exception()
-                        if exc is not None:
-                            failure = failure or exc
-                        else:
-                            _record(future.result())
-                    if failure is not None:
-                        for future in futures:
-                            future.cancel()
-                        raise failure
+            initializer = worker_store_initializer if store is not None else None
+            initargs = (store.root,) if store is not None else ()
+            with create_executor(
+                backend, pool_workers, initializer=initializer, initargs=initargs
+            ) as executor:
+                index_of = {
+                    executor.submit(_execute_chunk, chunk): idx
+                    for idx, chunk in enumerate(chunks)
+                }
+                buffered: dict[int, list[tuple]] = {}
+                next_commit = 0
+                aborted = False
+                for future in executor.as_completed():
+                    if future.cancelled():
+                        continue
+                    idx = index_of[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        # Chunk-level crash (broken pool, unpicklable
+                        # payload, ...): charge it to the chunk's first
+                        # spec so it still sorts deterministically.
+                        buffered[idx] = [("err", chunks[idx][0].key(), exc)]
+                    else:
+                        buffered[idx] = future.result()
+                    if not aborted and any(e[0] != "ok" for e in buffered[idx]):
+                        # Stop scheduling new chunks; running ones finish
+                        # (shutdown waits) so they can still checkpoint.
+                        aborted = True
+                        executor.shutdown(cancel_futures=True)
+                    # Commit the contiguous chunk prefix: streaming
+                    # checkpoints in deterministic spec-key order.
+                    while next_commit in buffered:
+                        _commit(buffered.pop(next_commit))
+                        next_commit += 1
+                # Failure path: chunks stranded behind the gap a failed
+                # or cancelled chunk left still checkpoint, in order.
+                for idx in sorted(buffered):
+                    _commit(buffered[idx])
+        if failures:
+            failures.sort(key=lambda item: item[0])
+            raise failures[0][1]
+    finally:
+        configure_artifact_store(previous_store)
 
     wall_seconds = time.perf_counter() - wall_start
     ordered = [results[key] for key in sorted(results)]
@@ -128,10 +268,14 @@ def run_fleet(
         results=ordered,
         timing={
             "backend": backend,
-            "workers": pool_workers if backend == "process" else 1,
+            "workers": pool_workers,
             "shards": total,
             "resumed_from_ledger": resumed,
             "executed": total - resumed,
+            "chunks": len(chunks),
+            "chunk_size": size,
+            "artifact_store": store.root if store is not None else None,
+            "prewarm": prewarm_stats,
             "wall_seconds": wall_seconds,
             "shard_wall_seconds": {
                 r.spec.key(): r.wall_seconds for r in ordered

@@ -42,10 +42,26 @@ _TRAIN_CACHE: dict = {}
 
 
 def cached_training(key, builder: Callable):
-    """``builder()`` memoized on ``key`` for the life of this process."""
-    if key not in _TRAIN_CACHE:
-        _TRAIN_CACHE[key] = builder()
-    return _TRAIN_CACHE[key]
+    """The trained model for ``key``: memo, then artifact store, then build.
+
+    Lookup order is (1) the per-process memo, (2) the process's active
+    :class:`~repro.fleet.artifacts.ArtifactStore` (where a pre-warm pass
+    or another worker already published the model), and only then (3)
+    ``builder()`` — whose product is published back to the store so every
+    later process loads instead of training.
+    """
+    if key in _TRAIN_CACHE:
+        return _TRAIN_CACHE[key]
+    from repro.fleet.artifacts import active_artifact_store
+
+    store = active_artifact_store()
+    trained = store.load(key) if store is not None else None
+    if trained is None:
+        trained = builder()
+        if store is not None:
+            store.save(key, trained)
+    _TRAIN_CACHE[key] = trained
+    return trained
 
 
 def seed_training_cache(key, trained) -> None:
@@ -79,23 +95,33 @@ def register_scenario_runner(
     _RUNNERS[name] = runner
 
 
-def _closed_loop_runner(spec: RunSpec) -> RunResult:
-    from dataclasses import replace as dc_replace
-
-    from repro.core import experiment
-    from repro.prediction.registry import make_predictor
+def _closed_loop_dataset(spec: RunSpec):
     from repro.telecom.dataset import DatasetConfig
-    from repro.telemetry.hub import TelemetryHub
 
-    seeds = spec.seeds()
-    variables = (
-        list(spec.variables) if spec.variables else list(experiment.DEFAULT_VARIABLES)
-    )
     base = spec.option("dataset")
     if base is None:
         base = DatasetConfig()
     elif isinstance(base, dict):
         base = DatasetConfig(**base)
+    return base
+
+
+def _closed_loop_training_plan(spec: RunSpec):
+    """``(train_key, builder)`` for a closed-loop shard.
+
+    Shared by the in-shard training path and the fleet's pre-warm pass,
+    so both address the identical cache/artifact entry.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.core import experiment
+    from repro.prediction.registry import make_predictor
+
+    seeds = spec.seeds()
+    variables = (
+        list(spec.variables) if spec.variables else list(experiment.DEFAULT_VARIABLES)
+    )
+    base = _closed_loop_dataset(spec)
     train_config = dc_replace(base, seed=seeds["train"], horizon=spec.horizon)
 
     train_key = (
@@ -116,7 +142,19 @@ def _closed_loop_runner(spec: RunSpec) -> RunResult:
         )
         return experiment.train_predictor(train_config, variables, predictor)
 
-    trained = cached_training(train_key, _train)
+    return train_key, _train
+
+
+def _closed_loop_runner(spec: RunSpec) -> RunResult:
+    from repro.core import experiment
+    from repro.telemetry.hub import TelemetryHub
+
+    seeds = spec.seeds()
+    variables = (
+        list(spec.variables) if spec.variables else list(experiment.DEFAULT_VARIABLES)
+    )
+    base = _closed_loop_dataset(spec)
+    trained = cached_training(*_closed_loop_training_plan(spec))
 
     hub = TelemetryHub() if spec.telemetry else None
     wall_start = time.perf_counter()
@@ -148,6 +186,45 @@ def _closed_loop_runner(spec: RunSpec) -> RunResult:
 
 
 register_scenario_runner(CLOSED_LOOP, _closed_loop_runner)
+
+
+# ----------------------------------------------------------------------
+# Training plans (what the artifact-store pre-warm pass walks)
+# ----------------------------------------------------------------------
+
+#: scenario name -> plan(spec) -> (train_key, builder) | None
+_TRAINING_PLANS: dict[str, Callable] = {CLOSED_LOOP: _closed_loop_training_plan}
+
+
+def register_training_plan(name: str, plan: Callable, overwrite: bool = False) -> None:
+    """Declare how scenario ``name`` trains, for pre-warming.
+
+    ``plan(spec)`` returns ``(train_key, builder)`` — the exact pair the
+    scenario's runner hands to :func:`cached_training` — or ``None`` for
+    specs that need no training.  Scenarios without a registered plan
+    still run; they just cannot be pre-warmed.
+    """
+    if name in _TRAINING_PLANS and not overwrite:
+        raise ConfigurationError(f"training plan {name!r} already registered")
+    _TRAINING_PLANS[name] = plan
+
+
+def training_plan(spec: RunSpec):
+    """``(train_key, builder)`` for ``spec``, or ``None`` when unknown.
+
+    Campaign scenarios resolve lazily through
+    :func:`repro.resilience.campaign.training_plan_for_spec`, mirroring
+    :func:`execute_spec`'s runner dispatch.
+    """
+    plan = _TRAINING_PLANS.get(spec.scenario)
+    if plan is None:
+        from repro.resilience import campaign
+
+        if campaign.knows_scenario(spec):
+            plan = campaign.training_plan_for_spec
+        else:
+            return None
+    return plan(spec)
 
 
 def execute_spec(spec: RunSpec) -> RunResult:

@@ -178,6 +178,24 @@ class RunSpec:
             raise ConfigurationError(f"unknown RunSpec fields: {sorted(unknown)}")
         return cls(**doc)
 
+    def json_roundtrips(self) -> bool:
+        """Whether this spec is made of plain JSON values end to end.
+
+        A spec carrying rich objects in ``options`` still *runs* (and
+        still has a stable :meth:`key` — serialization falls back to
+        ``repr``), but checkpoint/resume then depends on every such repr
+        being byte-identical in the resuming process.  Deterministic
+        dataclass reprs survive that; id-based reprs do not, and the
+        shard re-runs on every resume (the ledger warns at append time —
+        see :meth:`ShardLedger.append`).  Grids meant for resume should
+        keep this predicate true by passing options as plain JSON types.
+        """
+        try:
+            doc = json.loads(json.dumps(self.to_json_dict()))
+            return RunSpec.from_json_dict(doc).key() == self.key()
+        except (ValueError, TypeError, ConfigurationError):
+            return False
+
     def replace(self, **changes) -> "RunSpec":
         """A copy with the given fields changed (specs are immutable)."""
         return replace(self, **changes)

@@ -16,6 +16,7 @@ from repro.prediction.ubf.network import UBFNetwork
 from repro.prediction.ubf.predictor import UBFPredictor
 from repro.prediction.ubf.pwa import (
     ProbabilisticWrapper,
+    RidgeCVFitness,
     backward_elimination,
     forward_selection,
     ridge_cv_fitness,
@@ -28,6 +29,7 @@ __all__ = [
     "UBFNetwork",
     "UBFPredictor",
     "ProbabilisticWrapper",
+    "RidgeCVFitness",
     "backward_elimination",
     "forward_selection",
     "ridge_cv_fitness",

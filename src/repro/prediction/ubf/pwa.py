@@ -32,15 +32,26 @@ from repro.rng import ensure_rng
 Fitness = Callable[[np.ndarray, np.ndarray], float]
 
 
-def ridge_cv_fitness(folds: int = 3, ridge: float = 1e-2) -> Fitness:
+@dataclass(frozen=True)
+class RidgeCVFitness:
     """Cheap default fitness: k-fold cross-validated ridge-regression R^2.
 
-    Deterministic (contiguous folds) so selection results are reproducible.
+    Deterministic (contiguous folds) so selection results are
+    reproducible.  A frozen dataclass rather than a closure so trained
+    predictors that keep a reference to their fitness stay picklable
+    (process-pool workers and the fleet artifact store both ship trained
+    models across process boundaries).
     """
-    if folds < 2:
-        raise ConfigurationError("need at least 2 folds")
 
-    def fitness(x: np.ndarray, y: np.ndarray) -> float:
+    folds: int = 3
+    ridge: float = 1e-2
+
+    def __post_init__(self) -> None:
+        if self.folds < 2:
+            raise ConfigurationError("need at least 2 folds")
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> float:
+        folds, ridge = self.folds, self.ridge
         x = np.atleast_2d(x)
         y = np.asarray(y, dtype=float).ravel()
         n = y.size
@@ -69,7 +80,10 @@ def ridge_cv_fitness(folds: int = 3, ridge: float = 1e-2) -> Fitness:
             return -np.inf
         return 1.0 - sse / sst
 
-    return fitness
+
+def ridge_cv_fitness(folds: int = 3, ridge: float = 1e-2) -> Fitness:
+    """The default :class:`RidgeCVFitness`, as a plain callable."""
+    return RidgeCVFitness(folds=folds, ridge=ridge)
 
 
 @dataclass

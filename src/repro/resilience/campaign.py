@@ -553,6 +553,25 @@ def _train_key(spec: RunSpec) -> tuple:
     )
 
 
+def training_plan_for_spec(spec: RunSpec):
+    """``(train_key, builder)`` for one campaign shard (``None``: no-pfm).
+
+    The pair :func:`run_scenario_spec` hands to the shard training
+    cache, exposed so the fleet's artifact-store pre-warm pass
+    (:func:`repro.fleet.artifacts.prewarm_training`) can train each
+    campaign configuration exactly once before fan-out.
+    """
+    if spec.scenario == NO_PFM:
+        return None  # the baseline replays the faultload untrained
+    config = _config_from_spec(spec)
+    variables = config.variables or list(DEFAULT_VARIABLES)
+
+    def _build():
+        return _train_models(config, variables)
+
+    return _train_key(spec), _build
+
+
 def campaign_specs(config: CampaignConfig | None = None) -> list[RunSpec]:
     """The campaign as a fleet grid: baseline, healthy, one spec per attack.
 
@@ -616,9 +635,7 @@ def run_scenario_spec(spec: RunSpec) -> RunResult:
     from repro.fleet.shards import cached_training
 
     variables = config.variables or list(DEFAULT_VARIABLES)
-    trained = cached_training(
-        _train_key(spec), lambda: _train_models(config, variables)
-    )
+    trained = cached_training(*training_plan_for_spec(spec))
     scenario = _scenario_from_spec(spec)
     result = _run_scenario(scenario, config, variables, *trained)
     return RunResult(
@@ -668,6 +685,7 @@ def run_campaign(
     backend: str = "serial",
     workers: int | None = None,
     ledger_path: str | None = None,
+    artifact_store=None,
     progress=None,
 ) -> CampaignReport:
     """Run the full graceful-degradation campaign.
@@ -701,6 +719,7 @@ def run_campaign(
         backend=backend,
         workers=workers,
         ledger_path=ledger_path,
+        artifact_store=artifact_store,
         progress=progress,
     )
     baseline = fleet.result_for(specs[0])

@@ -1,9 +1,14 @@
 """Shard-ledger checkpointing: append, resume, and corruption tolerance."""
 
 import json
+import warnings
 
+import pytest
+
+from repro.errors import LedgerRoundTripWarning
 from repro.fleet.ledger import ShardLedger
 from repro.fleet.spec import RunResult, RunSpec
+from repro.telecom.dataset import DatasetConfig
 
 
 def _result(seed: int) -> RunResult:
@@ -37,6 +42,50 @@ class TestRoundTrip:
         loaded = ledger.load()
         assert len(loaded) == 1
         assert loaded[RunSpec(seed=1).key()].availability == 0.5
+
+
+class TestRoundTripValidation:
+    """``default=repr`` writes must not silently burn work on resume."""
+
+    def test_id_repr_options_warn_at_append_time(self, tmp_path):
+        # An option value with CPython's default (memory-address) repr:
+        # this process writes a line keyed on one address, the resuming
+        # process computes a key from another — the shard re-runs on
+        # every resume, forever.  That must be loud, not silent.
+        spec = RunSpec(seed=1, options={"blob": object()})
+        result = RunResult(spec=spec, availability=0.9, failures=0)
+        ledger = ShardLedger(str(tmp_path / "ledger.jsonl"))
+        with pytest.warns(LedgerRoundTripWarning, match="re-run on every"):
+            ledger.append(result)
+
+    def test_deterministic_rich_reprs_append_silently(self, tmp_path):
+        # A dataclass config in options serializes via its repr, which
+        # every process reproduces byte-for-byte — resume works, so the
+        # append stays silent and the line restores under the same key.
+        spec = RunSpec(seed=1, options={"dataset": DatasetConfig()})
+        result = RunResult(spec=spec, availability=0.9, failures=0)
+        ledger = ShardLedger(str(tmp_path / "ledger.jsonl"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", LedgerRoundTripWarning)
+            ledger.append(result)
+        assert spec.key() in ledger.load()
+
+    def test_plain_specs_append_silently(self, tmp_path):
+        ledger = ShardLedger(str(tmp_path / "ledger.jsonl"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", LedgerRoundTripWarning)
+            ledger.append(_result(1))
+        assert len(ledger.load()) == 1
+
+    def test_json_roundtrips_flags_plain_json_specs(self):
+        assert RunSpec(seed=1).json_roundtrips()
+        assert RunSpec(
+            seed=1, options={"attack_mtbf": 3600.0, "nested": {"a": [1, 2]}}
+        ).json_roundtrips()
+        # Rich objects fall off the plain-JSON path (repr fallback).
+        assert not RunSpec(
+            seed=1, options={"dataset": DatasetConfig()}
+        ).json_roundtrips()
 
 
 class TestCorruptionTolerance:

@@ -5,11 +5,15 @@ process-pool workers (forked after imports) inherit it — the same
 mechanism the real campaign runners rely on.
 """
 
+import json
+import warnings
+
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FleetConfigWarning
 from repro.fleet import RunResult, RunSpec, grid, run_fleet
 from repro.fleet.ledger import ShardLedger
+from repro.fleet.runner import default_chunk_size
 from repro.fleet.shards import execute_spec, register_scenario_runner
 
 FAKE = "fake-scenario"
@@ -53,6 +57,20 @@ class TestValidation:
     def test_unknown_scenario_lists_known_names(self):
         with pytest.raises(ConfigurationError, match="no-pfm"):
             execute_spec(RunSpec(scenario="nonsense"))
+
+    def test_serial_with_workers_warns_instead_of_silently_ignoring(self):
+        with pytest.warns(FleetConfigWarning, match="workers=8"):
+            run_fleet(grid([FAKE], seeds=[1]), backend="serial", workers=8)
+
+    def test_serial_with_one_worker_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", FleetConfigWarning)
+            run_fleet(grid([FAKE], seeds=[1]), backend="serial", workers=1)
+            run_fleet(grid([FAKE], seeds=[1]), backend="serial", workers=None)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            run_fleet(grid([FAKE], seeds=[1]), backend="serial", chunk_size=0)
 
 
 class TestBackends:
@@ -123,6 +141,91 @@ class TestResume:
         assert [r.spec.seed for r in report.results] == [1]
 
 
+class TestChunking:
+    def test_default_chunk_size_serial_streams_shard_by_shard(self):
+        assert default_chunk_size(100, workers=1) == 1
+
+    def test_default_chunk_size_makes_two_waves_per_worker(self):
+        assert default_chunk_size(16, workers=4) == 2  # 8 chunks, 2 waves
+        assert default_chunk_size(3, workers=4) == 1
+
+    def test_chunked_process_matches_serial_byte_for_byte(self):
+        specs = grid([FAKE], seeds=range(8))
+        serial = run_fleet(specs, backend="serial")
+        chunked = run_fleet(specs, backend="process", workers=2, chunk_size=3)
+        assert serial.aggregate_json() == chunked.aggregate_json()
+        assert chunked.timing["chunks"] == 3
+        assert chunked.timing["chunk_size"] == 3
+
+    def test_oversized_chunk_is_one_submission(self):
+        report = run_fleet(grid([FAKE], seeds=range(4)), backend="serial",
+                           chunk_size=100)
+        assert report.timing["chunks"] == 1
+        assert len(report.results) == 4
+
+
+class TestDeterminism:
+    """Regression tests for the unordered-``wait(...)``-set bug (PFM004):
+
+    ledger line order, progress order, and which failure propagates were
+    all completion-order-dependent; they are now spec-key-ordered.
+    """
+
+    @staticmethod
+    def _ledger_keys(path) -> list[str]:
+        with open(path, encoding="utf-8") as handle:
+            return [json.loads(line)["key"] for line in handle if line.strip()]
+
+    def test_ledger_line_order_is_key_sorted_and_stable(self, tmp_path):
+        specs = grid([FAKE], seeds=[9, 1, 5, 3, 7, 2])
+        orders = []
+        for run in range(2):
+            path = str(tmp_path / f"run{run}.jsonl")
+            run_fleet(specs, backend="process", workers=2, ledger_path=path)
+            orders.append(self._ledger_keys(path))
+        assert orders[0] == orders[1] == sorted(orders[0])
+
+    def test_serial_and_process_ledgers_agree_on_order(self, tmp_path):
+        specs = grid([FAKE], seeds=[4, 8, 2, 6])
+        serial_path = str(tmp_path / "serial.jsonl")
+        process_path = str(tmp_path / "process.jsonl")
+        run_fleet(specs, backend="serial", ledger_path=serial_path)
+        run_fleet(
+            specs, backend="process", workers=2, ledger_path=process_path
+        )
+        assert self._ledger_keys(serial_path) == self._ledger_keys(process_path)
+
+    def test_progress_fires_in_key_order(self):
+        seen = []
+        run_fleet(
+            grid([FAKE], seeds=[9, 1, 5]),
+            backend="process",
+            workers=2,
+            progress=lambda done, total, result: seen.append(
+                result.spec.key()
+            ),
+        )
+        assert seen == sorted(seen)
+        assert len(seen) == 3
+
+    def test_smallest_key_failure_wins_serial(self):
+        # Seeds 2, 4, 6 all explode; key order is seed2 < seed4 < seed6,
+        # so the raised failure must name shard 2 on every run.
+        with pytest.raises(RuntimeError, match="shard 2 exploded"):
+            run_fleet(grid([FAKE_BOOM], seeds=[6, 2, 4]), backend="serial")
+
+    def test_smallest_key_failure_wins_process(self):
+        # One chunk holds every failing shard, so all three failures are
+        # observed and the smallest spec key is raised deterministically.
+        with pytest.raises(RuntimeError, match="shard 2 exploded"):
+            run_fleet(
+                grid([FAKE_BOOM], seeds=[6, 2, 4]),
+                backend="process",
+                workers=2,
+                chunk_size=3,
+            )
+
+
 class TestFailures:
     def test_process_failure_checkpoints_completed_shards(self, tmp_path):
         ledger_path = str(tmp_path / "fleet.jsonl")
@@ -140,3 +243,50 @@ class TestFailures:
     def test_serial_failure_propagates(self):
         with pytest.raises(RuntimeError, match="exploded"):
             run_fleet(grid([FAKE_BOOM], seeds=[2]), backend="serial")
+
+    def test_failure_cancels_unstarted_shards_but_keeps_finished(
+        self, tmp_path
+    ):
+        """cancel_futures semantics: stop scheduling, keep what finished.
+
+        Key order is seed1 < seed2 < seed3; seed1 completes and is
+        checkpointed, seed2 explodes, and seed3 — still queued — is
+        abandoned rather than executed or waited for.
+        """
+        ledger_path = str(tmp_path / "fleet.jsonl")
+        executed = []
+        with pytest.raises(RuntimeError, match="shard 2 exploded"):
+            run_fleet(
+                grid([FAKE_BOOM], seeds=[1, 2, 3]),
+                backend="serial",
+                ledger_path=ledger_path,
+                progress=lambda done, total, r: executed.append(r.spec.seed),
+            )
+        assert executed == [1]
+        completed = ShardLedger(ledger_path).load()
+        assert sorted(r.spec.seed for r in completed.values()) == [1]
+        # The crashed grid resumes from the ledger: shard 1 is restored,
+        # 3 runs for the first time, and only the poisoned shard re-raises.
+        with pytest.raises(RuntimeError, match="shard 2 exploded"):
+            run_fleet(
+                grid([FAKE_BOOM], seeds=[1, 2, 3]),
+                backend="serial",
+                ledger_path=ledger_path,
+            )
+
+    def test_resume_after_failure_completes_the_grid(self, tmp_path):
+        """A fixed grid (failure removed) finishes from the checkpoint."""
+        ledger_path = str(tmp_path / "fleet.jsonl")
+        with pytest.raises(RuntimeError):
+            run_fleet(
+                grid([FAKE_BOOM], seeds=[1, 2, 3]),
+                backend="process",
+                workers=2,
+                ledger_path=ledger_path,
+            )
+        survivors = grid([FAKE_BOOM], seeds=[1, 3])
+        report = run_fleet(
+            survivors, backend="process", workers=2, ledger_path=ledger_path
+        )
+        assert len(report.results) == 2
+        assert report.timing["resumed_from_ledger"] >= 1
