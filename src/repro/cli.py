@@ -158,6 +158,16 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
             file=sys.stderr,
         )
 
+    chaos = None
+    if args.chaos:
+        from repro.faults.chaos import parse_chaos
+
+        chaos = parse_chaos(args.chaos, seed=args.chaos_seed)
+    retry = None
+    if args.max_attempts is not None:
+        from repro.resilience import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.max_attempts)
     report = run_fleet(
         specs,
         backend=args.backend,
@@ -166,6 +176,9 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
         progress=progress,
         artifact_store=args.artifact_store,
         chunk_size=args.chunk_size,
+        retry=retry,
+        retry_failed=args.retry_failed,
+        chaos=chaos,
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -374,6 +387,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--telemetry", action="store_true", help="instrument every shard"
+    )
+    fleet.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="re-run shards the ledger recorded as failed or quarantined "
+        "instead of skipping them on resume",
+    )
+    fleet.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget per shard for infrastructure failures (worker "
+        "death, torn reads) before quarantine; default 3, 1 disables retries",
+    )
+    fleet.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="arm seeded fault injection in every worker, e.g. "
+        "'crash=0.2,slow=0.1,torn=0.05' (fleet chaos harness; proves the "
+        "supervisor absorbs worker loss without perturbing aggregates)",
+    )
+    fleet.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos fault decisions (default 0)",
     )
     fleet.add_argument(
         "--json", action="store_true", help="emit the aggregate JSON document"

@@ -697,3 +697,88 @@ class AllDriftRule(Rule):
                         stmt,
                         f"public name {name!r} is not listed in __all__",
                     )
+
+
+# ----------------------------------------------------------------------
+# PFM009 -- swallowed exceptions
+# ----------------------------------------------------------------------
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """A broad ``except`` that silently discards the exception.
+
+    A handler for ``Exception`` / ``BaseException`` / bare ``except``
+    whose body neither re-raises, nor calls anything (no logging, no
+    counter, no fallback computation), nor binds a value is a silent
+    failure: exactly the *undetected error* state the paper's taxonomy
+    warns turns into an unattributable downstream failure.  In a fleet
+    worker it also destroys the failure-classification seam -- the
+    supervisor cannot retry or quarantine a fault it never observes.
+
+    Swallowing is occasionally the right call (a best-effort cache
+    probe on a path that must never raise); say so with an inline
+    ``# pfmlint: disable=PFM009 -- reason`` so the decision is visible
+    and auditable instead of implicit.
+    """
+
+    id = "PFM009"
+    title = "swallowed exception"
+
+    #: Handler types broad enough to eat faults that were not anticipated.
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True  # bare except
+        names: list[ast.expr]
+        if isinstance(handler.type, ast.Tuple):
+            names = list(handler.type.elts)
+        else:
+            names = [handler.type]
+        for node in names:
+            name = dotted_name(node)
+            if name is not None and name.split(".")[-1] in self._BROAD:
+                return True
+        return False
+
+    def _handles(self, handler: ast.ExceptHandler) -> bool:
+        """Whether the body observably reacts to the exception."""
+        for stmt in handler.body:
+            for node in ast.walk(stmt):
+                if isinstance(
+                    node,
+                    (
+                        ast.Raise,
+                        ast.Call,
+                        ast.Assign,
+                        ast.AugAssign,
+                        ast.AnnAssign,
+                        ast.Return,
+                        ast.Yield,
+                        ast.YieldFrom,
+                    ),
+                ):
+                    return True
+        return False
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node):
+                continue
+            if self._handles(node):
+                continue
+            caught = (
+                "bare except"
+                if node.type is None
+                else f"except {ast.unparse(node.type)}"
+            )
+            yield module.finding(
+                self.id,
+                node,
+                f"{caught} swallows the exception silently (no raise, call, "
+                "or assignment); record it, re-raise it, or suppress this "
+                "line with a reason",
+            )

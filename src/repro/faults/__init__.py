@@ -55,6 +55,14 @@ __all__ = [
     "OverloadInjector",
     "ProcessHangInjector",
     "StateCorruptionInjector",
+    # lazily loaded from repro.faults.chaos (the fleet chaos harness):
+    "ChaosConfig",
+    "ChaosInjector",
+    "TornArtifactError",
+    "active_chaos",
+    "clear_chaos",
+    "install_chaos",
+    "parse_chaos",
     # lazily loaded from repro.faults.pfm_injectors (which needs
     # repro.actions, itself a consumer of this package):
     "ActionFailureInjector",
@@ -73,6 +81,16 @@ __all__ = [
     "Symptom",
 ]
 
+_CHAOS_EXPORTS = {
+    "ChaosConfig",
+    "ChaosInjector",
+    "TornArtifactError",
+    "active_chaos",
+    "clear_chaos",
+    "install_chaos",
+    "parse_chaos",
+}
+
 _PFM_INJECTOR_EXPORTS = {
     "ActionFailureInjector",
     "FlakyActionProxy",
@@ -87,6 +105,10 @@ _PFM_INJECTOR_EXPORTS = {
 
 
 def __getattr__(name: str):
+    if name in _CHAOS_EXPORTS:
+        from repro.faults import chaos
+
+        return getattr(chaos, name)
     if name in _PFM_INJECTOR_EXPORTS:
         from repro.faults import pfm_injectors
 

@@ -34,7 +34,10 @@ __all__ = [
     "grid",
     # lazily loaded:
     "ArtifactStore",
+    "DETERMINISTIC",
+    "INFRASTRUCTURE",
     "FleetReport",
+    "classify_failure",
     "ScenarioAggregate",
     "ShardLedger",
     "bootstrap_ci",
@@ -55,6 +58,9 @@ _LAZY = {
     "ArtifactStore": ("repro.fleet.artifacts", "ArtifactStore"),
     "prewarm_training": ("repro.fleet.artifacts", "prewarm_training"),
     "train_key_digest": ("repro.fleet.artifacts", "train_key_digest"),
+    "DETERMINISTIC": ("repro.fleet.failures", "DETERMINISTIC"),
+    "INFRASTRUCTURE": ("repro.fleet.failures", "INFRASTRUCTURE"),
+    "classify_failure": ("repro.fleet.failures", "classify_failure"),
     "executor_names": ("repro.fleet.executors", "executor_names"),
     "register_executor": ("repro.fleet.executors", "register_executor"),
     "ShardLedger": ("repro.fleet.ledger", "ShardLedger"),

@@ -150,6 +150,16 @@ class FleetReport:
 
     results: list[RunResult]
     timing: dict = field(default_factory=dict)
+    #: Shards whose infrastructure retry budget ran out, sorted by key:
+    #: ``{"key", "error", "attempts", "source"}`` with source ``"run"``
+    #: (this run) or ``"ledger"`` (skipped on resume).  Quarantine never
+    #: raises — a poison shard must not abort the grid — but it is never
+    #: silent either: it lives here, in :meth:`aggregate`, and in
+    #: :meth:`summary`.
+    quarantined: list = field(default_factory=list)
+    #: The runner's own retry/restart/quarantine counters (supervisor
+    #: telemetry, distinct from the shards' merged simulation metrics).
+    fleet_metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         self.results = sorted(self.results, key=lambda r: r.spec.key())
@@ -222,6 +232,12 @@ class FleetReport:
                 agg.scenario: agg.to_json_dict() for agg in self.scenarios()
             },
             "metrics": metrics,
+            # Quarantined shard keys are part of the scientific record: an
+            # aggregate missing shards must say so.  (Keys only — attempt
+            # counts and error text are infrastructure noise and live in
+            # the report.)  Empty on any fully-clean run, so the
+            # serial-vs-process byte-equality contract is unchanged.
+            "quarantined": sorted({q["key"] for q in self.quarantined}),
         }
 
     def aggregate_json(self) -> str:
@@ -255,6 +271,21 @@ class FleetReport:
                 else ""
             )
             + ")",
+        ]
+        recovery = self.timing.get("recovery") or {}
+        if recovery.get("retries") or recovery.get("worker_restarts"):
+            lines.append(
+                f"recovery: {recovery.get('retries', 0)} retries, "
+                f"{recovery.get('worker_restarts', 0)} worker restarts, "
+                f"{recovery.get('infrastructure_failures', 0)} "
+                "infrastructure failures absorbed"
+            )
+        for record in self.quarantined:
+            lines.append(
+                f"QUARANTINED {record['key']}: {record.get('error')} "
+                f"(after {record.get('attempts')} attempts)"
+            )
+        lines += [
             (
                 f"{'scenario':<24s} {'n':>3s} {'avail mean':>10s} "
                 f"{'ci95':>19s} {'fail':>6s} {'warn':>6s} {'act':>5s}"

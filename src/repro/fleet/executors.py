@@ -23,6 +23,16 @@ process pool's), so the runner handles results, exceptions and
 cancellation uniformly.  Register additional backends with
 :func:`register_executor`; ``run_fleet(backend=name)`` resolves through
 :func:`create_executor`.
+
+The supervisor contract: executors are *disposable*.  When a failure is
+pool-fatal (``BrokenExecutor`` — see :mod:`repro.fleet.failures`), the
+runner's supervisor loop discards the instance and builds a fresh one
+through :func:`create_executor`, so a factory must be safely callable
+many times per fleet run.  After a pool breaks, every outstanding future
+must still complete (with the broken-pool exception) so ``as_completed``
+terminates, and ``submit`` should raise rather than hang — exactly the
+``ProcessPoolExecutor`` semantics.  A custom backend that cannot honor
+this can still run fleets; it just won't survive its own death.
 """
 
 from __future__ import annotations

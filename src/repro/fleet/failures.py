@@ -1,0 +1,83 @@
+"""The fleet failure taxonomy: what kind of failure is this, and who pays?
+
+The paper's core argument is that a dependable system *classifies* the
+faults it observes and reacts per class instead of dying on the first
+one.  Dogfooding that onto the fleet runner means drawing one line at
+the executor seam:
+
+- **spec-deterministic** — the shard's own code raised.  Re-running the
+  spec reproduces the exception bit for bit (every shard derives all of
+  its state from the spec), so retrying is wasted work.  These are
+  recorded as ``status: "failed"`` ledger entries, skipped on resume,
+  and surfaced together in one :class:`~repro.errors.FleetExecutionError`.
+- **infrastructure** — the machinery under the shard failed: a worker
+  died (``BrokenProcessPool`` / :class:`~repro.errors.WorkerCrashError`),
+  an artifact read tore mid-write (``OSError`` / ``EOFError``), the host
+  ran out of memory.  The shard itself is innocent until proven
+  otherwise, so the supervisor rebuilds the executor if needed and
+  resubmits under a bounded :class:`~repro.resilience.RetryPolicy`;
+  a spec that keeps taking workers down is quarantined, never retried
+  forever and never silently dropped.
+
+Exceptions can override the type-based classification by carrying a
+``fleet_failure_kind`` attribute set to one of the two constants — the
+seam for custom scenario runners that know better (e.g. a runner that
+wraps a flaky network read and wants it retried even though it raises a
+``ValueError``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+
+from repro.errors import WorkerCrashError
+
+#: The shard's own code raised; re-running reproduces it.  Abort + report.
+DETERMINISTIC = "spec-deterministic"
+
+#: The machinery under the shard failed; retry, then quarantine.
+INFRASTRUCTURE = "infrastructure"
+
+#: Attribute an exception may carry to override classification.
+KIND_ATTRIBUTE = "fleet_failure_kind"
+
+#: Exception types that always mean "the machinery failed", not the spec:
+#: a broken pool (worker death), a simulated/reported worker crash, torn
+#: or failed IO (artifact store, ledger, network filesystem), and memory
+#: exhaustion.  ``EOFError`` is what a half-written pickle raises.
+_INFRASTRUCTURE_TYPES = (
+    BrokenExecutor,
+    WorkerCrashError,
+    OSError,
+    EOFError,
+    MemoryError,
+)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``DETERMINISTIC`` or ``INFRASTRUCTURE`` for one observed failure."""
+    kind = getattr(exc, KIND_ATTRIBUTE, None)
+    if kind in (DETERMINISTIC, INFRASTRUCTURE):
+        return kind
+    if isinstance(exc, _INFRASTRUCTURE_TYPES):
+        return INFRASTRUCTURE
+    return DETERMINISTIC
+
+
+def is_pool_fatal(exc: BaseException) -> bool:
+    """Whether this failure killed the whole executor, not just one task.
+
+    ``BrokenExecutor`` (and its ``BrokenProcessPool`` subclass) poisons
+    every outstanding future and rejects new submissions — the supervisor
+    must rebuild the executor before resubmitting anything.
+    """
+    return isinstance(exc, BrokenExecutor)
+
+
+def error_text(exc: BaseException | None) -> str:
+    """Deterministic one-line rendering for ledgers and error messages."""
+    if exc is None:
+        return "unknown error"
+    detail = str(exc)
+    name = type(exc).__name__
+    return f"{name}: {detail}" if detail else name

@@ -10,6 +10,15 @@ The reader is deliberately forgiving: a truncated final line (the
 signature of a hard kill during a write) or a line that no longer parses
 is skipped — the worst case is re-running a shard, never crashing or
 double-counting one.
+
+Besides completed results, the ledger records *failure* checkpoints:
+``status: "failed"`` for a shard whose own code raised (deterministic —
+re-running reproduces it) and ``status: "quarantined"`` for a shard that
+kept taking workers down.  Resume skips both by default instead of
+re-executing known failures forever; ``run_fleet(retry_failed=True)``
+drops them from the replay and runs the shards again.  A later line for
+the same key always supersedes an earlier one, so a retried shard that
+succeeds simply overwrites its failure record.
 """
 
 from __future__ import annotations
@@ -18,12 +27,27 @@ import json
 import os
 import re
 import warnings
+from dataclasses import dataclass, field
 
 from repro.errors import LedgerRoundTripWarning, ReproError
 from repro.fleet.spec import RunResult
 
 #: Schema tag so future ledger formats can be detected, not guessed.
 LEDGER_VERSION = 1
+
+#: The two failure statuses a ledger line may carry.
+STATUS_FAILED = "failed"
+STATUS_QUARANTINED = "quarantined"
+
+
+@dataclass
+class LedgerState:
+    """Everything a ledger replay recovered, keyed by spec key."""
+
+    results: dict[str, RunResult] = field(default_factory=dict)
+    #: key -> {"status", "kind", "error", "attempts"} for shards whose
+    #: last ledger line is a failure checkpoint.
+    statuses: dict[str, dict] = field(default_factory=dict)
 
 #: The signature of CPython's default ``object.__repr__``: a memory
 #: address, which no other process can reproduce.
@@ -41,9 +65,20 @@ class ShardLedger:
 
     def load(self) -> dict[str, RunResult]:
         """Completed results keyed by spec key (tolerant of torn tails)."""
-        results: dict[str, RunResult] = {}
+        return self.load_entries().results
+
+    def load_entries(self) -> LedgerState:
+        """Replay every line: completed results *and* failure statuses.
+
+        Lines are applied in file order and the last line per key wins,
+        so a shard that failed, was retried, and succeeded ends up as a
+        result; one that succeeded under an old spec layout and failed
+        under the new one ends up failed.  Torn or unparseable lines are
+        skipped (the worst case is re-running that shard).
+        """
+        state = LedgerState()
         if not self.exists():
-            return results
+            return state
         with open(self.path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -52,6 +87,13 @@ class ShardLedger:
                 try:
                     doc = json.loads(line)
                     key = doc["key"]
+                    if doc.get("status") in (STATUS_FAILED, STATUS_QUARANTINED):
+                        state.statuses[key] = {
+                            name: doc.get(name)
+                            for name in ("status", "kind", "error", "attempts")
+                        }
+                        state.results.pop(key, None)
+                        continue
                     result = RunResult.from_json_dict(doc["result"])
                 except (ValueError, KeyError, TypeError):
                     # Torn write or a spec that does not JSON-round-trip
@@ -59,8 +101,9 @@ class ShardLedger:
                     continue
                 if key != result.spec.key():
                     continue  # stale line from an older spec layout
-                results[key] = result
-        return results
+                state.results[key] = result
+                state.statuses.pop(key, None)
+        return state
 
     def append(self, result: RunResult) -> None:
         """Durably record one completed shard.
@@ -84,9 +127,6 @@ class ShardLedger:
         humans and to non-resume tooling.
         """
         key = result.spec.key()
-        directory = os.path.dirname(self.path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
         line = json.dumps(
             {
                 "version": LEDGER_VERSION,
@@ -101,6 +141,41 @@ class ShardLedger:
                 LedgerRoundTripWarning(f"shard {key}: {problem}"),
                 stacklevel=2,
             )
+        self._write_line(line)
+
+    def append_status(
+        self,
+        key: str,
+        status: str,
+        kind: str,
+        error: str,
+        attempts: int,
+    ) -> None:
+        """Durably record one *failed* or *quarantined* shard.
+
+        ``error`` is a plain one-line rendering (never a pickled
+        exception), so status lines always round-trip.  Readers that
+        predate status lines skip them harmlessly (no ``result`` field).
+        """
+        if status not in (STATUS_FAILED, STATUS_QUARANTINED):
+            raise ReproError(f"unknown ledger status {status!r}")
+        self._write_line(
+            json.dumps(
+                {
+                    "version": LEDGER_VERSION,
+                    "key": key,
+                    "status": status,
+                    "kind": kind,
+                    "error": error,
+                    "attempts": attempts,
+                }
+            )
+        )
+
+    def _write_line(self, line: str) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()

@@ -452,8 +452,8 @@ class HiddenSemiMarkovModel:
         if n_jobs > 1 and len(observations) > 1 and self.strategy != "reference":
             try:
                 return self._batch_parallel(observations, params, n_jobs)
-            except Exception:
-                pass  # pool unavailable (e.g. sandboxed) -- score serially
+            except Exception:  # pfmlint: disable=PFM009 -- best-effort speedup: any pool failure (e.g. sandboxed) falls through to the identical serial path below
+                pass
         out = np.empty(len(observations))
         for i, obs in enumerate(observations):
             cum = self._segment_emissions(obs, params.log_b)

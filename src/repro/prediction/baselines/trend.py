@@ -70,7 +70,7 @@ class TrendAnalysisPredictor(SymptomPredictor):
                 scores = self._scores_for(x[:, j])
                 try:
                     candidate_auc = auc(scores, labels)
-                except Exception:
+                except Exception:  # pfmlint: disable=PFM009 -- a column whose AUC is undefined (constant scores, one class) is simply not a candidate
                     continue
                 if candidate_auc > best_auc:
                     best_auc, best_var = candidate_auc, j

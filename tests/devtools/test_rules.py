@@ -417,3 +417,110 @@ class TestPFM008AllDrift:
     def test_quiet_without_all(self):
         findings = run_rule("PFM008", "def f():\n    return 1\n")
         assert findings == []
+
+
+class TestPFM009SwallowedException:
+    def test_flags_bare_pass_handler(self):
+        findings = run_rule(
+            "PFM009",
+            """
+            def probe(cache):
+                try:
+                    return cache.get("k")
+                except Exception:
+                    pass
+            """,
+        )
+        assert [f.rule for f in findings] == ["PFM009"]
+        assert "swallows" in findings[0].message
+
+    def test_flags_bare_except_with_continue(self):
+        findings = run_rule(
+            "PFM009",
+            """
+            def drain(items):
+                out = []
+                for item in items:
+                    try:
+                        out.append(item())
+                    except:
+                        continue
+                return out
+            """,
+        )
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+    def test_flags_broad_tuple_handler(self):
+        findings = run_rule(
+            "PFM009",
+            """
+            def probe(fn):
+                try:
+                    fn()
+                except (ValueError, Exception):
+                    pass
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_quiet_when_narrow(self):
+        findings = run_rule(
+            "PFM009",
+            """
+            def probe(fn):
+                try:
+                    fn()
+                except ValueError:
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_when_logged_or_recorded(self):
+        findings = run_rule(
+            "PFM009",
+            """
+            def probe(fn, log, errors):
+                try:
+                    fn()
+                except Exception as exc:
+                    log.warning("probe failed: %s", exc)
+                try:
+                    fn()
+                except Exception as exc:
+                    errors.append(exc)
+                try:
+                    fn()
+                except Exception:
+                    raise
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_when_fallback_assigned(self):
+        findings = run_rule(
+            "PFM009",
+            """
+            def probe(fn):
+                try:
+                    value = fn()
+                except Exception:
+                    value = None
+                return value
+            """,
+        )
+        assert findings == []
+
+    def test_inline_suppression_with_reason(self):
+        findings = run_rule(
+            "PFM009",
+            """
+            def probe(fn):
+                try:
+                    fn()
+                except Exception:  # pfmlint: disable=PFM009 -- best effort
+                    pass
+            """,
+        )
+        assert findings == []

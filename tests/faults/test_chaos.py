@@ -1,0 +1,171 @@
+"""The fleet chaos harness: config, parsing, and decision determinism."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.faults.chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    TornArtifactError,
+    active_chaos,
+    clear_chaos,
+    crash_decision,
+    install_chaos,
+    parse_chaos,
+    slow_decision,
+    torn_decision,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    clear_chaos()
+
+
+class TestConfig:
+    def test_defaults_are_disabled(self):
+        assert not ChaosConfig().enabled()
+        assert ChaosConfig(crash_probability=0.1).enabled()
+        assert ChaosConfig(slow_probability=0.1).enabled()
+        assert ChaosConfig(torn_artifact_probability=0.1).enabled()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"crash_probability": -0.1},
+            {"crash_probability": 1.5},
+            {"slow_probability": 2.0},
+            {"torn_artifact_probability": -1.0},
+            {"slow_seconds": -0.5},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(**kwargs)
+
+
+class TestParse:
+    def test_full_spec(self):
+        cfg = parse_chaos("crash=0.3, slow=0.1, torn=0.05, slow-seconds=0.2", seed=7)
+        assert cfg == ChaosConfig(
+            seed=7,
+            crash_probability=0.3,
+            slow_probability=0.1,
+            torn_artifact_probability=0.05,
+            slow_seconds=0.2,
+        )
+
+    def test_empty_entries_ignored(self):
+        assert parse_chaos("crash=1.0,,") == ChaosConfig(crash_probability=1.0)
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos fault"):
+            parse_chaos("explode=1.0")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="name=value"):
+            parse_chaos("crash")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a number"):
+            parse_chaos("crash=lots")
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="crash_probability"):
+            parse_chaos("crash=2.0")
+
+
+class TestDecisions:
+    def test_pure_and_repeatable(self):
+        cfg = ChaosConfig(seed=3, crash_probability=0.5)
+        draws = [crash_decision(cfg, "shard-a", attempt) for attempt in (1, 2, 3)]
+        assert draws == [
+            crash_decision(cfg, "shard-a", attempt) for attempt in (1, 2, 3)
+        ]
+
+    def test_independent_across_attempts_keys_and_channels(self):
+        # With p=0.5 over many draws, every axis must show both outcomes —
+        # a constant answer would mean a collapsed decision space.
+        cfg = ChaosConfig(
+            seed=1,
+            crash_probability=0.5,
+            slow_probability=0.5,
+            torn_artifact_probability=0.5,
+        )
+        by_attempt = {crash_decision(cfg, "k", a) for a in range(1, 30)}
+        by_key = {crash_decision(cfg, f"k{i}", 1) for i in range(30)}
+        assert by_attempt == {True, False}
+        assert by_key == {True, False}
+        keys = [f"k{i}" for i in range(50)]
+        assert [crash_decision(cfg, k, 1) for k in keys] != [
+            torn_decision(cfg, k, 1) for k in keys
+        ]
+        assert [crash_decision(cfg, k, 1) for k in keys] != [
+            slow_decision(cfg, k, 1) for k in keys
+        ]
+
+    def test_seed_changes_decisions(self):
+        keys = [f"k{i}" for i in range(50)]
+        a = [crash_decision(ChaosConfig(seed=1, crash_probability=0.5), k, 1) for k in keys]
+        b = [crash_decision(ChaosConfig(seed=2, crash_probability=0.5), k, 1) for k in keys]
+        assert a != b
+
+    def test_probability_bounds(self):
+        never = ChaosConfig(seed=0, crash_probability=0.0)
+        always = ChaosConfig(seed=0, crash_probability=1.0)
+        for i in range(20):
+            assert not crash_decision(never, f"k{i}", 1)
+            assert crash_decision(always, f"k{i}", 1)
+
+
+class TestInjector:
+    def test_install_and_clear(self):
+        assert active_chaos() is None
+        injector = install_chaos(ChaosConfig(seed=1))
+        assert active_chaos() is injector
+        assert injector.parent_pid == os.getpid()
+        clear_chaos()
+        assert active_chaos() is None
+
+    def test_parent_process_crash_is_simulated(self):
+        # In the parent (serial backend) a "worker crash" must raise, not
+        # os._exit — otherwise chaos would kill the test process itself.
+        injector = ChaosInjector(
+            config=ChaosConfig(seed=0, crash_probability=1.0),
+            parent_pid=os.getpid(),
+        )
+        with pytest.raises(WorkerCrashError, match="simulated worker crash"):
+            injector.before_spec("shard-a", 1)
+        assert injector.crashes_simulated == 1
+
+    def test_torn_read_raises_oserror_subclass(self):
+        injector = ChaosInjector(
+            config=ChaosConfig(seed=0, torn_artifact_probability=1.0),
+            parent_pid=os.getpid(),
+        )
+        with pytest.raises(TornArtifactError):
+            injector.before_spec("shard-a", 1)
+        assert isinstance(TornArtifactError("x"), OSError)
+        assert injector.torn_reads == 1
+
+    def test_slowdown_counts_and_survives(self):
+        injector = ChaosInjector(
+            config=ChaosConfig(
+                seed=0, slow_probability=1.0, slow_seconds=0.0
+            ),
+            parent_pid=os.getpid(),
+        )
+        injector.before_spec("shard-a", 1)
+        assert injector.slowdowns == 1
+
+    def test_quiet_when_disabled(self):
+        injector = ChaosInjector(config=ChaosConfig(), parent_pid=os.getpid())
+        injector.before_spec("shard-a", 1)
+        assert (
+            injector.crashes_simulated,
+            injector.torn_reads,
+            injector.slowdowns,
+        ) == (0, 0, 0)

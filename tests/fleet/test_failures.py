@@ -1,0 +1,63 @@
+"""The failure taxonomy at the executor seam."""
+
+from concurrent.futures import BrokenExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import WorkerCrashError
+from repro.fleet.failures import (
+    DETERMINISTIC,
+    INFRASTRUCTURE,
+    KIND_ATTRIBUTE,
+    classify_failure,
+    error_text,
+    is_pool_fatal,
+)
+
+
+class TestClassify:
+    def test_shard_exceptions_are_deterministic(self):
+        for exc in (ValueError("bad"), RuntimeError("boom"), KeyError("k")):
+            assert classify_failure(exc) == DETERMINISTIC
+
+    def test_machinery_exceptions_are_infrastructure(self):
+        for exc in (
+            BrokenProcessPool("worker died"),
+            BrokenExecutor(),
+            WorkerCrashError("chaos"),
+            OSError("disk"),
+            EOFError(),  # a half-written pickle
+            MemoryError(),
+        ):
+            assert classify_failure(exc) == INFRASTRUCTURE
+
+    def test_attribute_overrides_type(self):
+        # A scenario runner that knows its ValueError is a flaky network
+        # read can opt into the retry path...
+        exc = ValueError("connection reset by peer")
+        setattr(exc, KIND_ATTRIBUTE, INFRASTRUCTURE)
+        assert classify_failure(exc) == INFRASTRUCTURE
+        # ...and vice versa: an OSError that is really the spec's fault.
+        exc = OSError("spec points at a nonexistent trace file")
+        setattr(exc, KIND_ATTRIBUTE, DETERMINISTIC)
+        assert classify_failure(exc) == DETERMINISTIC
+
+    def test_bogus_attribute_ignored(self):
+        exc = ValueError("x")
+        setattr(exc, KIND_ATTRIBUTE, "transcendental")
+        assert classify_failure(exc) == DETERMINISTIC
+
+
+class TestPoolFatal:
+    def test_only_broken_executor_is_pool_fatal(self):
+        assert is_pool_fatal(BrokenProcessPool("worker died"))
+        assert is_pool_fatal(BrokenExecutor())
+        assert not is_pool_fatal(WorkerCrashError("simulated"))
+        assert not is_pool_fatal(OSError("disk"))
+        assert not is_pool_fatal(RuntimeError("boom"))
+
+
+class TestErrorText:
+    def test_renders_type_and_detail(self):
+        assert error_text(RuntimeError("boom")) == "RuntimeError: boom"
+        assert error_text(EOFError()) == "EOFError"
+        assert error_text(None) == "unknown error"

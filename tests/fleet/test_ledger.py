@@ -119,3 +119,57 @@ class TestCorruptionTolerance:
         entry["key"] = RunSpec(seed=99).key()
         path.write_text(json.dumps(entry) + "\n")
         assert ShardLedger(str(path)).load() == {}
+
+
+class TestStatusLines:
+    def test_append_status_round_trips(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = ShardLedger(path)
+        ledger.append(_result(1))
+        ledger.append_status(
+            RunSpec(seed=2).key(),
+            "failed",
+            kind="spec-deterministic",
+            error="RuntimeError: boom",
+            attempts=1,
+        )
+        state = ShardLedger(path).load_entries()
+        assert set(state.results) == {RunSpec(seed=1).key()}
+        assert state.statuses == {
+            RunSpec(seed=2).key(): {
+                "status": "failed",
+                "kind": "spec-deterministic",
+                "error": "RuntimeError: boom",
+                "attempts": 1,
+            }
+        }
+
+    def test_unknown_status_rejected(self, tmp_path):
+        from repro.errors import ReproError
+
+        ledger = ShardLedger(str(tmp_path / "ledger.jsonl"))
+        with pytest.raises(ReproError, match="unknown ledger status"):
+            ledger.append_status("k", "exploded", kind="x", error="e", attempts=1)
+
+    def test_last_line_per_key_wins_both_directions(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = ShardLedger(path)
+        key = RunSpec(seed=1).key()
+        # failed -> retried -> succeeded: the result supersedes the status.
+        ledger.append_status(key, "failed", kind="k", error="e", attempts=1)
+        ledger.append(_result(1))
+        state = ShardLedger(path).load_entries()
+        assert key in state.results and key not in state.statuses
+        # ...and a later quarantine supersedes the stale result.
+        ledger.append_status(key, "quarantined", kind="k", error="e", attempts=3)
+        state = ShardLedger(path).load_entries()
+        assert key in state.statuses and key not in state.results
+
+    def test_load_drops_status_lines_for_plain_result_readers(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = ShardLedger(path)
+        ledger.append(_result(1))
+        ledger.append_status(
+            RunSpec(seed=2).key(), "failed", kind="k", error="e", attempts=1
+        )
+        assert set(ledger.load()) == {RunSpec(seed=1).key()}

@@ -10,7 +10,11 @@ import warnings
 
 import pytest
 
-from repro.errors import ConfigurationError, FleetConfigWarning
+from repro.errors import (
+    ConfigurationError,
+    FleetConfigWarning,
+    FleetExecutionError,
+)
 from repro.fleet import RunResult, RunSpec, grid, run_fleet
 from repro.fleet.ledger import ShardLedger
 from repro.fleet.runner import default_chunk_size
@@ -208,40 +212,51 @@ class TestDeterminism:
         assert seen == sorted(seen)
         assert len(seen) == 3
 
-    def test_smallest_key_failure_wins_serial(self):
+    def test_smallest_key_failure_first_serial(self):
         # Seeds 2, 4, 6 all explode; key order is seed2 < seed4 < seed6,
-        # so the raised failure must name shard 2 on every run.
-        with pytest.raises(RuntimeError, match="shard 2 exploded"):
+        # so shard 2 fails first, scheduling stops, and the aggregate
+        # error leads with shard 2 on every run.
+        with pytest.raises(FleetExecutionError, match="shard 2 exploded") as info:
             run_fleet(grid([FAKE_BOOM], seeds=[6, 2, 4]), backend="serial")
+        assert ":seed2:" in info.value.failures[0]["key"]
+        assert isinstance(info.value.__cause__, RuntimeError)
 
-    def test_smallest_key_failure_wins_process(self):
+    def test_all_failures_reported_process(self):
         # One chunk holds every failing shard, so all three failures are
-        # observed and the smallest spec key is raised deterministically.
-        with pytest.raises(RuntimeError, match="shard 2 exploded"):
+        # observed — and every one of them must appear in the aggregate
+        # error, in spec-key order, not just the first.
+        with pytest.raises(FleetExecutionError) as info:
             run_fleet(
                 grid([FAKE_BOOM], seeds=[6, 2, 4]),
                 backend="process",
                 workers=2,
                 chunk_size=3,
             )
+        keys = [record["key"] for record in info.value.failures]
+        assert keys == sorted(keys)
+        assert len(keys) == 3
+        for seed in (2, 4, 6):
+            assert f"shard {seed} exploded" in str(info.value)
 
 
 class TestFailures:
     def test_process_failure_checkpoints_completed_shards(self, tmp_path):
         ledger_path = str(tmp_path / "fleet.jsonl")
         specs = grid([FAKE_BOOM], seeds=[1, 2, 3])
-        with pytest.raises(RuntimeError, match="exploded"):
+        with pytest.raises(FleetExecutionError, match="exploded"):
             run_fleet(
                 specs, backend="process", workers=2, ledger_path=ledger_path
             )
         completed = ShardLedger(ledger_path).load()
         assert all(r.spec.seed % 2 == 1 for r in completed.values())
-        # The crashed grid resumes: only the poisoned shard re-raises.
-        with pytest.raises(RuntimeError):
+        # The failure itself is checkpointed too, so the resumed grid does
+        # not re-run the known-failed shard — it reports it from the ledger.
+        with pytest.raises(FleetExecutionError, match=r"from ledger") as info:
             run_fleet(specs, backend="serial", ledger_path=ledger_path)
+        assert info.value.failures[0]["source"] == "ledger"
 
     def test_serial_failure_propagates(self):
-        with pytest.raises(RuntimeError, match="exploded"):
+        with pytest.raises(FleetExecutionError, match="exploded"):
             run_fleet(grid([FAKE_BOOM], seeds=[2]), backend="serial")
 
     def test_failure_cancels_unstarted_shards_but_keeps_finished(
@@ -255,7 +270,7 @@ class TestFailures:
         """
         ledger_path = str(tmp_path / "fleet.jsonl")
         executed = []
-        with pytest.raises(RuntimeError, match="shard 2 exploded"):
+        with pytest.raises(FleetExecutionError, match="shard 2 exploded"):
             run_fleet(
                 grid([FAKE_BOOM], seeds=[1, 2, 3]),
                 backend="serial",
@@ -266,18 +281,22 @@ class TestFailures:
         completed = ShardLedger(ledger_path).load()
         assert sorted(r.spec.seed for r in completed.values()) == [1]
         # The crashed grid resumes from the ledger: shard 1 is restored,
-        # 3 runs for the first time, and only the poisoned shard re-raises.
-        with pytest.raises(RuntimeError, match="shard 2 exploded"):
+        # shard 2 is a recorded failure (skipped, re-reported), and shard
+        # 3 finally runs — the resume still fails overall, but the grid's
+        # runnable remainder is now fully checkpointed.
+        with pytest.raises(FleetExecutionError, match="shard 2 exploded"):
             run_fleet(
                 grid([FAKE_BOOM], seeds=[1, 2, 3]),
                 backend="serial",
                 ledger_path=ledger_path,
             )
+        completed = ShardLedger(ledger_path).load()
+        assert sorted(r.spec.seed for r in completed.values()) == [1, 3]
 
     def test_resume_after_failure_completes_the_grid(self, tmp_path):
         """A fixed grid (failure removed) finishes from the checkpoint."""
         ledger_path = str(tmp_path / "fleet.jsonl")
-        with pytest.raises(RuntimeError):
+        with pytest.raises(FleetExecutionError):
             run_fleet(
                 grid([FAKE_BOOM], seeds=[1, 2, 3]),
                 backend="process",
