@@ -7,6 +7,7 @@ Commands map to the paper's artifacts:
 - ``case-study``   Sect. 3.3: simulate the SCP, train UBF + HSMM, report
 - ``closed-loop``  replay one faultload with and without PFM
 - ``fleet``        sharded multi-seed grid -> per-scenario distributions
+- ``report``       fleet trace + ledger + aggregate -> markdown/HTML report
 - ``campaign``     fault-inject the PFM stack itself, report degradation
 - ``trace``        instrumented closed-loop run -> JSONL trace + metrics
 - ``taxonomy``     print the Fig. 3 classification tree
@@ -179,15 +180,49 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
         retry=retry,
         retry_failed=args.retry_failed,
         chaos=chaos,
+        trace_dir=args.trace_dir,
+        trace_deterministic=args.trace_deterministic,
     )
     if args.out:
+        # --out stays the canonical (byte-identity) aggregate document.
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report.aggregate_json())
         print(f"aggregate: {args.out}", file=sys.stderr)
+    if args.trace_dir:
+        trace = report.timing.get("trace") or {}
+        print(
+            f"trace: {trace.get('path')} ({trace.get('events')} events, "
+            f"{trace.get('shards')} shard lanes) "
+            f"chrome: {trace.get('chrome_path')}",
+            file=sys.stderr,
+        )
     if args.json:
-        print(report.aggregate_json())
+        print(report.aggregate_json(include_recovery=True))
     else:
         print(report.summary())
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.fleet.report import collect_report, render_html, render_markdown
+
+    if not (args.trace_dir or args.ledger or args.aggregate):
+        raise SystemExit(
+            "report needs at least one input: --trace-dir, --ledger "
+            "or --aggregate"
+        )
+    data = collect_report(
+        trace_dir=args.trace_dir,
+        ledger_path=args.ledger,
+        aggregate=args.aggregate,
+        title=args.title,
+    )
+    rendered = render_html(data) if args.html else render_markdown(data)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"report: {args.out}", file=sys.stderr)
+    else:
+        print(rendered)
 
 
 def _cmd_campaign(args: argparse.Namespace) -> None:
@@ -417,12 +452,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the chaos fault decisions (default 0)",
     )
     fleet.add_argument(
-        "--json", action="store_true", help="emit the aggregate JSON document"
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="fleet-wide distributed tracing: per-shard JSONL sidecars, a "
+        "supervisor recovery lane, a merged deterministic timeline "
+        "(fleet_trace.jsonl) and a Chrome/Perfetto render "
+        "(fleet_trace.chrome.json) under this directory",
+    )
+    fleet.add_argument(
+        "--trace-deterministic",
+        action="store_true",
+        help="zero wall-clock fields in trace sidecars so trace bytes are "
+        "a pure function of simulated behaviour",
+    )
+    fleet.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the aggregate JSON document (with the recovery section)",
     )
     fleet.add_argument(
         "--out", default=None, help="also write the aggregate JSON to this file"
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    report = sub.add_parser(
+        "report",
+        help="render a fleet run report from trace dir + ledger + aggregate",
+        description="Turn the artifacts one fleet run left behind (any "
+        "subset of --trace-dir, --ledger, --aggregate) into a single "
+        "markdown or HTML report: per-shard span profiles, the supervisor "
+        "recovery timeline, quarantine causes, and the Sect. 3.3 quality "
+        "roll-up.",
+    )
+    report.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="trace directory written by `fleet --trace-dir`",
+    )
+    report.add_argument(
+        "--ledger",
+        default=None,
+        help="fleet ledger (quarantine / failure causes)",
+    )
+    report.add_argument(
+        "--aggregate",
+        default=None,
+        metavar="JSON",
+        help="aggregate document written by `fleet --out`",
+    )
+    report.add_argument(
+        "--title", default="fleet run report", help="report heading"
+    )
+    report.add_argument(
+        "--html",
+        action="store_true",
+        help="render a self-contained HTML page instead of markdown",
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        help="write the report here instead of stdout",
+    )
+    report.set_defaults(func=_cmd_report)
 
     campaign = sub.add_parser(
         "campaign", help="fault-inject the PFM stack, report graceful degradation"

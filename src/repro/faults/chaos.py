@@ -116,6 +116,20 @@ class ChaosInjector:
     torn_reads: int = 0
     slowdowns: int = 0
 
+    def _trace(self, spec_key: str, attempt: int, channel: str) -> None:
+        """Record one fired fault on the fleet trace, if tracing is armed.
+
+        Written *before* the fault executes — for the crash channel the
+        ``os._exit`` follows immediately, and an atomically-published
+        record is the only way a hard-killed worker's injection stays
+        visible on the merged timeline.
+        """
+        from repro.telemetry.tracing import active_trace, record_chaos_event
+
+        context = active_trace()
+        if context is not None:
+            record_chaos_event(context, spec_key, attempt, channel)
+
     def before_spec(self, spec_key: str, attempt: int) -> None:
         """Fire this (shard, attempt) pair's faults, worst last.
 
@@ -127,14 +141,17 @@ class ChaosInjector:
         cfg = self.config
         if slow_decision(cfg, spec_key, attempt):
             self.slowdowns += 1
+            self._trace(spec_key, attempt, _SLOW)
             time.sleep(cfg.slow_seconds)
         if torn_decision(cfg, spec_key, attempt):
             self.torn_reads += 1
+            self._trace(spec_key, attempt, _TORN)
             raise TornArtifactError(
                 f"chaos: torn artifact read for shard {spec_key} "
                 f"(attempt {attempt})"
             )
         if crash_decision(cfg, spec_key, attempt):
+            self._trace(spec_key, attempt, _CRASH)
             if os.getpid() == self.parent_pid:
                 self.crashes_simulated += 1
                 raise WorkerCrashError(

@@ -41,9 +41,12 @@ __all__ = [
     "ScenarioAggregate",
     "ShardLedger",
     "bootstrap_ci",
+    "collect_report",
     "execute_spec",
     "executor_names",
     "prewarm_training",
+    "render_html",
+    "render_markdown",
     "register_executor",
     "register_scenario_runner",
     "register_training_plan",
@@ -64,6 +67,9 @@ _LAZY = {
     "executor_names": ("repro.fleet.executors", "executor_names"),
     "register_executor": ("repro.fleet.executors", "register_executor"),
     "ShardLedger": ("repro.fleet.ledger", "ShardLedger"),
+    "collect_report": ("repro.fleet.report", "collect_report"),
+    "render_markdown": ("repro.fleet.report", "render_markdown"),
+    "render_html": ("repro.fleet.report", "render_html"),
     "execute_spec": ("repro.fleet.shards", "execute_spec"),
     "register_scenario_runner": ("repro.fleet.shards", "register_scenario_runner"),
     "register_training_plan": ("repro.fleet.shards", "register_training_plan"),

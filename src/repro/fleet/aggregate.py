@@ -240,9 +240,63 @@ class FleetReport:
             "quarantined": sorted({q["key"] for q in self.quarantined}),
         }
 
-    def aggregate_json(self) -> str:
-        """Canonical serialization of :meth:`aggregate` (sorted keys)."""
-        return json.dumps(self.aggregate(), indent=2, sort_keys=True)
+    def recovery_snapshot(self) -> dict:
+        """The supervisor's recovery activity, as one JSON-ready dict.
+
+        Combines the runner's ``recovery`` counters, the quarantine
+        records, and the ``fleet_metrics`` registry counters (the
+        Prometheus-facing names).  This is *operational* data — it
+        legitimately differs between a clean run and a chaos run that
+        absorbed worker kills — which is exactly why it lives outside
+        :meth:`aggregate`'s byte-identity contract and is only folded
+        into the document on request (``aggregate_json(
+        include_recovery=True)``, the CLI's ``fleet --json`` view).
+        """
+        counters: dict[str, float] = {}
+        if self.fleet_metrics is not None:
+            for (name, labels), metric in sorted(
+                self.fleet_metrics._metrics.items()
+            ):
+                label_part = ",".join(f"{k}={v}" for k, v in labels)
+                key = name if not label_part else f"{name}{{{label_part}}}"
+                counters[key] = metric.value
+        return {
+            "counters": counters,
+            "quarantined_shards": self.quarantined,
+            **{
+                key: value
+                for key, value in (self.timing.get("recovery") or {}).items()
+            },
+        }
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition: shard metrics + recovery counters.
+
+        The merged per-shard simulation metrics and the supervisor's
+        ``fleet_*`` recovery counters rendered as one scrape document,
+        so dashboards see restarts/retries/quarantines next to the
+        workload they disturbed.
+        """
+        from repro.telemetry.exporters import prometheus_text
+
+        text = prometheus_text(self.merged_metrics())
+        if self.fleet_metrics is not None and len(self.fleet_metrics._metrics):
+            text += prometheus_text(self.fleet_metrics)
+        return text
+
+    def aggregate_json(self, include_recovery: bool = False) -> str:
+        """Canonical serialization of :meth:`aggregate` (sorted keys).
+
+        The default document is the byte-identity contract (identical
+        across backends, chaos, resume, tracing on/off).  With
+        ``include_recovery=True`` a ``"recovery"`` section
+        (:meth:`recovery_snapshot`) is added for operational views —
+        those bytes legitimately vary with infrastructure weather.
+        """
+        doc = self.aggregate()
+        if include_recovery:
+            doc["recovery"] = self.recovery_snapshot()
+        return json.dumps(doc, indent=2, sort_keys=True)
 
     # ------------------------------------------------------------------
     # Human-readable summary

@@ -1,0 +1,355 @@
+"""The fleet run report: ledger + traces + aggregate, one document.
+
+The paper's operator-facing claim is that a PFM architecture must be
+*inspectable* — what was predicted, what was decided, what was recovered.
+This module turns the three artifacts a fleet run leaves behind into one
+human-readable report:
+
+- the **trace directory** (per-shard sidecars, supervisor lane, chaos
+  records, merged timeline — :mod:`repro.telemetry.tracing`),
+- the **ledger** (completed / failed / quarantined shard checkpoints —
+  :mod:`repro.fleet.ledger`), and
+- the **aggregate document** (:meth:`repro.fleet.aggregate.FleetReport.
+  aggregate`).
+
+All three inputs are optional: the report renders whatever subset
+exists, which is what makes it usable as a post-mortem tool (a run that
+crashed half-way has a trace and a partial ledger, no aggregate).
+
+Two renderers, no dependencies beyond the standard library:
+:func:`render_markdown` and :func:`render_html` (the markdown document
+wrapped in a minimal self-contained page).  The CLI entry point is
+``python -m repro.cli report``.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import os
+
+from repro.telemetry.tracing import (
+    CHAOS_EVENT_PREFIX,
+    MERGED_FILE,
+    SUPERVISOR_LANE,
+    merge_fleet_trace,
+    read_merged_trace,
+)
+
+#: Span-profile rows per shard in the rendered report (the data dict
+#: keeps everything; the renderer caps for readability).
+TOP_SPANS = 8
+
+
+# ----------------------------------------------------------------------
+# Collection: artifacts on disk -> one structured dict
+# ----------------------------------------------------------------------
+
+
+def _shard_profiles(records: list[dict]) -> dict[str, dict]:
+    """Per-lane span profiles from the merged timeline's span events."""
+    profiles: dict[str, dict] = {}
+    for doc in records:
+        lane = doc.get("lane")
+        if lane is None or lane == SUPERVISOR_LANE:
+            continue
+        profile = profiles.setdefault(lane, {"events": 0, "spans": {}})
+        profile["events"] += 1
+        if doc.get("event") != "span":
+            continue
+        row = profile["spans"].setdefault(
+            str(doc.get("name", "span")),
+            {"count": 0, "sim_seconds": 0.0, "errors": 0},
+        )
+        row["count"] += 1
+        row["sim_seconds"] += float(doc.get("sim_duration", 0.0))
+        if doc.get("status") not in (None, "ok"):
+            row["errors"] += 1
+    return profiles
+
+
+def _recovery_timeline(records: list[dict]) -> list[dict]:
+    """Supervisor-lane events (chaos injections included), in order."""
+    return [dict(doc) for doc in records if doc.get("lane") == SUPERVISOR_LANE]
+
+
+def _ledger_statuses(ledger_path: str) -> list[dict]:
+    from repro.fleet.ledger import ShardLedger
+
+    state = ShardLedger(ledger_path).load_entries()
+    rows = [
+        {"key": key, **status} for key, status in sorted(state.statuses.items())
+    ]
+    return rows
+
+
+def quality_rollup(aggregate: dict) -> dict[str, dict]:
+    """Sect. 3.3 quality metrics per scenario, from the outcome matrices.
+
+    ``precision = TP/(TP+FP)``, ``recall = TP/(TP+FN)``,
+    ``fpr = FP/(FP+TN)`` over the summed per-shard outcome counts (the
+    same definitions :class:`repro.telemetry.rolling.
+    RollingQualityTracker` streams live).  Scenarios without an outcome
+    matrix (e.g. ``no-pfm``, which runs no predictor) are skipped.
+    """
+    rollup: dict[str, dict] = {}
+    for name, scenario in sorted((aggregate.get("scenarios") or {}).items()):
+        matrix = scenario.get("outcome_matrix")
+        if not matrix:
+            continue
+        counts = {
+            outcome: int(matrix.get(outcome, {}).get("count", 0))
+            for outcome in ("TP", "FP", "TN", "FN")
+        }
+
+        def _ratio(num: int, den: int) -> float | None:
+            return (num / den) if den else None
+
+        rollup[name] = {
+            **counts,
+            "precision": _ratio(counts["TP"], counts["TP"] + counts["FP"]),
+            "recall": _ratio(counts["TP"], counts["TP"] + counts["FN"]),
+            "fpr": _ratio(counts["FP"], counts["FP"] + counts["TN"]),
+        }
+    return rollup
+
+
+def collect_report(
+    trace_dir: str | None = None,
+    ledger_path: str | None = None,
+    aggregate: dict | str | None = None,
+    title: str = "fleet run report",
+) -> dict:
+    """Gather every available artifact into one report data dict.
+
+    ``aggregate`` accepts the dict itself or a path to the JSON document
+    (``repro.cli fleet --out``).  Missing inputs produce empty sections,
+    never errors — a post-mortem must render from whatever survived.
+    """
+    data: dict = {
+        "title": title,
+        "trace": None,
+        "shards": {},
+        "timeline": [],
+        "statuses": [],
+        "quality": {},
+        "aggregate": None,
+    }
+
+    if isinstance(aggregate, str):
+        with open(aggregate, "r", encoding="utf-8") as handle:
+            aggregate = json.load(handle)
+    if aggregate is not None:
+        data["aggregate"] = aggregate
+        data["quality"] = quality_rollup(aggregate)
+
+    if trace_dir is not None and os.path.isdir(trace_dir):
+        if not os.path.exists(os.path.join(trace_dir, MERGED_FILE)):
+            merge_fleet_trace(trace_dir)
+        records = read_merged_trace(trace_dir)
+        meta = [doc for doc in records if doc.get("event") == "fleet.run_start"]
+        data["trace"] = {
+            "dir": trace_dir,
+            "trace_id": meta[0].get("trace_id") if meta else None,
+            "events": len(records),
+        }
+        data["shards"] = _shard_profiles(records)
+        data["timeline"] = _recovery_timeline(records)
+
+    if ledger_path is not None and os.path.exists(ledger_path):
+        data["statuses"] = _ledger_statuses(ledger_path)
+
+    return data
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+
+
+def _format_quality(value: float | None) -> str:
+    return "n/a" if value is None else f"{value:.4f}"
+
+
+def _timeline_detail(doc: dict) -> str:
+    skip = {"t", "event", "lane", "seq", "span_id"}
+    parts = [
+        f"{key}={doc[key]}" for key in sorted(doc) if key not in skip
+    ]
+    return ", ".join(parts)
+
+
+def render_markdown(data: dict) -> str:
+    """The report as GitHub-flavored markdown."""
+    lines = [f"# {data['title']}", ""]
+
+    trace = data.get("trace")
+    aggregate = data.get("aggregate")
+    overview = []
+    if trace is not None:
+        overview.append(f"- trace: `{trace['dir']}` (id `{trace['trace_id']}`, "
+                        f"{trace['events']} merged events)")
+    if aggregate is not None:
+        overview.append(
+            f"- shards aggregated: {aggregate.get('shards', '?')}"
+            + (
+                f", quarantined: {', '.join(aggregate['quarantined'])}"
+                if aggregate.get("quarantined")
+                else ""
+            )
+        )
+        recovery = aggregate.get("recovery")
+        if recovery:
+            overview.append(
+                f"- recovery: {recovery.get('retries', 0)} retries, "
+                f"{recovery.get('worker_restarts', 0)} worker restarts, "
+                f"{recovery.get('infrastructure_failures', 0)} "
+                "infrastructure failures absorbed"
+            )
+    if overview:
+        lines += ["## Overview", "", *overview, ""]
+
+    quality = data.get("quality") or {}
+    if quality:
+        lines += [
+            "## Prediction quality (Sect. 3.3 roll-up)",
+            "",
+            "| scenario | TP | FP | TN | FN | precision | recall | FPR |",
+            "|---|---:|---:|---:|---:|---:|---:|---:|",
+        ]
+        for name, row in quality.items():
+            lines.append(
+                f"| {name} | {row['TP']} | {row['FP']} | {row['TN']} | "
+                f"{row['FN']} | {_format_quality(row['precision'])} | "
+                f"{_format_quality(row['recall'])} | "
+                f"{_format_quality(row['fpr'])} |"
+            )
+        lines.append("")
+
+    shards = data.get("shards") or {}
+    if shards:
+        lines += ["## Per-shard span profiles", ""]
+        for lane in sorted(shards):
+            profile = shards[lane]
+            lines.append(f"### `{lane}` ({profile['events']} events)")
+            spans = profile["spans"]
+            if not spans:
+                lines += ["", "_no spans captured (telemetry off)_", ""]
+                continue
+            lines += [
+                "",
+                "| span | count | sim seconds | errors |",
+                "|---|---:|---:|---:|",
+            ]
+            top = sorted(
+                spans.items(),
+                key=lambda item: (-item[1]["sim_seconds"], item[0]),
+            )
+            for name, row in top[:TOP_SPANS]:
+                lines.append(
+                    f"| {name} | {row['count']} | {row['sim_seconds']:.1f} "
+                    f"| {row['errors']} |"
+                )
+            if len(top) > TOP_SPANS:
+                lines.append(
+                    f"| _... {len(top) - TOP_SPANS} more span names_ | | | |"
+                )
+            lines.append("")
+
+    timeline = data.get("timeline") or []
+    if timeline:
+        lines += [
+            "## Recovery timeline (supervisor lane)",
+            "",
+            "| step | event | detail |",
+            "|---:|---|---|",
+        ]
+        for doc in timeline:
+            marker = (
+                "**" if str(doc.get("event", "")).startswith(
+                    CHAOS_EVENT_PREFIX
+                ) or doc.get("event") in (
+                    "fleet.worker_restart", "fleet.quarantine"
+                ) else ""
+            )
+            lines.append(
+                f"| {doc.get('t', 0):g} | {marker}{doc.get('event')}{marker} "
+                f"| {_timeline_detail(doc)} |"
+            )
+        lines.append("")
+
+    statuses = data.get("statuses") or []
+    if statuses:
+        lines += [
+            "## Quarantine & failure causes (ledger)",
+            "",
+            "| shard | status | kind | attempts | error |",
+            "|---|---|---|---:|---|",
+        ]
+        for row in statuses:
+            lines.append(
+                f"| {row['key']} | {row.get('status')} | {row.get('kind')} "
+                f"| {row.get('attempts')} | {row.get('error')} |"
+            )
+        lines.append("")
+
+    if len(lines) == 2:
+        lines += ["_no artifacts found — nothing to report_", ""]
+    return "\n".join(lines)
+
+
+def render_html(data: dict) -> str:
+    """The report as one self-contained HTML page.
+
+    Deliberately simple: the markdown tables are re-rendered as real
+    ``<table>`` elements, everything else becomes headings/paragraphs.
+    No external assets, so the CI artifact opens anywhere.
+    """
+    body: list[str] = []
+    in_table = False
+    for line in render_markdown(data).splitlines():
+        stripped = line.strip()
+        is_row = stripped.startswith("|") and stripped.endswith("|")
+        if in_table and not is_row:
+            body.append("</table>")
+            in_table = False
+        if stripped.startswith("# "):
+            body.append(f"<h1>{_html.escape(stripped[2:])}</h1>")
+        elif stripped.startswith("## "):
+            body.append(f"<h2>{_html.escape(stripped[3:])}</h2>")
+        elif stripped.startswith("### "):
+            body.append(f"<h3>{_html.escape(stripped[4:])}</h3>")
+        elif is_row:
+            cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+            if all(set(cell) <= {"-", ":"} and cell for cell in cells):
+                continue  # the markdown separator row
+            tag = "td" if in_table else "th"
+            if not in_table:
+                body.append("<table>")
+                in_table = True
+            body.append(
+                "<tr>"
+                + "".join(
+                    f"<{tag}>{_html.escape(cell.strip('*_`'))}</{tag}>"
+                    for cell in cells
+                )
+                + "</tr>"
+            )
+        elif stripped:
+            body.append(f"<p>{_html.escape(stripped.strip('_*'))}</p>")
+    if in_table:
+        body.append("</table>")
+
+    style = (
+        "body{font-family:sans-serif;margin:2em;max-width:72em}"
+        "table{border-collapse:collapse;margin:1em 0}"
+        "th,td{border:1px solid #999;padding:0.3em 0.6em;text-align:left}"
+        "th{background:#eee}"
+    )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>{_html.escape(data['title'])}</title>"
+        f"<style>{style}</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )

@@ -88,6 +88,22 @@ from repro.fleet.shards import execute_spec
 from repro.fleet.spec import RunResult, RunSpec
 from repro.resilience.policies import RetryPolicy
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import (
+    FLEET_CHAOS_ARMED,
+    FLEET_QUARANTINE,
+    FLEET_RETRY,
+    FLEET_RUN_END,
+    FLEET_RUN_START,
+    FLEET_SHARD_FAILED,
+    FLEET_WORKER_RESTART,
+    SupervisorRecorder,
+    TraceContext,
+    clear_trace,
+    derive_trace_id,
+    export_chrome_trace,
+    install_trace,
+    merge_fleet_trace,
+)
 
 #: The built-in backends (dynamic registrations extend executor_names()).
 BACKENDS = ("serial", "process")
@@ -120,18 +136,26 @@ def default_chunk_size(n_pending: int, workers: int) -> int:
     return max(1, math.ceil(n_pending / (workers * CHUNK_WAVES)))
 
 
-def _worker_initializer(store_root, chaos_config, parent_pid) -> None:
-    """Per-worker setup: arm the artifact store and/or the chaos harness.
+def _worker_initializer(
+    store_root, chaos_config, parent_pid, trace_context=None
+) -> None:
+    """Per-worker setup: arm artifact store, chaos harness, fleet tracing.
 
     Module-level (hence picklable) so spawn-based pools can ship it.  On
     the serial backend it runs in the parent itself, which is why the
     chaos injector needs ``parent_pid``: a "worker crash" there must be
-    simulated (raised), not executed (``os._exit``).
+    simulated (raised), not executed (``os._exit``).  The trace context
+    propagates the same way the chaos config does — installed
+    process-globally, read back by :func:`~repro.fleet.shards.
+    execute_spec` (sidecar capture) and the chaos injector (fault
+    records).
     """
     if store_root is not None:
         worker_store_initializer(store_root)
     if chaos_config is not None:
         install_chaos(chaos_config, parent_pid)
+    if trace_context is not None:
+        install_trace(trace_context)
 
 
 def _execute_chunk(specs: list[RunSpec], attempts: dict | None = None) -> list[tuple]:
@@ -148,10 +172,11 @@ def _execute_chunk(specs: list[RunSpec], attempts: dict | None = None) -> list[t
     chaos = active_chaos()
     for spec in specs:
         key = spec.key()
+        attempt = (attempts or {}).get(key, 1)
         try:
             if chaos is not None:
-                chaos.before_spec(key, (attempts or {}).get(key, 1))
-            outcomes.append(("ok", execute_spec(spec)))
+                chaos.before_spec(key, attempt)
+            outcomes.append(("ok", execute_spec(spec, attempt=attempt)))
         except Exception as exc:
             outcomes.append(("err", key, exc, classify_failure(exc)))
     return outcomes
@@ -169,6 +194,8 @@ def run_fleet(
     retry: RetryPolicy | None = None,
     retry_failed: bool = False,
     chaos: ChaosConfig | None = None,
+    trace_dir: str | None = None,
+    trace_deterministic: bool = False,
 ) -> FleetReport:
     """Run every shard of ``specs`` and aggregate the results.
 
@@ -223,6 +250,22 @@ def run_fleet(
         injection, used by the chaos bench and tests to prove the
         supervisor absorbs infrastructure faults without perturbing
         aggregates.
+    trace_dir:
+        Arm fleet-wide distributed tracing: every worker serializes each
+        shard's full telemetry span/event stream to a per-shard JSONL
+        sidecar under ``trace_dir/shards/``, the supervisor loop records
+        its recovery work (restarts, retries, quarantines, chaos arming)
+        to ``supervisor.jsonl``, chaos injections drop records under
+        ``chaos/``, and after the run everything is merged into a
+        deterministic ``fleet_trace.jsonl`` timeline plus a
+        Chrome/Perfetto ``fleet_trace.chrome.json`` render (see
+        :mod:`repro.telemetry.tracing`).  Tracing reads results, never
+        feeds back: aggregates are byte-identical with it on or off
+        (``benchmarks/test_bench_fleet_trace.py``).
+    trace_deterministic:
+        Zero wall-clock fields in the trace sidecars so trace bytes are
+        a pure function of simulated behaviour (golden comparisons);
+        default keeps wall timings for profiling.
 
     Raises
     ------
@@ -296,6 +339,32 @@ def run_fleet(
     previous_store = active_artifact_store()
     prewarm_stats: dict | None = None
 
+    trace_context: TraceContext | None = None
+    recorder: SupervisorRecorder | None = None
+    trace_summary: dict | None = None
+    if trace_dir is not None:
+        trace_context = TraceContext(
+            trace_id=derive_trace_id(sorted(keyed)),
+            root=str(trace_dir),
+            deterministic=trace_deterministic,
+        )
+        recorder = SupervisorRecorder(trace_context)
+        recorder.event(
+            FLEET_RUN_START,
+            trace_id=trace_context.trace_id,
+            backend=backend,
+            shards=total,
+            resumed=resumed,
+        )
+        if chaos is not None:
+            recorder.event(
+                FLEET_CHAOS_ARMED,
+                seed=chaos.seed,
+                crash_probability=chaos.crash_probability,
+                slow_probability=chaos.slow_probability,
+                torn_artifact_probability=chaos.torn_artifact_probability,
+            )
+
     fleet_metrics = MetricsRegistry()
     recovery = {
         "retries": 0,
@@ -307,10 +376,18 @@ def run_fleet(
 
     def _record(result: RunResult) -> None:
         nonlocal done
-        results[result.spec.key()] = result
+        key = result.spec.key()
+        results[key] = result
         if ledger is not None:
             ledger.append(result)
         done += 1
+        if recorder is not None:
+            # Commit order is spec-key order, so this lane is stable.
+            recorder.shard_committed(
+                key,
+                attempts=attempts.get(key, 1),
+                telemetry_events=result.telemetry_events,
+            )
         if progress is not None:
             progress(done, total, result)
 
@@ -336,6 +413,13 @@ def run_fleet(
                 _record(entry[1])
             elif tag == "failed":
                 failures.append((key, entry[1]))
+                if recorder is not None:
+                    recorder.event(
+                        FLEET_SHARD_FAILED,
+                        key=key,
+                        error=error_text(entry[1]),
+                        attempts=attempts.get(key, 1),
+                    )
                 if ledger is not None:
                     ledger.append_status(
                         key,
@@ -353,6 +437,13 @@ def run_fleet(
                         "source": "run",
                     }
                 )
+                if recorder is not None:
+                    recorder.event(
+                        FLEET_QUARANTINE,
+                        key=key,
+                        error=error_text(entry[1]),
+                        attempts=attempts.get(key, 1),
+                    )
                 if ledger is not None:
                     ledger.append_status(
                         key,
@@ -380,10 +471,17 @@ def run_fleet(
         aborted = False
         first_executor = True
         initializer = (
-            _worker_initializer if (store is not None or chaos is not None) else None
+            _worker_initializer
+            if (store is not None or chaos is not None or trace_context is not None)
+            else None
         )
         initargs = (
-            (store.root if store is not None else None, chaos, os.getpid())
+            (
+                store.root if store is not None else None,
+                chaos,
+                os.getpid(),
+                trace_context,
+            )
             if initializer is not None
             else ()
         )
@@ -392,6 +490,12 @@ def run_fleet(
             if not first_executor:
                 recovery["worker_restarts"] += 1
                 fleet_metrics.counter("fleet_worker_restarts_total").inc()
+                if recorder is not None:
+                    recorder.event(
+                        FLEET_WORKER_RESTART,
+                        restart=recovery["worker_restarts"],
+                        pending_units=len(pending_units),
+                    )
             first_executor = False
             broken = False
             with create_executor(
@@ -434,6 +538,13 @@ def run_fleet(
                         return
                     recovery["retries"] += 1
                     fleet_metrics.counter("fleet_retries_total").inc()
+                    if recorder is not None:
+                        recorder.event(
+                            FLEET_RETRY,
+                            key=key,
+                            attempt=attempts.get(key, 1) + 1,
+                            error=error_text(exc),
+                        )
                     unit = (idx, [spec])
                     if broken:
                         pending_units.append(unit)
@@ -515,6 +626,16 @@ def run_fleet(
         configure_artifact_store(previous_store)
         if chaos is not None:
             clear_chaos()  # the serial backend armed it in this process
+        if trace_context is not None:
+            clear_trace()  # likewise for the trace context
+            if recorder is not None:
+                recorder.event(FLEET_RUN_END, **recovery)
+                recorder.finalize()
+            # Finalized in the finally block so a failed run still
+            # leaves a merged, renderable trace behind for post-mortems.
+            trace_summary = merge_fleet_trace(trace_context)
+            export_chrome_trace(trace_context)
+            trace_summary["chrome_path"] = trace_context.chrome_path
 
     wall_seconds = time.perf_counter() - wall_start
     ordered = [results[key] for key in sorted(results)]
@@ -532,6 +653,7 @@ def run_fleet(
             "artifact_store": store.root if store is not None else None,
             "prewarm": prewarm_stats,
             "recovery": recovery,
+            "trace": trace_summary,
             "wall_seconds": wall_seconds,
             "shard_wall_seconds": {
                 r.spec.key(): r.wall_seconds for r in ordered

@@ -157,6 +157,10 @@ def _closed_loop_runner(spec: RunSpec) -> RunResult:
     trained = cached_training(*_closed_loop_training_plan(spec))
 
     hub = TelemetryHub() if spec.telemetry else None
+    if hub is not None:
+        from repro.telemetry.tracing import announce_shard_hub
+
+        announce_shard_hub(hub)
     wall_start = time.perf_counter()
     result = experiment.run_closed_loop(
         train_seed=seeds["train"],
@@ -227,12 +231,22 @@ def training_plan(spec: RunSpec):
     return plan(spec)
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
+def execute_spec(spec: RunSpec, attempt: int = 1) -> RunResult:
     """Run one shard in this process (the worker entry point).
 
     Module-level (hence picklable) so a ``ProcessPoolExecutor`` can ship
     it; the campaign runners resolve lazily to keep import cycles out of
     the fleet substrate.
+
+    When fleet tracing is armed in this process (the worker initializer
+    installed a :class:`~repro.telemetry.tracing.TraceContext`), the
+    runner call is bracketed by a capture window: whatever telemetry
+    hubs the runner announces are serialized to the shard's JSONL
+    sidecar after the run succeeds.  ``attempt`` stamps the sidecar
+    header only — a retried shard's event lines byte-match the first
+    attempt's, which is how the chaos bench proves a restarted worker's
+    trace is complete.  Tracing reads the hubs, never mutates them, so
+    results are identical with tracing on or off.
     """
     runner = _RUNNERS.get(spec.scenario)
     if runner is None:
@@ -245,4 +259,17 @@ def execute_spec(spec: RunSpec) -> RunResult:
                 f"no runner for scenario {spec.scenario!r}; known: "
                 f"{sorted(_RUNNERS) + sorted(campaign.known_scenario_names())}"
             )
-    return runner(spec)
+
+    from repro.telemetry import tracing
+
+    context = tracing.active_trace()
+    if context is None:
+        return runner(spec)
+
+    tracing.begin_shard_capture()
+    try:
+        result = runner(spec)
+    finally:
+        hubs = tracing.end_shard_capture()
+    tracing.write_shard_trace(context, spec.key(), hubs, attempt=attempt)
+    return result

@@ -48,6 +48,7 @@ from repro.telecom.dataset import DatasetConfig, prepare_simulation
 from repro.telemetry import events as tel_events
 from repro.telemetry.exporters import export_jsonl
 from repro.telemetry.hub import NULL_HUB, TelemetryHub
+from repro.telemetry.tracing import announce_shard_hub
 
 #: Fleet scenario names of the two non-attacked campaign runs.
 NO_PFM = "no-pfm"
@@ -386,6 +387,7 @@ def _run_scenario(
     sim = prepare_simulation(eval_config)
 
     hub = TelemetryHub() if config.telemetry else NULL_HUB
+    announce_shard_hub(hub)
     rng = np.random.default_rng(config.injection_seed)
     predictor_proxy = FlakyPredictorProxy(primary, rng)
     action_proxies = flaky_repertoire(default_repertoire(), rng)

@@ -23,6 +23,7 @@ from repro.telemetry.exporters import (
     prometheus_text,
     read_jsonl,
     run_summary,
+    scrub_wall_fields,
     span_profile,
 )
 from repro.telemetry.hub import NULL_HUB, TelemetryHub
@@ -35,6 +36,18 @@ from repro.telemetry.metrics import (
 from repro.telemetry.rolling import RollingQualityTracker
 from repro.telemetry.sinks import JSONLSink, MemorySink, NullSink
 from repro.telemetry.spans import NULL_SPAN, Span
+from repro.telemetry.tracing import (
+    SupervisorRecorder,
+    TraceContext,
+    announce_shard_hub,
+    derive_span_id,
+    derive_trace_id,
+    export_chrome_trace,
+    merge_fleet_trace,
+    read_merged_trace,
+    read_trace_file,
+    write_shard_trace,
+)
 
 __all__ = [
     "TelemetryEvent",
@@ -54,5 +67,16 @@ __all__ = [
     "read_jsonl",
     "prometheus_text",
     "run_summary",
+    "scrub_wall_fields",
     "span_profile",
+    "TraceContext",
+    "SupervisorRecorder",
+    "derive_trace_id",
+    "derive_span_id",
+    "announce_shard_hub",
+    "write_shard_trace",
+    "merge_fleet_trace",
+    "read_trace_file",
+    "read_merged_trace",
+    "export_chrome_trace",
 ]

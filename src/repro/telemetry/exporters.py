@@ -25,10 +25,31 @@ from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 _QUANTILES = (0.5, 0.9, 0.99)
 
 
+def scrub_wall_fields(record: dict) -> dict:
+    """A copy of ``record`` with every wall-clock field zeroed.
+
+    Span records interleave ``wall_ms`` (and any future ``wall_*``
+    sibling) into otherwise fully deterministic event streams, so two
+    identical runs produce different trace bytes.  Zeroing — rather than
+    dropping — keeps the record shape stable so readers need no schema
+    branch; simulated-time fields are untouched.
+    """
+    return {
+        key: 0.0 if "wall" in key else value for key, value in record.items()
+    }
+
+
 def export_jsonl(
-    source: TelemetryHub | Iterable[TelemetryEvent], path: str | Path
+    source: TelemetryHub | Iterable[TelemetryEvent],
+    path: str | Path,
+    deterministic: bool = False,
 ) -> int:
     """Write the event trace as JSON lines ordered by simulated time.
+
+    With ``deterministic=True`` wall-clock fields are zeroed via
+    :func:`scrub_wall_fields`, making the exported bytes a pure function
+    of the run's simulated behaviour — the mode golden tests and the
+    fleet trace sidecars compare byte-for-byte.
 
     Returns the number of lines written.
     """
@@ -38,7 +59,10 @@ def export_jsonl(
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
         for event in ordered:
-            handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            doc = event.to_dict()
+            if deterministic:
+                doc = scrub_wall_fields(doc)
+            handle.write(json.dumps(doc, sort_keys=True) + "\n")
     return len(ordered)
 
 

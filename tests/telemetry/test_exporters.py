@@ -8,6 +8,7 @@ from repro.telemetry import (
     prometheus_text,
     read_jsonl,
     run_summary,
+    scrub_wall_fields,
     span_profile,
 )
 
@@ -63,6 +64,37 @@ class TestJSONL:
         for line in path.read_text().splitlines():
             # sort_keys guarantees deterministic field order per line.
             assert line.index('"event"') < line.index('"t"')
+
+
+class TestDeterministicExport:
+    def test_deterministic_mode_yields_identical_bytes(self, tmp_path):
+        """Two identical runs differ only in span ``wall_ms``; the
+        deterministic mode zeroes it so the exported files byte-match."""
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        export_jsonl(_sample_hub(), first, deterministic=True)
+        export_jsonl(_sample_hub(), second, deterministic=True)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_wall_fields_zeroed_sim_time_retained(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        export_jsonl(_sample_hub(), path, deterministic=True)
+        rows = read_jsonl(path)
+        spans = [row for row in rows if row["event"] == "span"]
+        assert spans
+        assert all(row["wall_ms"] == 0.0 for row in spans)
+        assert all(row["sim_duration"] == 30.0 for row in spans)
+        # Record shape is unchanged (zeroed, not dropped).
+        plain = path.parent / "plain.jsonl"
+        export_jsonl(_sample_hub(), plain)
+        default = read_jsonl(plain)
+        assert [sorted(row) for row in rows] == [sorted(row) for row in default]
+
+    def test_scrub_wall_fields_helper(self):
+        record = {"t": 5.0, "wall_ms": 3.2, "some_wall_s": 1.0, "x": "y"}
+        scrubbed = scrub_wall_fields(record)
+        assert scrubbed == {"t": 5.0, "wall_ms": 0.0, "some_wall_s": 0.0, "x": "y"}
+        assert record["wall_ms"] == 3.2  # input untouched
 
 
 class TestPrometheusText:

@@ -14,7 +14,7 @@ class TestParser:
         )
         assert set(subparsers.choices) == {
             "model", "curves", "case-study", "closed-loop", "fleet",
-            "taxonomy", "policies", "campaign", "trace", "lint",
+            "taxonomy", "policies", "campaign", "trace", "lint", "report",
         }
 
     def test_requires_command(self):
@@ -69,6 +69,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--backend", "threads"])
 
+    def test_fleet_trace_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fleet", "--trace-dir", "traces/run1", "--trace-deterministic"]
+        )
+        assert args.trace_dir == "traces/run1"
+        assert args.trace_deterministic
+
+    def test_fleet_trace_defaults_off(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.trace_dir is None
+        assert not args.trace_deterministic
+
+    def test_report_args_parse(self):
+        args = build_parser().parse_args(
+            [
+                "report", "--trace-dir", "traces/run1",
+                "--ledger", "fleet.jsonl", "--aggregate", "agg.json",
+                "--title", "nightly", "--html", "--out", "report.html",
+            ]
+        )
+        assert args.trace_dir == "traces/run1"
+        assert args.ledger == "fleet.jsonl"
+        assert args.aggregate == "agg.json"
+        assert args.title == "nightly"
+        assert args.html
+        assert args.out == "report.html"
+
     def test_campaign_backend_flags_parse(self):
         args = build_parser().parse_args(
             ["campaign", "--backend", "process", "--workers", "3"]
@@ -119,3 +146,51 @@ class TestFastCommands:
         assert "pfm" in out
         assert "rejuvenation@" in out
         assert "none" in out
+
+    def test_report_requires_an_input(self):
+        with pytest.raises(SystemExit):
+            main(["report"])
+
+    def test_report_from_aggregate_json(self, tmp_path, capsys):
+        import json
+
+        aggregate = {
+            "shards": 2,
+            "quarantined": [],
+            "scenarios": {
+                "closed-loop": {
+                    "outcome_matrix": {
+                        "TP": {"count": 7},
+                        "FP": {"count": 3},
+                        "TN": {"count": 90},
+                        "FN": {"count": 5},
+                    }
+                }
+            },
+        }
+        path = tmp_path / "agg.json"
+        path.write_text(json.dumps(aggregate))
+        assert main(["report", "--aggregate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Prediction quality" in out
+        assert "closed-loop" in out
+        assert "0.7000" in out  # precision = 7 / (7 + 3)
+
+    def test_report_html_to_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "agg.json"
+        path.write_text(json.dumps({"shards": 1, "scenarios": {}}))
+        out_path = tmp_path / "report.html"
+        assert (
+            main(
+                [
+                    "report", "--aggregate", str(path),
+                    "--html", "--out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        text = out_path.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "shards aggregated: 1" in text
