@@ -8,12 +8,18 @@ account."  The same scheme underlies FT-Pro (Li & Lan 2006), which uses a
 predictor's error rates together with cost and expected downtime to choose
 among migrate / checkpoint / do nothing.
 
-Expected utility of action ``a`` given warning confidence ``c``::
+Expected utility of action ``a`` given warning confidence ``c`` and the
+criticality ``k`` of the threatened service::
 
-    U(a) = c * P_success(a) * benefit  -  cost(a)  -  w_cx * complexity(a)
+    U(a) = k * c * P_success(a) * benefit  -  cost(a)  -  w_cx * complexity(a)
 
 Doing nothing has utility 0; an action is only taken when some U(a) > 0,
 which is exactly how false alarms with low confidence end up ignored.
+``k`` defaults to 1 (every target equally critical — the historical
+behaviour); a criticality-aware deployment scales the expected benefit by
+how much the threatened service matters, so the same confidence clears
+the actuation bar sooner for critical services and later for expendable
+ones (the arbitration layer's criticality-weighted risk, Sect. 6).
 """
 
 from __future__ import annotations
@@ -33,12 +39,15 @@ class SelectionContext:
     target: str  # suspected component
     failure_cost: float = 10.0  # cost of letting the failure happen
     complexity_weight: float = 0.2
+    criticality: float = 1.0  # how much the threatened service matters
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.confidence <= 1.0:
             raise ConfigurationError("confidence must be in [0, 1]")
         if self.failure_cost < 0:
             raise ConfigurationError("failure_cost must be >= 0")
+        if not 0.0 <= self.criticality <= 1.0:
+            raise ConfigurationError("criticality must be in [0, 1]")
 
 
 @dataclass
@@ -63,7 +72,12 @@ class ActionSelector:
 
     def utility(self, action: Action, context: SelectionContext) -> float:
         """The objective function value for one action."""
-        benefit = context.confidence * action.success_probability * context.failure_cost
+        benefit = (
+            context.criticality
+            * context.confidence
+            * action.success_probability
+            * context.failure_cost
+        )
         return (
             benefit
             - action.cost

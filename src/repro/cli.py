@@ -95,7 +95,7 @@ def _cmd_case_study(args: argparse.Namespace) -> None:
             n_rounds=8, samples_per_round=10, rng=np.random.default_rng(1)
         ),
     )
-    ubf.fit(x[train], y_avail[train])
+    ubf.fit_samples(x[train], y_avail[train])
     ubf_report = report_from_scores(
         "UBF",
         ubf.score_samples(x[train]), y_fail[train],
@@ -106,7 +106,7 @@ def _cmd_case_study(args: argparse.Namespace) -> None:
     train_f, test_f = split_sequences(failure_seqs, cutoff)
     train_n, test_n = split_sequences(nonfailure_seqs, cutoff)
     hsmm = HSMMPredictor(max_iter=10, seed=3)
-    hsmm.fit(train_f, train_n)
+    hsmm.fit_sequences(train_f, train_n)
     train_scores, train_labels = hsmm._score_labeled(train_f, train_n)
     test_scores, test_labels = hsmm._score_labeled(test_f, test_n)
     hsmm_report = report_from_scores(
@@ -133,6 +133,25 @@ def _cmd_closed_loop(args: argparse.Namespace) -> None:
     print(result.summary())
 
 
+def _parse_predictor_spec(raw: str) -> dict:
+    """A ``--predictor-spec`` value: inline JSON or ``@path`` to a file."""
+    import json
+
+    from repro.prediction.registry import normalize_predictor_spec
+
+    if raw.startswith("@"):
+        with open(raw[1:], encoding="utf-8") as handle:
+            raw = handle.read()
+    try:
+        spec = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--predictor-spec is not valid JSON: {exc}") from None
+    try:
+        return normalize_predictor_spec(spec)
+    except Exception as exc:
+        raise SystemExit(f"invalid --predictor-spec: {exc}") from None
+
+
 def _cmd_fleet(args: argparse.Namespace) -> None:
     from repro.fleet import grid, run_fleet
 
@@ -143,10 +162,13 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
     common = {}
     if args.train_seed is not None:
         common["train_seed"] = args.train_seed
+    predictors: list = list(args.predictor or [])
+    for raw in args.predictor_spec or []:
+        predictors.append(_parse_predictor_spec(raw))
     specs = grid(
         args.scenario or ["closed-loop"],
         seeds=seeds,
-        predictors=args.predictor or ["ubf"],
+        predictors=predictors or ["ubf"],
         horizon=args.days * 86_400.0,
         telemetry=args.telemetry,
         **common,
@@ -237,6 +259,11 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
                 f"unknown scenario(s) {unknown}; choose from {sorted(by_name)}"
             )
         scenarios = [by_name[name] for name in args.scenario]
+    predictor = (
+        _parse_predictor_spec(args.predictor_spec)
+        if args.predictor_spec
+        else args.predictor
+    )
     report = run_campaign(
         CampaignConfig(
             train_seed=args.train_seed,
@@ -244,6 +271,7 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
             injection_seed=args.injection_seed,
             seed=args.seed,
             horizon=args.days * 86_400.0,
+            predictor=predictor,
             scenarios=scenarios,
             attack_mtbf=args.attack_mtbf,
             attack_duration=args.attack_duration,
@@ -395,6 +423,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="predictor registry name (repeatable; default ubf)",
     )
+    fleet.add_argument(
+        "--predictor-spec",
+        action="append",
+        default=None,
+        help="nested predictor spec as JSON (or @file), e.g. "
+        '\'{"name": "noisy-or", "members": ["ubf", "trend"]}\' (repeatable)',
+    )
     fleet.add_argument("--days", type=float, default=2.0)
     fleet.add_argument(
         "--backend", choices=["serial", "process"], default="process"
@@ -524,6 +559,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--eval-seed", type=int, default=21)
     campaign.add_argument("--injection-seed", type=int, default=97)
     campaign.add_argument("--days", type=float, default=2.0)
+    campaign.add_argument(
+        "--predictor",
+        default="ubf",
+        help="registry name of the campaign's primary predictor",
+    )
+    campaign.add_argument(
+        "--predictor-spec",
+        default=None,
+        help="nested predictor spec as JSON (or @file), e.g. "
+        '\'{"name": "noisy-or", "members": ["ubf", "hsmm", "trend"]}\'; '
+        "overrides --predictor",
+    )
     campaign.add_argument("--attack-mtbf", type=float, default=3_600.0)
     campaign.add_argument("--attack-duration", type=float, default=1_200.0)
     campaign.add_argument(

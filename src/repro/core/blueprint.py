@@ -89,7 +89,7 @@ class BlueprintArchitecture:
         if cut < 1 or cut >= x.shape[0]:
             raise ConfigurationError("training set too small to split for stacking")
         for layer in self.layers:
-            layer.predictor.fit(x[:cut, layer.variable_indices], y[:cut])
+            layer.predictor.fit_samples(x[:cut, layer.variable_indices], y[:cut])
         holdout_scores = self.layer_scores(x[cut:])
         self.combiner.fit(holdout_scores, labels[cut:])
         self._fitted = True

@@ -102,6 +102,18 @@ class PFMController:
     predictor_fault_threshold: int = 3
     predictor_retry_cooldown: float = 1_800.0
     action_outcomes: list[ActionOutcome] = field(default_factory=list)
+    # --- criticality-aware arbitration --------------------------------
+    #: Per-target service criticality in [0, 1]; unnamed targets get
+    #: ``default_criticality``.  Scales the Act objective's expected
+    #: benefit, so the same confidence clears the actuation bar sooner
+    #: for critical services (criticality-weighted risk, Sect. 6).
+    target_criticality: dict[str, float] = field(default_factory=dict)
+    default_criticality: float = 1.0
+    #: Event-window length fed to a fused panel's event members when the
+    #: predictor (e.g. a Noisy-OR arbitrator) asks for a live error
+    #: window; matches DatasetConfig.data_window's default.
+    data_window: float = 1_800.0
+    max_window_events: int = 200
     # --- telemetry ----------------------------------------------------
     telemetry: TelemetryHub = NULL_HUB
     rolling_window: int | None = 200
@@ -154,6 +166,23 @@ class PFMController:
             self.event_scorer.predictor, "telemetry"
         ):
             self.event_scorer.predictor.telemetry = self.telemetry
+        # A fused panel (Noisy-OR arbitrator) may sit behind wrapper
+        # layers (fault-injection proxies, adapters); find the innermost
+        # object that owns the arbitration seams and wire them up.  The
+        # walk uses each object's own __dict__ so delegating __getattr__
+        # proxies are traversed rather than mistaken for the arbitrator.
+        self._arbitrator = None
+        target, hops = self.predictor, 0
+        while target is not None and hops < 8:
+            owned = vars(target) if hasattr(target, "__dict__") else {}
+            if "live_window" in owned:
+                self._arbitrator = target
+                target.live_window = self._live_windows
+                if hasattr(target, "telemetry"):
+                    target.telemetry = self.telemetry
+                break
+            target = owned.get("inner")
+            hops += 1
         self.scoring = FallbackPredictor(
             primary=self.predictor,
             secondary=self.fallback_predictor,
@@ -222,6 +251,25 @@ class PFMController:
     def _monitor(self) -> np.ndarray:
         return np.array([self._read_variable(v) for v in self.variables])
 
+    def _live_windows(self, n: int) -> list:
+        """``n`` copies of the error window ending now (arbitration seam).
+
+        Mirrors :meth:`OnlineEventScorer.window_at`, so a panel's event
+        members see exactly the window shape they were calibrated on.
+        """
+        from repro.monitoring.records import EventSequence
+
+        now = self.system.engine.now
+        records = self.system.error_log.window(now - self.data_window, now)[
+            -self.max_window_events :
+        ]
+        window = EventSequence(
+            times=[r.time for r in records],
+            message_ids=[r.message_id for r in records],
+            origin=now - self.data_window,
+        )
+        return [window] * n
+
     def calibrate_confidence(
         self,
         training_scores: np.ndarray,
@@ -246,6 +294,11 @@ class PFMController:
         self._score_scale = (self.predictor.threshold, float(scores.max()))
 
     def _confidence(self, score: float) -> float:
+        # A fused arbitration score already IS a calibrated probability;
+        # re-mapping it through Platt/scale would double-calibrate.
+        source = self._arbitrator if self._arbitrator is not None else self.predictor
+        if getattr(source, "scores_are_probabilities", False):
+            return float(np.clip(score, 0.0, 1.0))
         if self._calibrator is not None:
             return self._calibrator(score)
         if self._score_scale is None:
@@ -293,6 +346,17 @@ class PFMController:
         self.evaluations.append((now, score, warning))
         self.quality.record(now, warning)
         self.quality.resolve(now, self.system.failure_log.failure_times())
+        # Per-member attribution makes a fused warning explainable: emit
+        # who owns how much of the crossed risk alongside the episode.
+        attribution = getattr(self._arbitrator, "last_attribution", None)
+        if warning and attribution is not None and result.source == "primary":
+            self.telemetry.emit(
+                tel_events.ARBITRATION_ATTRIBUTION,
+                fused=attribution.fused,
+                leak_share=attribution.leak_share,
+                member_shares=dict(attribution.member_shares),
+            )
+            self.telemetry.counter("arbitration_warnings_total").inc()
         # Diagnosis is a full pass over all containers -- only pay for it
         # when a warning actually needs a target.
         target = self._suspect() if warning else ""
@@ -352,6 +416,9 @@ class PFMController:
             confidence=evaluation.confidence,
             target=evaluation.target,
             failure_cost=self.failure_cost,
+            criticality=self.target_criticality.get(
+                evaluation.target, self.default_criticality
+            ),
         )
         action = self._choose_action(now, context)
         name = None

@@ -97,15 +97,26 @@ def train_predictor(
 ) -> tuple[SymptomPredictor, np.ndarray]:
     """Fit and threshold-calibrate a predictor on a training simulation.
 
+    Works for any unified :class:`~repro.prediction.base.Predictor`: the
+    training bundle carries whichever views the predictor declares it
+    consumes (feature samples, event sequences, or — for a mixed
+    arbitration panel — both), scores come from the aligned calibration
+    batch, and the warning threshold is set at the max-F point.
+
     Returns ``(predictor, training_scores)``.
     """
     variables = variables or DEFAULT_VARIABLES
     dataset = prepare_simulation(config).run()
-    _, x, y_avail, y_fail = dataset.ubf_samples(variables=variables)
     predictor = predictor or _default_predictor(np.random.default_rng(config.seed))
-    predictor.fit(x, y_avail)
-    scores = predictor.score_samples(x)
-    predictor.calibrate_threshold(scores, y_fail)
+    consumes = getattr(predictor, "consumes", frozenset({"samples"}))
+    data = dataset.training_data(
+        variables=variables,
+        consumes=consumes,
+        rng=np.random.default_rng(config.seed + 917),
+    )
+    predictor.fit(data)
+    scores = predictor.score_batch(data.batch())
+    predictor.calibrate_threshold(scores, data.labels)
     return predictor, scores
 
 

@@ -52,18 +52,37 @@ def _paramset(params) -> ParamSet:
         items = [(k, v) for k, v in params]
     normalized = []
     for key, value in sorted(items):
-        if isinstance(value, dict):
-            value = _paramset(value)
-        elif isinstance(value, list):
-            value = tuple(value)
-        normalized.append((str(key), value))
+        normalized.append((str(key), _paramvalue(value)))
     return tuple(normalized)
 
 
+def _paramvalue(value):
+    """Normalize one param value into a hashable canonical form.
+
+    Dicts become nested ParamSets and list/tuple *elements* are
+    normalized recursively, so nested ensemble specs (lists of member
+    dicts) stay hashable — ``RunSpec`` identity and the per-process
+    training cache both key on these values.
+    """
+    if isinstance(value, dict):
+        return _paramset(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_paramvalue(v) for v in value)
+    return value
+
+
 def _jsonable(value):
-    """ParamSet values back into plain JSON types (tuples -> lists)."""
+    """ParamSet values back into plain JSON types (tuples -> lists).
+
+    A tuple reads back as a dict only when every element is a
+    ``(str, value)`` pair — a nested ParamSet; anything else (including a
+    list of nested ParamSets, e.g. ensemble members) stays a list.
+    """
     if isinstance(value, tuple):
-        if all(isinstance(v, tuple) and len(v) == 2 for v in value) and value:
+        if value and all(
+            isinstance(v, tuple) and len(v) == 2 and isinstance(v[0], str)
+            for v in value
+        ):
             return {k: _jsonable(v) for k, v in value}
         return [_jsonable(v) for v in value]
     return value
@@ -209,9 +228,11 @@ def grid(
 ) -> list[RunSpec]:
     """The cross product ``scenario x seed x predictor`` as RunSpecs.
 
-    ``predictors`` entries are either names or ``(name, params)`` pairs;
-    ``common`` fields (horizon, telemetry, options, ...) are shared by
-    every spec.  Duplicate specs collapse — the grid is a set.
+    ``predictors`` entries are names, ``(name, params)`` pairs, or nested
+    spec dicts (``{"name": "noisy-or", "members": [...]}``, validated via
+    :func:`repro.prediction.registry.normalize_predictor_spec`); ``common``
+    fields (horizon, telemetry, options, ...) are shared by every spec.
+    Duplicate specs collapse — the grid is a set.
     """
     specs: list[RunSpec] = []
     seen: set[str] = set()
@@ -220,6 +241,14 @@ def grid(
             for predictor in predictors:
                 if isinstance(predictor, str):
                     name, params = predictor, ()
+                elif isinstance(predictor, dict):
+                    from repro.prediction.registry import normalize_predictor_spec
+
+                    normalized = normalize_predictor_spec(predictor)
+                    name = normalized["name"]
+                    params = {
+                        k: v for k, v in normalized.items() if k != "name"
+                    }
                 else:
                     name, params = predictor
                 spec = RunSpec(

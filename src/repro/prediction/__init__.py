@@ -21,11 +21,22 @@
 """
 
 from repro.prediction.adaptive import AdaptiveRetrainingPredictor
+from repro.prediction.arbitration import (
+    ArbitrationMember,
+    Attribution,
+    NoisyOrArbitrator,
+)
 from repro.prediction.base import (
     EventPredictor,
+    EventPredictorAdapter,
     Prediction,
+    PredictionBatch,
+    Predictor,
     PredictorInfo,
     SymptomPredictor,
+    SymptomPredictorAdapter,
+    TrainingData,
+    as_predictor,
 )
 from repro.prediction.diagnosis import ComponentRanker, FaultTypeClassifier
 from repro.prediction.online import OnlineEventScorer
@@ -34,9 +45,15 @@ from repro.prediction.metrics import (
     auc,
     roc_curve,
 )
+from repro.prediction.calibration import (
+    IsotonicCalibration,
+    PlattScaling,
+    make_calibrator,
+)
 from repro.prediction.registry import (
     available_predictors,
     make_predictor,
+    normalize_predictor_spec,
     register_predictor,
 )
 from repro.prediction.thresholds import (
@@ -46,13 +63,26 @@ from repro.prediction.thresholds import (
 
 __all__ = [
     "AdaptiveRetrainingPredictor",
+    "ArbitrationMember",
+    "Attribution",
+    "IsotonicCalibration",
+    "NoisyOrArbitrator",
+    "PlattScaling",
+    "make_calibrator",
+    "normalize_predictor_spec",
     "ComponentRanker",
     "FaultTypeClassifier",
     "OnlineEventScorer",
     "EventPredictor",
+    "EventPredictorAdapter",
     "Prediction",
+    "PredictionBatch",
+    "Predictor",
     "PredictorInfo",
     "SymptomPredictor",
+    "SymptomPredictorAdapter",
+    "TrainingData",
+    "as_predictor",
     "ContingencyTable",
     "auc",
     "roc_curve",

@@ -110,7 +110,7 @@ class AdaptiveRetrainingPredictor:
         take = len(self._features) if fresh is None else min(fresh, len(self._features))
         x = np.vstack(list(self._features)[-take:])
         y = np.asarray(self._targets)[-take:]
-        self.predictor.fit(x, y)
+        self.predictor.fit_samples(x, y)
         self.retraining_events.append(
             RetrainingEvent(
                 alarm_at_sample=self._alarm_at or self._samples_seen,

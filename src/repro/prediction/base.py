@@ -1,4 +1,4 @@
-"""Predictor interfaces.
+"""Predictor interfaces: the unified protocol and the two data families.
 
 The taxonomy's two big implemented families differ in their input data:
 
@@ -7,22 +7,56 @@ The taxonomy's two big implemented families differ in their input data:
 - :class:`EventPredictor` consumes event-driven error sequences
   (detected error reporting; "discrete, categorical data").
 
-Both produce a continuous failure-proneness *score* per input; a warning
-is raised when the score crosses the predictor's threshold, which is the
-knob trading precision against recall (Sect. 3.3).
+Historically the two families had incompatible ``fit``/``score``
+signatures, so nothing downstream (ensembles, registry grids, the
+controller) could treat a mixed panel of base learners uniformly.  The
+unified :class:`Predictor` protocol collapses the duality:
+
+- ``fit(data)`` trains on a :class:`TrainingData` bundle carrying
+  whichever inputs the predictor declares it :attr:`~Predictor.consumes`
+  (feature matrices, labeled sequence classes, or both),
+- ``score_batch(batch)`` scores a :class:`PredictionBatch` (or a bare
+  feature matrix / sequence list) into one score per example.
+
+Both existing ABCs now *are* unified predictors: they implement
+``fit``/``score_batch`` by delegating to the family-specific hooks
+(:meth:`SymptomPredictor.fit_samples`,
+:meth:`EventPredictor.fit_sequences`).  The legacy signatures
+(``fit(x, y)`` on symptom predictors, ``fit(failure, nonfailure)`` on
+event predictors) keep working through deprecation-warned shims.
+Duck-typed third-party predictors that only speak one family dialect are
+wrapped by :func:`as_predictor`.
+
+Every predictor produces a continuous failure-proneness *score* per
+input; a warning is raised when the score crosses the predictor's
+threshold, which is the knob trading precision against recall
+(Sect. 3.3).
 """
 
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import NotFittedError
+from repro.errors import ConfigurationError, NotFittedError
 from repro.monitoring.records import EventSequence
 from repro.prediction.metrics import ContingencyTable, auc
 from repro.prediction.thresholds import max_f_threshold
+
+#: Input modalities a predictor can declare in :attr:`Predictor.consumes`.
+SAMPLES = "samples"
+SEQUENCES = "sequences"
+
+
+def _warn_legacy(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -44,6 +78,166 @@ class PredictorInfo:
     description: str = ""
 
 
+@dataclass
+class PredictionBatch:
+    """Aligned multi-modal inputs: one example per row.
+
+    ``x`` holds the feature-vector view (shape ``(n, d)``), ``sequences``
+    the event-window view (length ``n``); row ``i`` of both describes the
+    *same* example (e.g. the same evaluation instant).  Either view may be
+    absent — a predictor that needs a missing view raises a
+    :class:`ConfigurationError` with a pointed message instead of
+    guessing.
+    """
+
+    x: np.ndarray | None = None
+    sequences: list[EventSequence] | None = None
+
+    def __post_init__(self) -> None:
+        if self.x is not None:
+            self.x = np.atleast_2d(np.asarray(self.x, dtype=float))
+        if self.x is None and self.sequences is None:
+            raise ConfigurationError("a PredictionBatch needs x or sequences")
+        if (
+            self.x is not None
+            and self.sequences is not None
+            and self.x.shape[0] != len(self.sequences)
+        ):
+            raise ConfigurationError(
+                f"misaligned batch: {self.x.shape[0]} feature rows vs "
+                f"{len(self.sequences)} sequences"
+            )
+
+    def __len__(self) -> int:
+        if self.x is not None:
+            return int(self.x.shape[0])
+        return len(self.sequences)
+
+    def require_x(self, who: str = "predictor") -> np.ndarray:
+        if self.x is None:
+            raise ConfigurationError(
+                f"{who} consumes feature samples but the batch carries none"
+            )
+        return self.x
+
+    def require_sequences(self, who: str = "predictor") -> list[EventSequence]:
+        if self.sequences is None:
+            raise ConfigurationError(
+                f"{who} consumes event sequences but the batch carries none"
+            )
+        return self.sequences
+
+    @classmethod
+    def coerce(cls, batch) -> "PredictionBatch":
+        """Accept a batch, a bare feature matrix, or a sequence list."""
+        if isinstance(batch, PredictionBatch):
+            return batch
+        if isinstance(batch, np.ndarray):
+            return cls(x=batch)
+        if isinstance(batch, (list, tuple)):
+            if batch and isinstance(batch[0], EventSequence):
+                return cls(sequences=list(batch))
+            if not batch:
+                raise ConfigurationError("cannot coerce an empty list to a batch")
+            return cls(x=np.asarray(batch, dtype=float))
+        raise ConfigurationError(
+            f"cannot coerce {type(batch).__name__} to a PredictionBatch"
+        )
+
+
+@dataclass
+class TrainingData:
+    """Everything a mixed predictor panel can train on, in one bundle.
+
+    Aligned fields (``x``, ``y``, ``labels``, ``sequences``) describe the
+    same examples row by row; ``failure_sequences``/``nonfailure_sequences``
+    are the class-separated sequence sets event predictors train on
+    (Fig. 6).  Builders fill only the fields the consuming predictor
+    declares via :attr:`Predictor.consumes`.
+    """
+
+    #: Feature matrix ``(n, d)`` (symptom monitoring view).
+    x: np.ndarray | None = None
+    #: Regression target per row (e.g. interval availability).
+    y: np.ndarray | None = None
+    #: Boolean failure labels per row (calibration / thresholding).
+    labels: np.ndarray | None = None
+    #: Event window per row, aligned with ``x`` (panel calibration view).
+    sequences: list[EventSequence] | None = None
+    #: Class-separated training sequences (event-predictor fit view).
+    failure_sequences: list[EventSequence] | None = None
+    nonfailure_sequences: list[EventSequence] | None = None
+
+    def __post_init__(self) -> None:
+        if self.x is not None:
+            self.x = np.atleast_2d(np.asarray(self.x, dtype=float))
+        if self.y is not None:
+            self.y = np.asarray(self.y, dtype=float).ravel()
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels, dtype=bool).ravel()
+        n = None
+        for name in ("x", "y", "labels", "sequences"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            size = value.shape[0] if isinstance(value, np.ndarray) else len(value)
+            if n is None:
+                n = size
+            elif size != n:
+                raise ConfigurationError(
+                    f"misaligned training data: field {name!r} has {size} "
+                    f"examples, expected {n}"
+                )
+
+    @classmethod
+    def from_samples(
+        cls, x: np.ndarray, y: np.ndarray, labels: np.ndarray | None = None
+    ) -> "TrainingData":
+        """The symptom-monitoring bundle: features + target (+ labels)."""
+        return cls(x=x, y=y, labels=labels)
+
+    @classmethod
+    def from_sequences(
+        cls,
+        failure_sequences: list[EventSequence],
+        nonfailure_sequences: list[EventSequence],
+    ) -> "TrainingData":
+        """The detected-error bundle: class-separated sequence sets."""
+        return cls(
+            failure_sequences=list(failure_sequences),
+            nonfailure_sequences=list(nonfailure_sequences),
+        )
+
+    def sequence_classes(self) -> tuple[list[EventSequence], list[EventSequence]]:
+        """``(failure, nonfailure)`` sequences for event-predictor training.
+
+        Explicit class-separated sets win; otherwise the aligned
+        ``sequences`` are split by ``labels``.
+        """
+        if self.failure_sequences is not None and self.nonfailure_sequences is not None:
+            return self.failure_sequences, self.nonfailure_sequences
+        if self.sequences is not None and self.labels is not None:
+            failure = [s for s, bad in zip(self.sequences, self.labels) if bad]
+            nonfailure = [s for s, bad in zip(self.sequences, self.labels) if not bad]
+            return failure, nonfailure
+        raise ConfigurationError(
+            "training data carries no event sequences (need "
+            "failure/nonfailure sets, or aligned sequences plus labels)"
+        )
+
+    def target(self) -> np.ndarray:
+        """The regression target, falling back to boolean labels."""
+        if self.y is not None:
+            return self.y
+        if self.labels is not None:
+            return self.labels.astype(float)
+        raise ConfigurationError("training data carries neither y nor labels")
+
+    def batch(self) -> PredictionBatch:
+        """The aligned views as a scoring batch (calibration passes)."""
+        return PredictionBatch(x=self.x, sequences=self.sequences)
+
+
 class _ThresholdMixin:
     """Shared score-thresholding behaviour."""
 
@@ -61,25 +255,98 @@ class _ThresholdMixin:
         return threshold
 
 
-class SymptomPredictor(_ThresholdMixin, abc.ABC):
-    """Predictor over periodic monitoring feature vectors."""
+class Predictor(_ThresholdMixin, abc.ABC):
+    """The unified predictor protocol every family implements.
+
+    ``fit`` takes a :class:`TrainingData` bundle, ``score_batch`` takes a
+    :class:`PredictionBatch` (or anything :meth:`PredictionBatch.coerce`
+    accepts) and returns one failure-proneness score per example.  The
+    :attr:`consumes` set declares which input modalities the predictor
+    needs, so data builders materialize only what is used.
+    """
 
     info: PredictorInfo
+
+    #: Input modalities this predictor reads (subset of {SAMPLES, SEQUENCES}).
+    consumes: frozenset = frozenset()
 
     def __init__(self) -> None:
         self._fitted = False
 
     @abc.abstractmethod
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "SymptomPredictor":
+    def fit(self, data: TrainingData) -> "Predictor":
+        """Train on a :class:`TrainingData` bundle."""
+
+    @abc.abstractmethod
+    def score_batch(self, batch) -> np.ndarray:
+        """Failure-proneness score per example (higher = failure-prone)."""
+
+    def predict_batch(self, batch) -> np.ndarray:
+        """Boolean warnings at the current threshold."""
+        return self.score_batch(batch) >= self.threshold
+
+    def evaluate_batch(self, batch, labels: np.ndarray) -> ContingencyTable:
+        """Contingency table at the current threshold."""
+        return ContingencyTable.from_scores(
+            self.score_batch(batch), np.asarray(labels, dtype=bool), self.threshold
+        )
+
+    def auc_batch(self, batch, labels: np.ndarray) -> float:
+        return auc(self.score_batch(batch), np.asarray(labels, dtype=bool))
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+
+
+class SymptomPredictor(Predictor):
+    """Predictor over periodic monitoring feature vectors.
+
+    Subclasses implement :meth:`fit_samples` and :meth:`score_samples`;
+    the unified ``fit``/``score_batch`` surface delegates to them.  The
+    legacy ``fit(x, y)`` call form still works (deprecation-warned).
+    """
+
+    consumes = frozenset({SAMPLES})
+
+    def fit(self, data, y: np.ndarray | None = None) -> "SymptomPredictor":
+        """Train on a :class:`TrainingData` bundle (or legacy ``(x, y)``)."""
+        if isinstance(data, TrainingData):
+            return self.fit_samples(
+                data.x if data.x is not None else np.empty((0, 0)), data.target()
+            )
+        _warn_legacy(
+            "SymptomPredictor.fit(x, y)",
+            "fit(TrainingData.from_samples(x, y)) or fit_samples(x, y)",
+        )
+        return self.fit_samples(data, y)
+
+    def fit_samples(self, x: np.ndarray, y: np.ndarray) -> "SymptomPredictor":
         """Train on feature matrix ``x`` and target ``y``.
 
         ``y`` may be continuous (e.g. interval availability) or boolean
-        failure labels, depending on the method.
+        failure labels, depending on the method.  Subclasses override
+        this hook; legacy subclasses that still override ``fit(x, y)``
+        directly are delegated to (deprecation-warned).
         """
+        if type(self).fit is not SymptomPredictor.fit:
+            _warn_legacy(
+                f"overriding {type(self).__name__}.fit(x, y)",
+                "overriding fit_samples(x, y)",
+            )
+            return type(self).fit(self, x, y)
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement fit_samples(x, y)"
+        )
 
     @abc.abstractmethod
     def score_samples(self, x: np.ndarray) -> np.ndarray:
         """Failure-proneness score per row (higher = more failure-prone)."""
+
+    def score_batch(self, batch) -> np.ndarray:
+        return self.score_samples(
+            PredictionBatch.coerce(batch).require_x(type(self).__name__)
+        )
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Boolean warnings at the current threshold."""
@@ -94,33 +361,74 @@ class SymptomPredictor(_ThresholdMixin, abc.ABC):
     def auc(self, x: np.ndarray, labels: np.ndarray) -> float:
         return auc(self.score_samples(x), np.asarray(labels, dtype=bool))
 
-    def _require_fitted(self) -> None:
-        if not self._fitted:
-            raise NotFittedError(f"{type(self).__name__} has not been fitted")
 
+class EventPredictor(Predictor):
+    """Predictor over event-driven error sequences.
 
-class EventPredictor(_ThresholdMixin, abc.ABC):
-    """Predictor over event-driven error sequences."""
+    Subclasses implement :meth:`fit_sequences` and :meth:`score_sequence`
+    (optionally overriding :meth:`score_sequences` with a batched path, as
+    the HSMM does); the unified ``fit``/``score_batch`` surface delegates
+    to them.  The legacy ``fit(failure, nonfailure)`` call form still
+    works (deprecation-warned).
+    """
 
-    info: PredictorInfo
+    consumes = frozenset({SEQUENCES})
 
-    def __init__(self) -> None:
-        self._fitted = False
-
-    @abc.abstractmethod
     def fit(
+        self,
+        data,
+        nonfailure_sequences: list[EventSequence] | None = None,
+    ) -> "EventPredictor":
+        """Train on a :class:`TrainingData` bundle (or legacy lists)."""
+        if isinstance(data, TrainingData):
+            failure, nonfailure = data.sequence_classes()
+            return self.fit_sequences(failure, nonfailure)
+        _warn_legacy(
+            "EventPredictor.fit(failure_sequences, nonfailure_sequences)",
+            "fit(TrainingData.from_sequences(...)) or fit_sequences(...)",
+        )
+        return self.fit_sequences(data, nonfailure_sequences)
+
+    def fit_sequences(
         self,
         failure_sequences: list[EventSequence],
         nonfailure_sequences: list[EventSequence],
     ) -> "EventPredictor":
-        """Train on labeled error sequences (Fig. 6)."""
+        """Train on labeled error sequences (Fig. 6).
+
+        Subclasses override this hook; legacy subclasses that still
+        override ``fit(failure, nonfailure)`` directly are delegated to
+        (deprecation-warned).
+        """
+        if type(self).fit is not EventPredictor.fit:
+            _warn_legacy(
+                f"overriding {type(self).__name__}.fit(failure, nonfailure)",
+                "overriding fit_sequences(failure, nonfailure)",
+            )
+            return type(self).fit(self, failure_sequences, nonfailure_sequences)
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement fit_sequences(...)"
+        )
 
     @abc.abstractmethod
     def score_sequence(self, sequence: EventSequence) -> float:
         """Failure-proneness score of one sequence (higher = failure-prone)."""
 
     def score_sequences(self, sequences: list[EventSequence]) -> np.ndarray:
+        """Scores for a batch of sequences.
+
+        The default loops :meth:`score_sequence` per item; predictors with
+        a genuinely batched inference path (the HSMM's
+        ``log_likelihood_batch``) override this, and *every* panel/ensemble
+        scoring path calls this method — never the per-sequence one — so
+        the batched path is used whenever it exists.
+        """
         return np.asarray([self.score_sequence(s) for s in sequences])
+
+    def score_batch(self, batch) -> np.ndarray:
+        return self.score_sequences(
+            PredictionBatch.coerce(batch).require_sequences(type(self).__name__)
+        )
 
     def predict(self, sequence: EventSequence) -> bool:
         return self.score_sequence(sequence) >= self.threshold
@@ -160,6 +468,121 @@ class EventPredictor(_ThresholdMixin, abc.ABC):
         )
         return scores, labels
 
-    def _require_fitted(self) -> None:
-        if not self._fitted:
-            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+
+# ----------------------------------------------------------------------
+# Adapters: duck-typed family predictors -> unified protocol
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SymptomPredictorAdapter(Predictor):
+    """Unified view over any object speaking the symptom dialect.
+
+    The inner object only needs ``score_samples(x)`` (plus, to be
+    trainable, a two-argument fit — ``fit_samples(x, y)`` or legacy
+    ``fit(x, y)``) and a ``threshold``.
+    """
+
+    inner: object = None
+    consumes = frozenset({SAMPLES})
+
+    def __post_init__(self) -> None:
+        super().__init__()
+        self.info = getattr(
+            self.inner, "info", PredictorInfo(type(self.inner).__name__, "adapter")
+        )
+
+    def fit(self, data: TrainingData) -> "SymptomPredictorAdapter":
+        trainer = getattr(self.inner, "fit_samples", None) or self.inner.fit
+        trainer(data.x, data.target())
+        self._fitted = True
+        return self
+
+    def score_batch(self, batch) -> np.ndarray:
+        return np.asarray(
+            self.inner.score_samples(
+                PredictionBatch.coerce(batch).require_x(type(self.inner).__name__)
+            )
+        )
+
+    @property
+    def threshold(self) -> float:  # delegate: one knob, not two
+        return self.inner.threshold
+
+    @threshold.setter
+    def threshold(self, value: float) -> None:
+        self.inner.threshold = float(value)
+
+
+@dataclass
+class EventPredictorAdapter(Predictor):
+    """Unified view over any object speaking the event dialect.
+
+    Scoring goes through the inner ``score_sequences`` batch entry point
+    when it exists (so batched implementations like the HSMM's
+    ``log_likelihood_batch`` path are used), falling back to a
+    ``score_sequence`` loop.
+    """
+
+    inner: object = None
+    consumes = frozenset({SEQUENCES})
+
+    def __post_init__(self) -> None:
+        super().__init__()
+        self.info = getattr(
+            self.inner, "info", PredictorInfo(type(self.inner).__name__, "adapter")
+        )
+
+    def fit(self, data: TrainingData) -> "EventPredictorAdapter":
+        failure, nonfailure = data.sequence_classes()
+        trainer = getattr(self.inner, "fit_sequences", None) or self.inner.fit
+        trainer(failure, nonfailure)
+        self._fitted = True
+        return self
+
+    def score_batch(self, batch) -> np.ndarray:
+        sequences = PredictionBatch.coerce(batch).require_sequences(
+            type(self.inner).__name__
+        )
+        batched = getattr(self.inner, "score_sequences", None)
+        if batched is not None:
+            return np.asarray(batched(sequences))
+        return np.asarray([self.inner.score_sequence(s) for s in sequences])
+
+    @property
+    def threshold(self) -> float:
+        return self.inner.threshold
+
+    @threshold.setter
+    def threshold(self, value: float) -> None:
+        self.inner.threshold = float(value)
+
+
+def as_predictor(obj) -> Predictor:
+    """Coerce anything predictor-shaped into the unified protocol.
+
+    Objects already implementing :class:`Predictor` pass through
+    unchanged; duck-typed symptom/event predictors are wrapped in the
+    matching thin adapter.  Legacy family subclasses that still override
+    ``fit`` with the old signature are wrapped too: their ``fit`` would
+    otherwise shadow the unified ``fit(TrainingData)`` dispatch, while
+    the adapter routes training through the deprecation-warned
+    ``fit_samples`` / ``fit_sequences`` delegation hooks.
+    """
+    if isinstance(obj, SymptomPredictor) and type(obj).fit is not SymptomPredictor.fit:
+        return SymptomPredictorAdapter(inner=obj)
+    if isinstance(obj, EventPredictor) and type(obj).fit is not EventPredictor.fit:
+        return EventPredictorAdapter(inner=obj)
+    if isinstance(obj, Predictor):
+        return obj
+    if hasattr(obj, "score_batch") and hasattr(obj, "fit"):
+        return obj  # structural Predictor from outside the class hierarchy
+    if hasattr(obj, "score_samples"):
+        return SymptomPredictorAdapter(inner=obj)
+    if hasattr(obj, "score_sequence") or hasattr(obj, "score_sequences"):
+        return EventPredictorAdapter(inner=obj)
+    raise ConfigurationError(
+        f"{type(obj).__name__} is not predictor-shaped (no score_batch, "
+        "score_samples, or score_sequence method)"
+    )
+

@@ -52,7 +52,7 @@ class DispersionFrameTechnique(EventPredictor):
         self.window_4in1 = window_4in1
         self.rule_weights = rule_weights
 
-    def fit(
+    def fit_sequences(
         self,
         failure_sequences: list[EventSequence],
         nonfailure_sequences: list[EventSequence],

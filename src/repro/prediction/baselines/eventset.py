@@ -50,7 +50,7 @@ class EventSetPredictor(EventPredictor):
     def _itemset(sequence: EventSequence) -> frozenset[int]:
         return frozenset(int(m) for m in sequence.message_ids)
 
-    def fit(
+    def fit_sequences(
         self,
         failure_sequences: list[EventSequence],
         nonfailure_sequences: list[EventSequence],

@@ -48,7 +48,7 @@ class MSETPredictor(SymptomPredictor):
         self._std: np.ndarray | None = None
         self.memory_: np.ndarray | None = None
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "MSETPredictor":
+    def fit_samples(self, x: np.ndarray, y: np.ndarray) -> "MSETPredictor":
         """Learn exemplars from the *healthy* subset of the training data.
 
         ``y`` is the availability target or boolean failure labels; rows

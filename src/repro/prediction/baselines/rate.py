@@ -39,7 +39,7 @@ class ErrorRatePredictor(EventPredictor):
             return 1.0
         return max(float(sequence.times[-1] - sequence.origin), 1.0)
 
-    def fit(
+    def fit_sequences(
         self,
         failure_sequences: list[EventSequence],
         nonfailure_sequences: list[EventSequence],

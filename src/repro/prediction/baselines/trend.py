@@ -56,7 +56,7 @@ class TrendAnalysisPredictor(SymptomPredictor):
         self.window = window
         self.floor = floor
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "TrendAnalysisPredictor":
+    def fit_samples(self, x: np.ndarray, y: np.ndarray) -> "TrendAnalysisPredictor":
         """Pick the most informative variable when none was designated.
 
         Tries each column and keeps the one whose exhaustion score best

@@ -114,7 +114,7 @@ def evaluate_symptom_predictor(
     name: str | None = None,
 ) -> PredictorReport:
     """Fit, calibrate on training labels, evaluate on the test period."""
-    predictor.fit(x_train, y_train)
+    predictor.fit_samples(x_train, y_train)
     train_scores = predictor.score_samples(x_train)
     test_scores = predictor.score_samples(x_test)
     report = report_from_scores(
@@ -137,7 +137,7 @@ def evaluate_event_predictor(
     name: str | None = None,
 ) -> PredictorReport:
     """Fit on training sequences, calibrate, evaluate on test sequences."""
-    predictor.fit(train_failure, train_nonfailure)
+    predictor.fit_sequences(train_failure, train_nonfailure)
     train_scores, train_labels = predictor._score_labeled(
         train_failure, train_nonfailure
     )

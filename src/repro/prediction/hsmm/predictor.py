@@ -79,7 +79,7 @@ class HSMMPredictor(EventPredictor):
         self.nonfailure_model: HiddenSemiMarkovModel | None = None
         self.log_prior_ratio = 0.0
 
-    def fit(
+    def fit_sequences(
         self,
         failure_sequences: list[EventSequence],
         nonfailure_sequences: list[EventSequence],

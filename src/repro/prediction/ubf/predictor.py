@@ -67,7 +67,7 @@ class UBFPredictor(SymptomPredictor):
         self.selection_: SelectionResult | None = None
         self.selected_indices_: list[int] | None = None
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "UBFPredictor":
+    def fit_samples(self, x: np.ndarray, y: np.ndarray) -> "UBFPredictor":
         """Train on monitoring features ``x`` and target availability ``y``.
 
         ``y`` should be the continuous failure indicator (interval service

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.controller import PFMController, default_repertoire
-from repro.core.experiment import DEFAULT_VARIABLES, _default_predictor
+from repro.core.experiment import DEFAULT_VARIABLES
 from repro.errors import ConfigurationError
 from repro.fleet.spec import RunResult, RunSpec
 from repro.faults.pfm_injectors import (
@@ -42,7 +42,11 @@ from repro.faults.pfm_injectors import (
     PredictorLatencyInjector,
     flaky_repertoire,
 )
+from repro.prediction.arbitration import NoisyOrArbitrator
 from repro.prediction.baselines.mset import MSETPredictor
+from repro.prediction.metrics import ContingencyTable, auc
+from repro.prediction.registry import make_predictor, normalize_predictor_spec
+from repro.prediction.thresholds import max_f_threshold
 from repro.resilience.sanitizer import GaugeSanitizer
 from repro.telecom.dataset import DatasetConfig, prepare_simulation
 from repro.telemetry import events as tel_events
@@ -133,6 +137,12 @@ class CampaignConfig:
     horizon: float = 2 * 86_400.0
     variables: list[str] | None = None
     dataset: DatasetConfig | None = None
+    #: Primary-predictor spec: a registry name (``"ubf"``) or a nested
+    #: ensemble dict (``{"name": "noisy-or", "members": [...]}``); see
+    #: :func:`repro.prediction.registry.normalize_predictor_spec`.  The
+    #: normalized form is stored, so two configs naming the same panel
+    #: compare (and cache) equal.
+    predictor: str | dict = "ubf"
     scenarios: list[PFMFaultScenario] = field(default_factory=default_scenarios)
     #: Episodic attack process parameters (exponential gaps, fixed bursts).
     attack_mtbf: float = 3_600.0
@@ -155,6 +165,7 @@ class CampaignConfig:
             self.train_seed = self.seed
             self.eval_seed = self.seed + 1000
             self.injection_seed = self.seed + 2000
+        self.predictor = normalize_predictor_spec(self.predictor)
         if self.telemetry_dir is not None:
             self.telemetry = True
 
@@ -186,6 +197,11 @@ class ScenarioResult:
     trace_path: str | None = None
     metrics_state: list | None = None
     wall_seconds: float = 0.0
+    #: Training-time quality comparison of the primary (fused and, for an
+    #: ensemble, per member) against the secondary — see
+    #: :func:`_predictor_quality`.  Identical across rows of one campaign
+    #: (the models are trained once and shared).
+    predictor_quality: dict = field(default_factory=dict)
 
     @property
     def step_failures(self) -> int:
@@ -209,6 +225,13 @@ class CampaignReport:
     horizon: float
     #: The resolved RNG seeds, echoed so any row can be reproduced.
     seeds: dict = field(default_factory=dict)
+    #: The normalized primary-predictor spec the campaign trained.
+    predictor: dict = field(default_factory=dict)
+
+    @property
+    def predictor_quality(self) -> dict:
+        """Training-grid quality comparison (shared by every PFM row)."""
+        return self.healthy.predictor_quality
 
     def graceful(self, result: ScenarioResult) -> bool:
         """Did this attacked run degrade gracefully?
@@ -248,6 +271,34 @@ class CampaignReport:
                 f"{result.resilience['fallback_scores']:8d} {graceful:>8s}"
             )
         lines.append(f"all attacked scenarios graceful: {self.all_graceful}")
+        quality = self.predictor_quality
+        if quality:
+            for role in ("primary", "secondary"):
+                entry = quality.get(role)
+                if not entry:
+                    continue
+                area = entry["auc"]
+                lines.append(
+                    f"{role} [{entry['name']}]: "
+                    f"auc={'n/a' if area is None else format(area, '.4f')} "
+                    f"precision={entry['precision']:.3f} "
+                    f"recall={entry['recall']:.3f}"
+                )
+            for name, entry in sorted(quality.get("members", {}).items()):
+                area = entry["auc"]
+                lines.append(
+                    f"  member {name} (c={entry['criticality']:.2f}): "
+                    f"auc={'n/a' if area is None else format(area, '.4f')} "
+                    f"precision={entry['precision']:.3f} "
+                    f"recall={entry['recall']:.3f}"
+                )
+            best = quality.get("best_single")
+            margin = quality.get("fused_minus_best_single_auc")
+            if best is not None and margin is not None:
+                lines.append(
+                    f"fused vs best single ({best['name']}): "
+                    f"auc margin {margin:+.4f}"
+                )
         for result in [self.healthy, *self.attacked]:
             if result.trace_path:
                 lines.append(
@@ -290,6 +341,8 @@ class CampaignReport:
             {
                 "horizon": self.horizon,
                 "seeds": self.seeds,
+                "predictor": self.predictor or None,
+                "predictor_quality": self.predictor_quality or None,
                 "baseline": {
                     "availability": self.baseline_availability,
                     "failures": self.baseline_failures,
@@ -310,32 +363,115 @@ class CampaignReport:
 
 def _train_models(
     config: CampaignConfig, variables: list[str]
-) -> tuple[object, object, np.ndarray]:
-    """Fit the primary (UBF) and secondary (MSET) on one training run."""
+) -> tuple[object, object, np.ndarray, dict]:
+    """Fit the primary (per ``config.predictor``) and secondary (MSET).
+
+    Returns ``(primary, secondary, training_scores, quality)`` where
+    ``quality`` is the :func:`_predictor_quality` comparison computed on
+    the training grid (the only place all members, the fused score and
+    the secondary are scored on the same aligned rows).
+    """
     base = config.dataset or DatasetConfig()
     train_config = replace(base, seed=config.train_seed, horizon=config.horizon)
     dataset = prepare_simulation(train_config).run()
-    _, x, y_avail, y_fail = dataset.ubf_samples(variables=variables)
 
     rng = np.random.default_rng(config.train_seed)
-    primary = _default_predictor(rng)
-    primary.fit(x, y_avail)
-    training_scores = primary.score_samples(x)
-    primary.calibrate_threshold(training_scores, y_fail)
+    primary = make_predictor(config.predictor, rng=rng)
+    data = dataset.training_data(
+        variables=variables,
+        consumes=getattr(primary, "consumes", frozenset({"samples"})),
+        rng=np.random.default_rng(config.train_seed + 917),
+    )
+    primary.fit(data)
+    training_scores = primary.score_batch(data.batch())
+    primary.calibrate_threshold(training_scores, data.labels)
 
     secondary = MSETPredictor(
         n_exemplars=16, rng=np.random.default_rng(config.train_seed + 1)
     )
-    secondary.fit(x, y_avail)
-    secondary_scores = secondary.score_samples(x)
-    secondary.calibrate_threshold(secondary_scores, y_fail)
+    secondary.fit_samples(data.x, data.y)
+    secondary_scores = secondary.score_samples(data.x)
+    secondary.calibrate_threshold(secondary_scores, data.labels)
     # Degraded mode must be precision-first: a fallback that warns on
     # half the observations turns the PFM layer itself into the hazard
     # (spurious restarts cost more than the failures they pre-empt).
     secondary.set_threshold(
         max(secondary.threshold, float(np.quantile(secondary_scores, 0.98)))
     )
-    return primary, secondary, training_scores
+    quality = _predictor_quality(
+        primary, secondary, data, training_scores, secondary_scores
+    )
+    return primary, secondary, training_scores, quality
+
+
+def _predictor_quality(
+    primary,
+    secondary,
+    data,
+    training_scores: np.ndarray,
+    secondary_scores: np.ndarray,
+) -> dict:
+    """Fused-vs-single quality comparison on the training grid.
+
+    One row (precision / recall / AUC / F at the operating threshold) for
+    the primary and the MSET secondary; when the primary is a Noisy-OR
+    panel, one row per member (scored on its calibrated activation
+    probabilities at that member's max-F threshold) plus the best single
+    learner and the fused-minus-best AUC margin — the number that says
+    whether arbitration earned its keep.
+    """
+    labels = np.asarray(data.labels, dtype=bool)
+
+    def row(scores, threshold=None) -> dict:
+        scores = np.asarray(scores, dtype=float).ravel()
+        if threshold is None:
+            threshold, _ = max_f_threshold(scores, labels)
+        table = ContingencyTable.from_scores(scores, labels, float(threshold))
+        try:
+            area = float(auc(scores, labels))
+        except ConfigurationError:
+            area = None  # single-class training grid: AUC undefined
+        return {
+            "auc": area,
+            "f_measure": table.f_measure,
+            "precision": table.precision,
+            "recall": table.recall,
+            "threshold": float(threshold),
+        }
+
+    primary_name = getattr(getattr(primary, "info", None), "name", "primary")
+    quality: dict = {
+        "primary": {"name": primary_name, **row(training_scores, primary.threshold)},
+        "secondary": {"name": "mset", **row(secondary_scores, secondary.threshold)},
+    }
+    if isinstance(primary, NoisyOrArbitrator):
+        probabilities = primary.member_probabilities(data.batch())
+        members = {}
+        for j, member in enumerate(primary.members):
+            members[member.name] = {
+                "criticality": float(member.criticality),
+                **row(probabilities[:, j]),
+            }
+        quality["members"] = members
+        candidates = [
+            (m["auc"] if m["auc"] is not None else 0.0, name)
+            for name, m in members.items()
+        ]
+        candidates.append(
+            (
+                quality["secondary"]["auc"]
+                if quality["secondary"]["auc"] is not None
+                else 0.0,
+                "mset",
+            )
+        )
+        best_auc, best_name = max(candidates)
+        fused_auc = quality["primary"]["auc"]
+        quality["best_single"] = {"auc": best_auc, "name": best_name}
+        quality["fused_minus_best_single_auc"] = (
+            fused_auc - best_auc if fused_auc is not None else None
+        )
+    return quality
 
 
 def _build_injectors(
@@ -380,6 +516,7 @@ def _run_scenario(
     primary,
     secondary,
     training_scores: np.ndarray,
+    quality: dict | None = None,
 ) -> ScenarioResult:
     """One PFM run on the evaluation faultload under this scenario's attacks."""
     base = config.dataset or DatasetConfig()
@@ -446,6 +583,7 @@ def _run_scenario(
         trace_path=trace_path,
         metrics_state=hub.registry.to_state() if config.telemetry else None,
         wall_seconds=wall_seconds,
+        predictor_quality=quality or {},
     )
 
 
@@ -533,6 +671,7 @@ def _config_from_spec(spec: RunSpec) -> CampaignConfig:
         attack_latency=spec.option(
             "attack_latency", _ATTACK_DEFAULTS["attack_latency"]
         ),
+        predictor=spec.option("predictor") or "ubf",
         telemetry=spec.telemetry,
         telemetry_dir=spec.option("telemetry_dir"),
     )
@@ -552,6 +691,7 @@ def _train_key(spec: RunSpec) -> tuple:
         spec.horizon,
         spec.variables,
         repr(spec.option("dataset")),
+        repr(spec.option("predictor")),
     )
 
 
@@ -587,6 +727,10 @@ def campaign_specs(config: CampaignConfig | None = None) -> list[RunSpec]:
     }
     if config.dataset is not None:
         options["dataset"] = config.dataset
+    if config.predictor != {"name": "ubf"}:
+        # Only a non-default panel rides in the spec: bare-ubf campaigns
+        # keep their historical shard keys (and ledger identities).
+        options["predictor"] = config.predictor
     if config.telemetry_dir is not None:
         options["telemetry_dir"] = config.telemetry_dir
     common = {
@@ -653,11 +797,19 @@ def run_scenario_spec(spec: RunSpec) -> RunResult:
         online_quality=result.online_quality,
         telemetry_events=result.telemetry_events,
         metrics_state=result.metrics_state,
-        artifacts=(
-            {"trace_path": result.trace_path} if result.trace_path else {}
-        ),
+        artifacts=_shard_artifacts(result),
         wall_seconds=result.wall_seconds,
     )
+
+
+def _shard_artifacts(result: ScenarioResult) -> dict:
+    """JSON-able extras a campaign shard carries back through the fleet."""
+    artifacts: dict = {}
+    if result.trace_path:
+        artifacts["trace_path"] = result.trace_path
+    if result.predictor_quality:
+        artifacts["predictor_quality"] = result.predictor_quality
+    return artifacts
 
 
 def _scenario_result(scenario: PFMFaultScenario, result: RunResult) -> ScenarioResult:
@@ -677,12 +829,13 @@ def _scenario_result(scenario: PFMFaultScenario, result: RunResult) -> ScenarioR
         trace_path=result.artifacts.get("trace_path"),
         metrics_state=result.metrics_state,
         wall_seconds=result.wall_seconds,
+        predictor_quality=result.artifacts.get("predictor_quality") or {},
     )
 
 
 def run_campaign(
     config: CampaignConfig | None = None,
-    trained: tuple[object, object, np.ndarray] | None = None,
+    trained: tuple | None = None,
     *,
     backend: str = "serial",
     workers: int | None = None,
@@ -700,9 +853,9 @@ def run_campaign(
     fans scenarios across workers, and ``ledger_path`` checkpoints
     completed scenarios for resume.
 
-    Pass ``trained = (primary, secondary, training_scores)`` (the tuple
-    :func:`_train_models` returns) to skip training -- used by the
-    overhead benchmark to compare otherwise-identical runs.  Injected
+    Pass ``trained = (primary, secondary, training_scores, quality)``
+    (the tuple :func:`_train_models` returns) to skip training -- used by
+    the overhead benchmark to compare otherwise-identical runs.  Injected
     models force the serial backend (they cannot cross process
     boundaries into a fresh worker's cache).
     """
@@ -739,4 +892,5 @@ def run_campaign(
         attacked=attacked,
         horizon=config.horizon,
         seeds=config.seeds(),
+        predictor=dict(config.predictor),
     )

@@ -165,6 +165,62 @@ class TelecomDataset:
         y_fail = y_avail < cfg.scp.required_availability
         return grid, x, y_avail, y_fail
 
+    def panel_sequences(
+        self,
+        grid: np.ndarray | None = None,
+        max_events: int = 200,
+    ) -> list[EventSequence]:
+        """One error window per sampling instant, aligned with the grid.
+
+        Each sequence covers ``[t - data_window, t)`` — the same window
+        shape :class:`~repro.prediction.online.OnlineEventScorer` feeds a
+        live event predictor — so scores over these sequences line up row
+        by row with :meth:`ubf_samples` features and labels.  This is the
+        calibration view a mixed predictor panel trains its per-member
+        calibrators on.
+        """
+        cfg = self.config
+        grid = self.sample_grid() if grid is None else np.asarray(grid, dtype=float)
+        log = self.error_log
+        sequences: list[EventSequence] = []
+        for t in grid:
+            records = log.window(t - cfg.data_window, t)[-max_events:]
+            sequences.append(
+                EventSequence(
+                    times=[r.time for r in records],
+                    message_ids=[r.message_id for r in records],
+                    origin=float(t) - cfg.data_window,
+                )
+            )
+        return sequences
+
+    def training_data(
+        self,
+        variables: list[str] | None = None,
+        consumes: frozenset | set | None = None,
+        grid: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        """A :class:`~repro.prediction.base.TrainingData` bundle.
+
+        ``consumes`` (a predictor's declared input modalities) controls
+        which views are materialized: the feature/label view is always
+        built (labels drive threshold calibration), the sequence views
+        only when ``"sequences"`` is requested — extracting class-labeled
+        training sequences and the grid-aligned calibration panel is not
+        free.
+        """
+        from repro.prediction.base import SEQUENCES, TrainingData
+
+        times, x, y_avail, y_fail = self.ubf_samples(variables=variables, grid=grid)
+        data = TrainingData(x=x, y=y_avail, labels=y_fail)
+        if consumes is not None and SEQUENCES in consumes:
+            failure, nonfailure = self.error_sequences(rng=rng)
+            data.sequences = self.panel_sequences(grid=times)
+            data.failure_sequences = failure
+            data.nonfailure_sequences = nonfailure
+        return data
+
     # ------------------------------------------------------------------
     # Error sequences (detected error reporting, Fig. 6)
     # ------------------------------------------------------------------

@@ -39,6 +39,7 @@ SANITIZER_SUBSTITUTION = "sanitizer.substitution"
 SANITIZER_STALE = "sanitizer.stale"
 WARNING_EPISODE = "pfm.warning_episode"
 COOLDOWN_SUPPRESSED = "pfm.cooldown_suppressed"
+ARBITRATION_ATTRIBUTION = "arbitration.attribution"
 RUN_START = "run.start"
 RUN_END = "run.end"
 

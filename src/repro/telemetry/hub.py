@@ -33,6 +33,11 @@ from repro.telemetry.sinks import NULL_SINK, MemorySink
 from repro.telemetry.spans import ERROR, NULL_SPAN, Span
 
 
+def _zero_clock() -> float:
+    """Default clock before binding (module-level so hubs pickle)."""
+    return 0.0
+
+
 class _SpanContext:
     """Context manager that opens a span on enter and closes it on exit."""
 
@@ -85,7 +90,7 @@ class TelemetryHub:
         reservoir_size: int = 256,
     ) -> None:
         self.enabled = enabled
-        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        self.clock: Callable[[], float] = clock or _zero_clock
         self._clock_bound = clock is not None
         if sink is None:
             sink = MemorySink() if enabled else NULL_SINK

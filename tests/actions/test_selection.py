@@ -103,3 +103,50 @@ class TestValidation:
         selector = ActionSelector()
         selector.add(StateCleanupAction()).add(LowerLoadAction())
         assert len(selector.repertoire) == 2
+
+class TestCriticality:
+    def test_utility_scales_with_criticality(self, scp):
+        selector = full_selector()
+        action = selector.repertoire[0]
+        utilities = [
+            selector.utility(
+                action,
+                SelectionContext(
+                    confidence=0.8, target="container-0", criticality=k
+                ),
+            )
+            for k in (0.1, 0.5, 1.0)
+        ]
+        assert utilities[0] < utilities[1] < utilities[2]
+
+    def test_default_criticality_preserves_historical_utility(self, scp):
+        """k=1 must reproduce the pre-criticality objective exactly."""
+        selector = full_selector()
+        action = selector.repertoire[0]
+        context = SelectionContext(confidence=0.8, target="container-0")
+        expected = (
+            context.confidence * action.success_probability * context.failure_cost
+            - action.cost
+            - context.complexity_weight * action.complexity
+        )
+        assert selector.utility(action, context) == pytest.approx(expected)
+
+    def test_low_criticality_suppresses_action(self, scp):
+        """An expendable target should not clear the actuation bar."""
+        scp.containers[0].leak_memory(500.0)
+        selector = full_selector()
+        critical = SelectionContext(
+            confidence=0.95, target="container-0", failure_cost=12.0
+        )
+        expendable = SelectionContext(
+            confidence=0.95,
+            target="container-0",
+            failure_cost=12.0,
+            criticality=0.01,
+        )
+        assert selector.select(scp, critical) is not None
+        assert selector.select(scp, expendable) is None
+
+    def test_criticality_validated(self):
+        with pytest.raises(ConfigurationError):
+            SelectionContext(confidence=0.5, target="x", criticality=1.5)

@@ -165,3 +165,39 @@ class TestRunResult:
 
     def test_empty_metrics_registry_when_no_state(self):
         assert len(self._result().metrics_registry()) == 0
+
+class TestNestedPredictorSpecs:
+    NESTED = {
+        "name": "noisy-or",
+        "members": ["ubf", "trend", "trend"],
+        "criticality": {"trend": 0.5},
+    }
+
+    def test_grid_accepts_spec_dicts(self):
+        specs = grid(["closed-loop"], seeds=[1], predictors=[self.NESTED])
+        assert len(specs) == 1
+        assert specs[0].predictor == "noisy-or"
+        members = specs[0].params()["members"]
+        assert [m["alias"] for m in members] == ["ubf", "trend", "trend-2"]
+
+    def test_nested_spec_is_hashable_and_picklable(self):
+        spec = grid(["closed-loop"], seeds=[1], predictors=[self.NESTED])[0]
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+    def test_nested_spec_json_round_trip(self):
+        spec = grid(["closed-loop"], seeds=[1], predictors=[self.NESTED])[0]
+        clone = RunSpec.from_json_dict(spec.to_json_dict())
+        assert clone == spec
+        assert clone.key() == spec.key()
+        assert clone.params() == spec.params()
+
+    def test_equivalent_spec_forms_share_a_key(self):
+        from repro.prediction.registry import normalize_predictor_spec
+
+        raw = grid(["closed-loop"], seeds=[1], predictors=[self.NESTED])[0]
+        normalized = grid(
+            ["closed-loop"],
+            seeds=[1],
+            predictors=[normalize_predictor_spec(self.NESTED)],
+        )[0]
+        assert raw.key() == normalized.key()

@@ -2,7 +2,13 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, NotFittedError
-from repro.prediction.calibration import PlattScaling, expected_calibration_error
+from repro.prediction.calibration import (
+    CALIBRATORS,
+    IsotonicCalibration,
+    PlattScaling,
+    expected_calibration_error,
+    make_calibrator,
+)
 
 
 @pytest.fixture()
@@ -78,3 +84,56 @@ class TestECE:
             expected_calibration_error(np.array([0.5]), np.array([True]), n_bins=0)
         with pytest.raises(ConfigurationError):
             expected_calibration_error(np.array([0.5, 0.5]), np.array([True]))
+
+
+class TestIsotonicCalibration:
+    def test_monotone(self, logistic_data):
+        scores, labels, _ = logistic_data
+        iso = IsotonicCalibration().fit(scores, labels)
+        grid = np.linspace(scores.min(), scores.max(), 200)
+        probs = iso.predict_proba(grid)
+        assert np.all(np.diff(probs) >= -1e-12)
+
+    def test_bounded(self, logistic_data):
+        scores, labels, _ = logistic_data
+        iso = IsotonicCalibration().fit(scores, labels)
+        probs = iso.predict_proba(np.linspace(-10.0, 10.0, 100))
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+
+    def test_close_to_logistic_truth(self, logistic_data):
+        scores, labels, p_true = logistic_data
+        iso = IsotonicCalibration().fit(scores, labels)
+        inner = (scores > np.quantile(scores, 0.05)) & (
+            scores < np.quantile(scores, 0.95)
+        )
+        error = np.abs(iso.predict_proba(scores[inner]) - p_true[inner])
+        assert np.mean(error) < 0.1
+
+    def test_calibration_improves_ece(self, rng):
+        scores = rng.normal(0.0, 3.0, 4_000)
+        p_true = 1.0 / (1.0 + np.exp(-scores))
+        labels = rng.random(scores.size) < p_true
+        raw_as_prob = 1.0 / (1.0 + np.exp(-scores / 10.0))  # too flat
+        iso = IsotonicCalibration().fit(scores, labels)
+        assert expected_calibration_error(
+            iso.predict_proba(scores), labels
+        ) < expected_calibration_error(raw_as_prob, labels)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ConfigurationError):
+            IsotonicCalibration().fit(np.array([1.0, 2.0]), np.array([True, True]))
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            IsotonicCalibration().predict_proba(np.array([0.0]))
+
+
+class TestMakeCalibrator:
+    def test_registry_names(self):
+        assert set(CALIBRATORS) == {"platt", "isotonic"}
+        assert isinstance(make_calibrator("platt"), PlattScaling)
+        assert isinstance(make_calibrator("isotonic"), IsotonicCalibration)
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            make_calibrator("magic")

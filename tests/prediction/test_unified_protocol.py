@@ -1,0 +1,192 @@
+"""Unified Predictor protocol: TrainingData, adapters, legacy shims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction import (
+    EventPredictorAdapter,
+    PredictionBatch,
+    SymptomPredictorAdapter,
+    TrainingData,
+    as_predictor,
+)
+from repro.prediction.base import EventPredictor, SymptomPredictor
+from repro.monitoring.records import EventSequence
+
+
+class MeanScorer(SymptomPredictor):
+    """New-style symptom predictor (implements the hooks)."""
+
+    def fit_samples(self, x, y):
+        self._fitted = True
+        return self
+
+    def score_samples(self, x):
+        return np.asarray(x, dtype=float).mean(axis=1)
+
+
+class LegacyScorer(SymptomPredictor):
+    """Old-style subclass that still overrides ``fit(x, y)`` directly."""
+
+    def fit(self, x, y):  # pre-unification signature
+        self.mean_ = float(np.asarray(x).mean())
+        self._fitted = True
+        return self
+
+    def score_samples(self, x):
+        return np.asarray(x, dtype=float).mean(axis=1) - self.mean_
+
+
+class LegacyBurst(EventPredictor):
+    """Old-style event subclass overriding ``fit(failure, nonfailure)``."""
+
+    def fit(self, failure_sequences, nonfailure_sequences):
+        self._fitted = True
+        return self
+
+    def score_sequence(self, sequence):
+        return float(len(sequence.times))
+
+
+def _sequences(n, events, label):
+    return [
+        EventSequence(
+            times=list(np.linspace(0.0, 10.0, events)),
+            message_ids=[1] * events,
+            label=label,
+        )
+        for _ in range(n)
+    ]
+
+
+class TestTrainingData:
+    def test_from_samples_round_trip(self, rng):
+        x = rng.normal(size=(20, 3))
+        y = rng.random(20)
+        data = TrainingData.from_samples(x, y)
+        np.testing.assert_array_equal(data.x, x)
+        np.testing.assert_array_equal(data.target(), y)
+        batch = data.batch()
+        assert isinstance(batch, PredictionBatch)
+        np.testing.assert_array_equal(batch.x, x)
+
+    def test_target_falls_back_to_labels(self, rng):
+        labels = rng.random(10) < 0.5
+        data = TrainingData(x=rng.normal(size=(10, 2)), y=None, labels=labels)
+        np.testing.assert_array_equal(data.target(), labels.astype(float))
+
+    def test_batch_coerce_accepts_array(self, rng):
+        x = rng.normal(size=(5, 2))
+        batch = PredictionBatch.coerce(x)
+        np.testing.assert_array_equal(batch.x, x)
+        assert PredictionBatch.coerce(batch) is batch
+
+    def test_batch_requires_alignment(self, rng):
+        with pytest.raises(ConfigurationError):
+            PredictionBatch(
+                x=rng.normal(size=(3, 2)), sequences=_sequences(2, 3, None)
+            )
+
+    def test_require_missing_view(self, rng):
+        batch = PredictionBatch(x=rng.normal(size=(3, 2)))
+        with pytest.raises(ConfigurationError):
+            batch.require_sequences("test")
+
+
+class TestLegacyShims:
+    def test_legacy_call_form_warns_and_fits(self, rng):
+        x, y = rng.normal(size=(30, 2)), rng.random(30)
+        predictor = MeanScorer()
+        with pytest.warns(DeprecationWarning):
+            predictor.fit(x, y)
+        assert predictor.score_samples(x).shape == (30,)
+
+    def test_legacy_symptom_subclass_still_instantiates(self, rng):
+        """Overriding fit(x, y) directly must not break instantiation."""
+        x, y = rng.normal(size=(30, 2)), rng.random(30)
+        predictor = LegacyScorer()
+        with pytest.warns(DeprecationWarning):
+            predictor.fit_samples(x, y)
+        assert predictor.mean_ == pytest.approx(float(x.mean()))
+
+    def test_legacy_symptom_subclass_through_unified_fit(self, rng):
+        """as_predictor wraps fit-overriders so fit(TrainingData) works."""
+        data = TrainingData.from_samples(rng.normal(size=(30, 2)), rng.random(30))
+        adapted = as_predictor(LegacyScorer())
+        assert isinstance(adapted, SymptomPredictorAdapter)
+        with pytest.warns(DeprecationWarning):
+            adapted.fit(data)
+        scores = adapted.score_batch(data.batch())
+        assert scores.shape == (30,)
+
+    def test_legacy_event_subclass_through_unified_fit(self):
+        data = TrainingData(
+            failure_sequences=_sequences(3, 8, True),
+            nonfailure_sequences=_sequences(3, 2, False),
+        )
+        adapted = as_predictor(LegacyBurst())
+        assert isinstance(adapted, EventPredictorAdapter)
+        with pytest.warns(DeprecationWarning):
+            adapted.fit(data)
+        batch = PredictionBatch(sequences=_sequences(2, 5, None))
+        np.testing.assert_allclose(adapted.score_batch(batch), [5.0, 5.0])
+
+    def test_event_legacy_hook_delegation_warns(self):
+        predictor = LegacyBurst()
+        with pytest.warns(DeprecationWarning):
+            predictor.fit_sequences(
+                _sequences(2, 4, True), _sequences(2, 2, False)
+            )
+        assert predictor._fitted
+
+
+class TestAdapters:
+    class DuckSymptom:
+        """Not a Predictor subclass at all — just speaks the dialect."""
+
+        threshold = 0.5
+
+        def fit(self, x, y):
+            return self
+
+        def score_samples(self, x):
+            return np.asarray(x, dtype=float)[:, 0]
+
+    class DuckEvent:
+        threshold = 0.5
+
+        def fit(self, failure, nonfailure):
+            return self
+
+        def score_sequence(self, sequence):
+            return float(len(sequence.times))
+
+    def test_as_predictor_passthrough(self):
+        predictor = MeanScorer()
+        assert as_predictor(predictor) is predictor
+
+    def test_symptom_duck_is_adapted(self, rng):
+        adapted = as_predictor(self.DuckSymptom())
+        assert isinstance(adapted, SymptomPredictorAdapter)
+        data = TrainingData.from_samples(rng.normal(size=(10, 2)), rng.random(10))
+        adapted.fit(data)
+        assert adapted.score_batch(data.batch()).shape == (10,)
+
+    def test_event_duck_is_adapted(self):
+        adapted = as_predictor(self.DuckEvent())
+        assert isinstance(adapted, EventPredictorAdapter)
+        assert adapted.consumes == frozenset({"sequences"})
+
+    def test_adapter_threshold_delegates(self):
+        duck = self.DuckSymptom()
+        adapted = as_predictor(duck)
+        adapted.threshold = 0.9
+        assert duck.threshold == 0.9
+        assert adapted.threshold == 0.9
+
+    def test_unadaptable_object_rejected(self):
+        with pytest.raises(ConfigurationError):
+            as_predictor(object())

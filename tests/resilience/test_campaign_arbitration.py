@@ -1,0 +1,106 @@
+"""Campaign with a Noisy-OR primary: spec plumbing and fused-vs-single report.
+
+One short (0.5 simulated days) campaign run with a three-member panel is
+shared by all integration assertions; everything else is pure plumbing.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.spec import RunSpec
+from repro.resilience.campaign import (
+    CampaignConfig,
+    PFMFaultScenario,
+    _config_from_spec,
+    _train_key,
+    campaign_specs,
+    run_campaign,
+)
+
+PANEL = {
+    "name": "noisy-or",
+    "members": ["ubf", "hsmm", "rate"],
+    "criticality": {"hsmm": 0.8},
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_campaign(
+        CampaignConfig(
+            seed=7,
+            horizon=0.5 * 86_400.0,
+            predictor=PANEL,
+            scenarios=[
+                PFMFaultScenario(
+                    "predictor-exceptions", predictor_exceptions=True
+                )
+            ],
+        )
+    )
+
+
+class TestSpecPlumbing:
+    def test_default_campaign_omits_predictor_option(self):
+        """Bare-ubf campaigns keep their historical shard identities."""
+        for spec in campaign_specs(CampaignConfig()):
+            assert spec.option("predictor") is None
+        assert _config_from_spec(RunSpec(scenario="healthy-pfm")).predictor == {
+            "name": "ubf"
+        }
+
+    def test_panel_rides_in_spec_options(self):
+        config = CampaignConfig(predictor=PANEL)
+        specs = campaign_specs(config)
+        carried = specs[1].option("predictor")
+        assert carried["name"] == "noisy-or"
+        rebuilt = _config_from_spec(specs[1])
+        assert rebuilt.predictor == config.predictor
+
+    def test_train_key_distinguishes_predictors(self):
+        default = campaign_specs(CampaignConfig())[1]
+        panel = campaign_specs(CampaignConfig(predictor=PANEL))[1]
+        assert _train_key(default) != _train_key(panel)
+
+    def test_config_normalizes_predictor(self):
+        assert CampaignConfig().predictor == {"name": "ubf"}
+        config = CampaignConfig(predictor=PANEL)
+        assert [m["alias"] for m in config.predictor["members"]] == [
+            "ubf",
+            "hsmm",
+            "rate",
+        ]
+
+
+class TestFusedCampaign:
+    def test_quality_comparison_in_report(self, report):
+        quality = report.predictor_quality
+        assert quality["primary"]["name"] == "noisy-or"
+        assert set(quality["members"]) == {"ubf", "hsmm", "rate"}
+        assert quality["members"]["hsmm"]["criticality"] == 0.8
+        assert "best_single" in quality
+        assert "fused_minus_best_single_auc" in quality
+        for entry in [quality["primary"], *quality["members"].values()]:
+            assert 0.0 <= entry["precision"] <= 1.0
+            assert 0.0 <= entry["recall"] <= 1.0
+
+    def test_fused_scores_behave_as_probabilities(self, report):
+        """The fused operating threshold lives on the probability scale."""
+        assert 0.0 <= report.predictor_quality["primary"]["threshold"] <= 1.0
+
+    def test_campaign_stays_graceful_with_panel(self, report):
+        assert report.all_graceful
+        assert report.healthy.cycle_survived
+
+    def test_report_json_carries_the_panel(self, report):
+        doc = json.loads(report.to_json())
+        assert doc["predictor"]["name"] == "noisy-or"
+        aliases = [m["alias"] for m in doc["predictor"]["members"]]
+        assert aliases == ["ubf", "hsmm", "rate"]
+        assert doc["predictor_quality"]["primary"]["name"] == "noisy-or"
+
+    def test_summary_mentions_fused_vs_single(self, report):
+        text = report.summary()
+        assert "primary [noisy-or]" in text
+        assert "fused vs best single" in text

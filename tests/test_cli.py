@@ -37,6 +37,57 @@ class TestParser:
         assert args.telemetry_dir == "out"
         assert not args.telemetry  # --telemetry-dir implies it downstream
 
+    def test_campaign_predictor_spec_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "--predictor-spec",
+                '{"name": "noisy-or", "members": ["ubf", "trend"]}',
+            ]
+        )
+        assert args.predictor == "ubf"  # default, overridden downstream
+        assert "noisy-or" in args.predictor_spec
+
+    def test_predictor_spec_helper_parses_inline_json(self):
+        from repro.cli import _parse_predictor_spec
+
+        spec = _parse_predictor_spec(
+            '{"name": "noisy-or", "members": ["ubf", "trend", "trend"]}'
+        )
+        assert spec["name"] == "noisy-or"
+        assert [m["alias"] for m in spec["members"]] == [
+            "ubf",
+            "trend",
+            "trend-2",
+        ]
+
+    def test_predictor_spec_helper_reads_files(self, tmp_path):
+        from repro.cli import _parse_predictor_spec
+
+        path = tmp_path / "panel.json"
+        path.write_text('{"name": "noisy-or", "members": ["ubf"]}')
+        assert _parse_predictor_spec(f"@{path}")["name"] == "noisy-or"
+
+    def test_predictor_spec_helper_rejects_bad_input(self):
+        from repro.cli import _parse_predictor_spec
+
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            _parse_predictor_spec("{nope")
+        with pytest.raises(SystemExit, match="invalid --predictor-spec"):
+            _parse_predictor_spec('{"name": "no-such-predictor"}')
+
+    def test_fleet_predictor_spec_repeatable(self):
+        args = build_parser().parse_args(
+            [
+                "fleet",
+                "--predictor-spec",
+                '{"name": "noisy-or", "members": ["ubf"]}',
+                "--predictor-spec",
+                '{"name": "noisy-or", "members": ["trend"]}',
+            ]
+        )
+        assert len(args.predictor_spec) == 2
+
     def test_fleet_args_parse(self):
         args = build_parser().parse_args(
             [
