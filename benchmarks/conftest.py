@@ -91,7 +91,7 @@ def fitted_ubf(case_study) -> UBFPredictor:
         ),
         rng=np.random.default_rng(2),
     )
-    predictor.fit(case_study.x_train, case_study.y_train)
+    predictor.fit_samples(case_study.x_train, case_study.y_train)
     return predictor
 
 
@@ -100,5 +100,5 @@ def fitted_hsmm(case_study) -> HSMMPredictor:
     predictor = HSMMPredictor(
         n_states_failure=6, n_states_nonfailure=4, max_iter=10, seed=3
     )
-    predictor.fit(case_study.train_failure, case_study.train_nonfailure)
+    predictor.fit_sequences(case_study.train_failure, case_study.train_nonfailure)
     return predictor

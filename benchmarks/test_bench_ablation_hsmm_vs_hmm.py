@@ -18,7 +18,7 @@ def test_bench_ablation_hsmm_vs_hmm(benchmark, case_study, fitted_hsmm):
     hmm = benchmark.pedantic(
         lambda: hmm_ablation_predictor(
             n_states_failure=6, n_states_nonfailure=4, max_iter=10, seed=3
-        ).fit(data.train_failure, data.train_nonfailure),
+        ).fit_sequences(data.train_failure, data.train_nonfailure),
         rounds=1,
         iterations=1,
     )

@@ -23,7 +23,7 @@ def test_bench_ablation_hard_vs_soft_em(benchmark, case_study, fitted_hsmm):
         lambda: HSMMPredictor(
             n_states_failure=6, n_states_nonfailure=4, max_iter=5,
             seed=3, algorithm="soft",
-        ).fit(data.train_failure, data.train_nonfailure),
+        ).fit_sequences(data.train_failure, data.train_nonfailure),
         rounds=1,
         iterations=1,
     )

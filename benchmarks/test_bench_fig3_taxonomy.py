@@ -42,13 +42,19 @@ def test_bench_fig3_every_branch_predicts(benchmark, case_study, fitted_hsmm, fi
     )
 
     # Fit the cheap baselines (UBF/HSMM come pre-fitted from fixtures).
-    dft = DispersionFrameTechnique().fit(data.train_failure, data.train_nonfailure)
-    eventset = EventSetPredictor().fit(data.train_failure, data.train_nonfailure)
-    rate = ErrorRatePredictor().fit(data.train_failure, data.train_nonfailure)
-    mset = MSETPredictor(rng=np.random.default_rng(0)).fit(
+    dft = DispersionFrameTechnique().fit_sequences(
+        data.train_failure, data.train_nonfailure
+    )
+    eventset = EventSetPredictor().fit_sequences(
+        data.train_failure, data.train_nonfailure
+    )
+    rate = ErrorRatePredictor().fit_sequences(
+        data.train_failure, data.train_nonfailure
+    )
+    mset = MSETPredictor(rng=np.random.default_rng(0)).fit_samples(
         data.x_train, data.y_train
     )
-    trend = TrendAnalysisPredictor(window=8).fit(data.x_train, data.y_train)
+    trend = TrendAnalysisPredictor(window=8).fit_samples(data.x_train, data.y_train)
     history = FailureHistoryPredictor(horizon=300.0).fit(
         [t for t in data.dataset.failure_times if t <= data.cutoff]
     )

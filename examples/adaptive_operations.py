@@ -51,7 +51,7 @@ def drift_demo() -> None:
     _, x_heavy, y_heavy, _ = heavy.ubf_samples(variables=VARIABLES)
 
     base = MSETPredictor(n_exemplars=24, rng=np.random.default_rng(0))
-    base.fit(x_normal[:2000], y_normal[:2000])
+    base.fit_samples(x_normal[:2000], y_normal[:2000])
     adaptive = AdaptiveRetrainingPredictor(
         base,
         buffer_size=4_000,

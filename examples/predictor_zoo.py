@@ -58,7 +58,7 @@ def main() -> None:
     )
     for predictor in [ubf, MSETPredictor(rng=np.random.default_rng(2)),
                       TrendAnalysisPredictor(window=8)]:
-        predictor.fit(x[train], y_avail[train])
+        predictor.fit_samples(x[train], y_avail[train])
         reports.append(
             report_from_scores(
                 predictor.info.name,
@@ -75,7 +75,7 @@ def main() -> None:
         DispersionFrameTechnique(),
         ErrorRatePredictor(),
     ]:
-        predictor.fit(train_f, train_n)
+        predictor.fit_sequences(train_f, train_n)
         train_scores, train_labels = predictor._score_labeled(train_f, train_n)
         test_scores, test_labels = predictor._score_labeled(test_f, test_n)
         reports.append(

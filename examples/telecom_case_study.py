@@ -55,7 +55,7 @@ def main() -> None:
         wrapper=ProbabilisticWrapper(n_rounds=8, samples_per_round=10,
                                      rng=np.random.default_rng(1)),
     )
-    ubf.fit(x[train], y_avail[train])
+    ubf.fit_samples(x[train], y_avail[train])
     print(f"  PWA selected: {ubf.selection_.names(VARIABLES)}")
     ubf_report = report_from_scores(
         "UBF",
@@ -70,7 +70,7 @@ def main() -> None:
     train_f, test_f = split_sequences(failure_seqs, cutoff)
     train_n, test_n = split_sequences(nonfailure_seqs, cutoff)
     hsmm = HSMMPredictor(max_iter=10, seed=3)
-    hsmm.fit(train_f, train_n)
+    hsmm.fit_sequences(train_f, train_n)
     train_scores, train_labels = hsmm._score_labeled(train_f, train_n)
     test_scores, test_labels = hsmm._score_labeled(test_f, test_n)
     hsmm_report = report_from_scores(

@@ -63,7 +63,7 @@ def main() -> None:
             )
         t += cfg["data_window"]
     predictor = ErrorRatePredictor()
-    predictor.fit([], quiet_windows)
+    predictor.fit_sequences([], quiet_windows)
     scorer = OnlineEventScorer(
         predictor, data_window=cfg["data_window"], lead_time=cfg["lead_time"]
     )

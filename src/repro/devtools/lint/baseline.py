@@ -17,6 +17,13 @@ Fingerprints ignore line numbers (see
 :meth:`repro.devtools.lint.findings.Finding.fingerprint`), so unrelated
 edits never invalidate the baseline.  Duplicate fingerprints are counted:
 a baseline entry absorbs exactly as many findings as were recorded.
+
+Since version 2 each entry also records the ``rule_version`` it was
+written against, and the rule version is folded into the fingerprint
+itself -- so bumping a rule's version (tightening it) orphans its old
+baseline entries instead of letting them silently absorb the stricter
+rule's findings.  Version-1 baselines are rejected outright: their
+fingerprints predate rule versioning and cannot be trusted to match.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from repro.devtools.lint.findings import Finding
 #: Default baseline filename, looked up in the working directory.
 DEFAULT_BASELINE = "pfmlint-baseline.json"
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 
 def load_baseline(path: str) -> Counter:
@@ -51,6 +58,7 @@ def write_baseline(path: str, findings: list[Finding]) -> int:
     entries = [
         {
             "rule": f.rule,
+            "rule_version": f.rule_version,
             "path": f.path,
             "snippet": f.snippet,
             "message": f.message,

@@ -1,7 +1,9 @@
 """pfmlint command line: ``python -m repro.devtools.lint [paths ...]``.
 
-Exit codes: 0 clean (or everything baselined), 1 new findings, 2 usage
-error.  ``repro.cli lint`` is a thin alias of this entry point.
+Exit codes are stable API: 0 clean (or everything baselined), 1 new
+findings, 2 usage error (argparse) or configuration error (bad layer
+file, unknown rule id).  ``repro.cli lint`` is a thin alias of this
+entry point.
 """
 
 from __future__ import annotations
@@ -15,9 +17,21 @@ from repro.devtools.lint.baseline import (
     split_baselined,
     write_baseline,
 )
+from repro.devtools.lint.cache import DEFAULT_CACHE_DIR
 from repro.devtools.lint.engine import lint_paths
-from repro.devtools.lint.reporters import json_report, list_rules_text, text_report
+from repro.devtools.lint.layers import LayerConfigError
+from repro.devtools.lint.reporters import (
+    json_report,
+    list_rules_text,
+    sarif_report,
+    text_report,
+)
 from repro.devtools.lint.rules import REGISTRY, all_rules
+
+#: Exit codes (stable API, asserted by tests).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,10 +68,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
-        "--json", action="store_true", help="print the JSON report to stdout"
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="stdout report format (default: text)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --format json (kept for compatibility)",
     )
     parser.add_argument(
         "--output", default=None, help="also write the JSON report to this file"
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 report to this file",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="analyze files in N worker processes (default: 1, serial; "
+        "findings are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"analysis cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed analysis cache",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the inter-procedural project phase (PFM010+)",
+    )
+    parser.add_argument(
+        "--layers",
+        default=None,
+        metavar="FILE",
+        help="layer contract file for PFM010 (default: pfmlint-layers.json "
+        "in the working directory, else the built-in contract)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report findings only for git-changed files (full analysis "
+        "still runs so project rules see the whole graph)",
+    )
+    parser.add_argument(
+        "--changed-base",
+        default=None,
+        metavar="REF",
+        help="with --changed-only, also diff against this ref "
+        "(merge-base semantics, e.g. origin/main)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
@@ -83,30 +153,59 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.list_rules:
         print(list_rules_text())
-        return 0
+        return EXIT_CLEAN
 
     rules = _selected_rules(args.select, parser)
-    result = lint_paths(list(args.paths), rules)
+    try:
+        result = lint_paths(
+            list(args.paths),
+            rules,
+            jobs=max(args.jobs, 1),
+            cache_dir=None if args.no_cache else args.cache_dir,
+            project=not args.no_project,
+            layers=args.layers,
+            changed_only=args.changed_only,
+            changed_base=args.changed_base,
+        )
+    except LayerConfigError as exc:
+        print(f"pfmlint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
     if args.write_baseline:
         count = write_baseline(args.baseline, result.findings)
         print(f"pfmlint: wrote {count} finding(s) to {args.baseline}")
-        return 0
+        return EXIT_CLEAN
 
-    baseline = load_baseline(args.baseline) if not args.no_baseline else None
+    try:
+        baseline = load_baseline(args.baseline) if not args.no_baseline else None
+    except ValueError as exc:
+        print(f"pfmlint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     new, baselined = split_baselined(result.findings, baseline or {})
 
     report = json_report(new, baselined, result.files_checked, result.suppressed)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
-    if args.json:
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(sarif_report(new, baselined) + "\n")
+
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         print(report)
+    elif fmt == "sarif":
+        print(sarif_report(new, baselined))
     else:
         print(
             text_report(new, baselined, result.files_checked, result.suppressed)
         )
-    return 1 if new else 0
+        if result.changed_files is not None:
+            print(
+                f"pfmlint: --changed-only limited the report to "
+                f"{result.changed_files} changed file(s)"
+            )
+    return EXIT_FINDINGS if new else EXIT_CLEAN
 
 
 if __name__ == "__main__":

@@ -3,7 +3,12 @@
 A :class:`Finding` is one violation at one source location.  Its
 :meth:`~Finding.fingerprint` deliberately excludes the line number, so a
 baselined finding keeps matching after unrelated edits move it around --
-only the rule, the file, and the offending source text identify it.
+only the rule (at its current version), the file, and the offending
+source text identify it.  The rule *version* is part of the identity on
+purpose: tightening a rule bumps its ``version``, which changes every
+fingerprint it emits and therefore invalidates its baseline entries --
+a stale baseline can never absorb a finding produced by a stricter
+check than the one that recorded it.
 """
 
 from __future__ import annotations
@@ -23,16 +28,18 @@ class Finding:
     rule: str
     message: str
     snippet: str = ""
+    rule_version: int = 1
 
     def fingerprint(self) -> str:
         """Line-number-independent identity used by the baseline.
 
-        Two findings share a fingerprint iff they are the same rule, in
-        the same file, on identical (whitespace-normalized) source text.
-        Duplicates are legal; the baseline counts them.
+        Two findings share a fingerprint iff they are the same rule *at
+        the same rule version*, in the same file, on identical
+        (whitespace-normalized) source text.  Duplicates are legal; the
+        baseline counts them.
         """
         normalized = " ".join(self.snippet.split())
-        payload = f"{self.rule}|{self.path}|{normalized}"
+        payload = f"{self.rule}:v{self.rule_version}|{self.path}|{normalized}"
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def location(self) -> str:
@@ -45,6 +52,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "rule": self.rule,
+            "rule_version": self.rule_version,
             "message": self.message,
             "snippet": self.snippet,
             "fingerprint": self.fingerprint(),

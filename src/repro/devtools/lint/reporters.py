@@ -47,6 +47,8 @@ def json_report(
             rule_id: {
                 "title": rule_cls.title,
                 "severity": rule_cls.severity,
+                "version": rule_cls.version,
+                "project": rule_cls.project,
                 "doc": rule_cls.doc(),
             }
             for rule_id, rule_cls in sorted(REGISTRY.items())
@@ -57,10 +59,98 @@ def json_report(
     return json.dumps(doc, indent=2, sort_keys=True)
 
 
+def sarif_report(new: list[Finding], baselined: list[Finding]) -> str:
+    """A SARIF 2.1.0 document (GitHub code-scanning upload format).
+
+    New findings become plain results; baselined findings are included
+    with an ``external`` suppression so code scanning shows them as
+    dismissed rather than losing them entirely.  Output is fully
+    deterministic: rules and results are emitted in sorted order and
+    the JSON is dumped with sorted keys.
+    """
+    rule_ids = sorted(REGISTRY)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+
+    def result(finding: Finding, suppressed: bool) -> dict:
+        severity = getattr(REGISTRY.get(finding.rule), "severity", "error")
+        doc: dict = {
+            "ruleId": finding.rule,
+            "level": severity if severity in ("error", "warning") else "note",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "ROOTPATH",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(finding.col, 1),
+                            "snippet": {"text": finding.snippet},
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"pfmlint/v1": finding.fingerprint()},
+        }
+        if finding.rule in rule_index:
+            doc["ruleIndex"] = rule_index[finding.rule]
+        if suppressed:
+            doc["suppressions"] = [
+                {"kind": "external", "justification": "pfmlint baseline"}
+            ]
+        return doc
+
+    results = [result(f, False) for f in sorted(new)]
+    results += [result(f, True) for f in sorted(baselined)]
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pfmlint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "name": REGISTRY[rule_id].title or rule_id,
+                                "shortDescription": {
+                                    "text": REGISTRY[rule_id].title or rule_id
+                                },
+                                "fullDescription": {
+                                    "text": REGISTRY[rule_id].doc()
+                                },
+                                "defaultConfiguration": {
+                                    "level": REGISTRY[rule_id].severity
+                                },
+                                "properties": {
+                                    "version": REGISTRY[rule_id].version,
+                                    "project": REGISTRY[rule_id].project,
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
 def list_rules_text() -> str:
     """The ``--list-rules`` catalogue."""
     lines = []
     for rule_id, rule_cls in sorted(REGISTRY.items()):
-        lines.append(f"{rule_id}  [{rule_cls.severity}]  {rule_cls.title}")
+        kind = "project" if rule_cls.project else "file"
+        lines.append(
+            f"{rule_id}  [{rule_cls.severity}] [{kind}, v{rule_cls.version}]"
+            f"  {rule_cls.title}"
+        )
         lines.append(f"    {rule_cls.doc()}")
     return "\n".join(lines)

@@ -41,11 +41,22 @@ class Rule:
     :attr:`severity`, and implement :meth:`check` yielding
     :class:`Finding` objects.  The class docstring is the user-facing
     rule documentation (shown by ``--list-rules``).
+
+    :attr:`version` is the rule's *semantic* version: bump it whenever
+    the rule tightens (new patterns caught, scope widened).  The version
+    participates in finding fingerprints and in the analysis-cache
+    engine signature, so a bump atomically invalidates both the rule's
+    baseline entries and every cached per-file result -- a stale
+    ``pfmlint-baseline.json`` entry can never mask a finding the
+    stricter rule would now report.
     """
 
     id: str = ""
     title: str = ""
     severity: str = "error"
+    version: int = 1
+    #: True for project-phase rules (see ``project_rules.ProjectRule``).
+    project: bool = False
 
     def check(self, module: ModuleContext) -> Iterable[Finding]:
         raise NotImplementedError

@@ -145,7 +145,7 @@ class TestControllerBehaviour:
         class BurstDetector(EventPredictor):
             info = PredictorInfo(name="burst", category="test")
 
-            def fit(self, f, n):
+            def fit_sequences(self, f, n):
                 self._fitted = True
                 return self
 
@@ -156,7 +156,7 @@ class TestControllerBehaviour:
         system = SCPSystem(
             engine, RandomStreams(5), SCPConfig(enable_aging=False, n_containers=3)
         )
-        detector = BurstDetector().fit([], [])
+        detector = BurstDetector().fit_sequences([], [])
         detector.set_threshold(5.0)
         controller = PFMController(
             system=system,

@@ -55,9 +55,10 @@ class TestReplication:
     def replicated(self):
         from repro.core import replicate_closed_loop
 
-        return replicate_closed_loop(
-            eval_seeds=[21, 23], train_seed=11, horizon=1.5 * 86_400.0
-        )
+        with pytest.warns(DeprecationWarning, match="replicate_closed_loop"):
+            return replicate_closed_loop(
+                eval_seeds=[21, 23], train_seed=11, horizon=1.5 * 86_400.0
+            )
 
     def test_one_result_per_seed(self, replicated):
         assert len(replicated.results) == 2
@@ -73,7 +74,7 @@ class TestReplication:
     def test_requires_seeds(self):
         from repro.core import replicate_closed_loop
 
-        with pytest.raises(ValueError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
             replicate_closed_loop(eval_seeds=[])
 
 

@@ -1,0 +1,35 @@
+"""Shared fixtures: build throwaway mini-projects for the linter.
+
+``make_project`` writes a ``repro``-named package tree under tmp_path --
+the files are only ever *parsed*, never imported, so reusing the real
+package name is safe and lets the project rules' built-in scopes and the
+default layer contract apply unchanged.
+"""
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """files: {relative path: source} -> project root (str).
+
+    ``__init__.py`` markers are created for every intermediate package
+    directory so ``module_name_for_path`` resolves dotted names.
+    """
+
+    def build(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+            parent = path.parent
+            while parent != tmp_path:
+                marker = parent / "__init__.py"
+                if not marker.exists():
+                    marker.write_text("")
+                parent = parent.parent
+        return str(tmp_path)
+
+    return build

@@ -88,6 +88,100 @@ class TestReports:
             assert rule_id in out
 
 
+class TestFormats:
+    def test_format_json_matches_json_flag(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        lint_main([dirty, "--no-baseline", "--json"])
+        legacy = capsys.readouterr().out
+        lint_main([dirty, "--no-baseline", "--format", "json"])
+        modern = capsys.readouterr().out
+        assert legacy == modern
+
+    def test_sarif_stdout_is_valid_sarif(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        assert lint_main([dirty, "--no-baseline", "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "pfmlint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "PFM003"
+        assert result["locations"][0]["physicalLocation"]["region"][
+            "startLine"
+        ] == 1
+
+    def test_sarif_file_and_baselined_suppression(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        baseline = str(tmp_path / "baseline.json")
+        lint_main([dirty, "--baseline", baseline, "--write-baseline"])
+        sarif = tmp_path / "report.sarif"
+        assert (
+            lint_main([dirty, "--baseline", baseline, "--sarif", str(sarif)])
+            == 0
+        )
+        doc = json.loads(sarif.read_text())
+        (result,) = doc["runs"][0]["results"]
+        assert result["suppressions"][0]["kind"] == "external"
+
+    def test_sarif_output_is_deterministic(self, tmp_path, capsys):
+        dirty = write_module(
+            tmp_path, "dirty.py", "a = x != 0.5\nb = y != 1.5\n"
+        )
+        lint_main([dirty, "--no-baseline", "--format", "sarif", "--no-cache"])
+        first = capsys.readouterr().out
+        lint_main([dirty, "--no-baseline", "--format", "sarif", "--no-cache"])
+        assert capsys.readouterr().out == first
+
+    def test_rules_section_carries_versions(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        lint_main([dirty, "--no-baseline", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["rules"]["PFM003"]["version"] >= 1
+        assert doc["rules"]["PFM010"]["project"] is True
+        (finding,) = doc["findings"]
+        assert finding["rule_version"] >= 1
+
+
+class TestEngineFlags:
+    def test_jobs_and_cache_flags(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        cache = str(tmp_path / "cache")
+        args = [dirty, "--no-baseline", "--cache-dir", cache, "--jobs", "2"]
+        assert lint_main(args) == 1
+        first = capsys.readouterr().out
+        assert lint_main(args) == 1
+        assert capsys.readouterr().out == first
+
+    def test_no_project_skips_project_rules(self, tmp_path, capsys):
+        # A layer violation is only visible to the project phase.
+        pkg = tmp_path / "repro" / "telemetry"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "bad.py").write_text("from repro.core import engine\n")
+        core = tmp_path / "repro" / "core"
+        core.mkdir()
+        (core / "__init__.py").write_text("")
+        (core / "engine.py").write_text("x = 1\n")
+        root = str(tmp_path / "repro")
+        assert lint_main([root, "--no-baseline", "--no-cache"]) == 1
+        assert "PFM010" in capsys.readouterr().out
+        assert lint_main(
+            [root, "--no-baseline", "--no-cache", "--no-project"]
+        ) == 0
+
+    def test_bad_layers_file_is_usage_error(self, tmp_path, capsys):
+        clean = write_module(tmp_path, "clean.py", "x = 1\n")
+        missing = str(tmp_path / "nope.json")
+        assert lint_main([clean, "--no-baseline", "--layers", missing]) == 2
+
+    def test_old_baseline_version_is_usage_error(self, tmp_path, capsys):
+        dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")
+        stale = tmp_path / "baseline.json"
+        stale.write_text('{"version": 1, "tool": "pfmlint", "findings": []}')
+        assert lint_main([dirty, "--baseline", str(stale)]) == 2
+
+
 class TestReproCliAlias:
     def test_lint_subcommand_delegates(self, tmp_path, capsys):
         dirty = write_module(tmp_path, "dirty.py", "bad = x != 0.5\n")

@@ -1,0 +1,129 @@
+"""The layer contract: loader validation and the checked-in file."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.layers import (
+    DEFAULT_LAYER_DATA,
+    DEFAULT_LAYERS_FILE,
+    LayerConfigError,
+    load_layers,
+    parse_layer_data,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def minimal(layers):
+    return {"version": 1, "layers": layers}
+
+
+class TestCheckedInContract:
+    def test_repo_file_matches_embedded_default(self):
+        """The committed pfmlint-layers.json IS the embedded contract.
+
+        ``load_layers`` falls back to the embedded copy when the file is
+        absent (e.g. linting a checkout subset); the two must never
+        drift apart or the fallback silently checks a different DAG.
+        """
+        committed = json.loads(
+            (REPO_ROOT / DEFAULT_LAYERS_FILE).read_text(encoding="utf-8")
+        )
+        assert committed == DEFAULT_LAYER_DATA
+
+    def test_default_contract_parses(self):
+        config = parse_layer_data(DEFAULT_LAYER_DATA, "embedded")
+        assert "telemetry" in config.names
+        assert "core" in config.names
+
+
+class TestLayerOf:
+    def test_longest_prefix_wins(self):
+        config = parse_layer_data(DEFAULT_LAYER_DATA, "embedded")
+        assert config.layer_of("repro.resilience.sanitizer") == "resilience"
+        assert config.layer_of("repro.resilience.campaign") == "campaign"
+        assert config.layer_of("repro.resilience.campaign.sub") == "campaign"
+
+    def test_unmatched_module_is_unconstrained(self):
+        config = parse_layer_data(DEFAULT_LAYER_DATA, "embedded")
+        assert config.layer_of("somelib.helpers") is None
+
+    def test_prefixes_are_dotted_not_textual(self):
+        config = parse_layer_data(
+            minimal(
+                [
+                    {"name": "a", "modules": ["pkg.tele"], "may_depend_on": []},
+                ]
+            ),
+            "t",
+        )
+        assert config.layer_of("pkg.telemetry") is None
+        assert config.layer_of("pkg.tele.x") == "a"
+
+
+class TestDependencyClosure:
+    def test_may_depend_is_transitively_closed(self):
+        config = parse_layer_data(
+            minimal(
+                [
+                    {"name": "base", "modules": ["p.base"], "may_depend_on": []},
+                    {"name": "mid", "modules": ["p.mid"], "may_depend_on": ["base"]},
+                    {"name": "top", "modules": ["p.top"], "may_depend_on": ["mid"]},
+                ]
+            ),
+            "t",
+        )
+        assert config.may_depend("top", "base")
+        assert not config.may_depend("base", "top")
+        assert config.may_depend("mid", "mid")  # intra-layer always fine
+
+    def test_cycle_is_rejected(self):
+        with pytest.raises(LayerConfigError):
+            parse_layer_data(
+                minimal(
+                    [
+                        {"name": "a", "modules": ["p.a"], "may_depend_on": ["b"]},
+                        {"name": "b", "modules": ["p.b"], "may_depend_on": ["a"]},
+                    ]
+                ),
+                "t",
+            )
+
+    def test_unknown_dependency_is_rejected(self):
+        with pytest.raises(LayerConfigError):
+            parse_layer_data(
+                minimal(
+                    [{"name": "a", "modules": ["p.a"], "may_depend_on": ["ghost"]}]
+                ),
+                "t",
+            )
+
+    def test_duplicate_prefix_is_rejected(self):
+        with pytest.raises(LayerConfigError):
+            parse_layer_data(
+                minimal(
+                    [
+                        {"name": "a", "modules": ["p.x"], "may_depend_on": []},
+                        {"name": "b", "modules": ["p.x"], "may_depend_on": []},
+                    ]
+                ),
+                "t",
+            )
+
+    def test_wrong_version_is_rejected(self):
+        with pytest.raises(LayerConfigError):
+            parse_layer_data({"version": 99, "layers": []}, "t")
+
+
+class TestLoadLayers:
+    def test_explicit_path_must_exist(self, tmp_path):
+        with pytest.raises(LayerConfigError):
+            load_layers(str(tmp_path / "missing.json"))
+
+    def test_explicit_path_loads(self, tmp_path):
+        path = tmp_path / "layers.json"
+        path.write_text(json.dumps(DEFAULT_LAYER_DATA))
+        config = load_layers(str(path))
+        assert config.layer_of("repro.telemetry.hub") == "telemetry"

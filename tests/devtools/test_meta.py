@@ -2,6 +2,7 @@
 
 from pathlib import Path
 
+from repro.devtools.lint.project_rules import ProjectRule
 from repro.devtools.lint.rules import REGISTRY, Rule, all_rules
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -26,6 +27,22 @@ class TestRuleHygiene:
     def test_check_is_overridden(self):
         for cls in REGISTRY.values():
             assert cls.check is not Rule.check, cls.id
+
+    def test_every_rule_has_a_positive_integer_version(self):
+        for cls in REGISTRY.values():
+            assert isinstance(cls.version, int) and cls.version >= 1, cls.id
+
+    def test_project_rules_override_check_project(self):
+        project_rules = [cls for cls in REGISTRY.values() if cls.project]
+        assert project_rules, "PFM010+ should be registered"
+        for cls in project_rules:
+            assert issubclass(cls, ProjectRule), cls.id
+            assert cls.check_project is not ProjectRule.check_project, cls.id
+
+    def test_file_rules_are_not_marked_project(self):
+        for cls in REGISTRY.values():
+            if not cls.project:
+                assert not issubclass(cls, ProjectRule), cls.id
 
 
 class TestRuleDocs:

@@ -1,0 +1,55 @@
+"""Parallel per-file analysis must be byte-identical to serial."""
+
+import json
+
+from repro.devtools.lint.engine import lint_paths
+from repro.devtools.lint.reporters import json_report
+
+#: A project with findings scattered over enough files that worker
+#: completion order would visibly scramble an unsorted merge.
+FILES = {
+    f"repro/pkg{i}/mod{j}.py": (
+        "bad = value != 0.5\n"
+        if (i + j) % 2
+        else "import time\n\n\ndef f():\n    return time.time()\n"
+    )
+    for i in range(3)
+    for j in range(4)
+}
+FILES["repro/telemetry/taint.py"] = (
+    "from repro.pkg0.mod0 import f\n\n\ndef span():\n    return f()\n"
+)
+
+
+class TestParallelIdentity:
+    def test_findings_are_byte_identical(self, make_project, tmp_path):
+        root = make_project(FILES)
+        serial = lint_paths([root], cache_dir=None, jobs=1)
+        parallel = lint_paths([root], cache_dir=None, jobs=3)
+        assert serial.findings == parallel.findings
+        assert serial.files_checked == parallel.files_checked
+        assert serial.suppressed == parallel.suppressed
+        # The full report documents match byte for byte.
+        assert json_report(
+            serial.findings, [], serial.files_checked, serial.suppressed
+        ) == json_report(
+            parallel.findings, [], parallel.files_checked, parallel.suppressed
+        )
+
+    def test_parallel_populates_the_cache(self, make_project, tmp_path):
+        root = make_project(FILES)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_paths([root], cache_dir=cache_dir, jobs=3)
+        assert cold.cache_misses == cold.files_checked
+        warm = lint_paths([root], cache_dir=cache_dir, jobs=1)
+        assert warm.cache_misses == 0
+        assert warm.findings == cold.findings
+
+    def test_report_is_deterministic_json(self, make_project):
+        root = make_project(FILES)
+        result = lint_paths([root], cache_dir=None, jobs=2)
+        report = json_report(result.findings, [], result.files_checked,
+                             result.suppressed)
+        doc = json.loads(report)
+        paths = [f["path"] for f in doc["findings"]]
+        assert paths == sorted(paths)

@@ -37,7 +37,7 @@ def pipeline(medium_dataset):
         wrapper=ProbabilisticWrapper(n_rounds=5, samples_per_round=8,
                                      rng=np.random.default_rng(1)),
     )
-    predictor.fit(x[train], y_avail[train])
+    predictor.fit_samples(x[train], y_avail[train])
     report = report_from_scores(
         "UBF",
         predictor.score_samples(x[train]), y_fail[train],
@@ -95,7 +95,7 @@ class TestOnlineEventScoring:
         if len(train_f) < 3:
             pytest.skip("too few training sequences in this dataset")
         predictor = HSMMPredictor(max_iter=6, seed=3)
-        predictor.fit(train_f, train_n)
+        predictor.fit_sequences(train_f, train_n)
         scorer = OnlineEventScorer(
             predictor, data_window=cfg.data_window, lead_time=cfg.lead_time
         )

@@ -17,7 +17,7 @@ class MeanModel(SymptomPredictor):
         self.mean = 0.0
         self.fits = 0
 
-    def fit(self, x, y):
+    def fit_samples(self, x, y):
         self.mean = float(np.mean(x))
         self.fits += 1
         self._fitted = True
@@ -40,7 +40,9 @@ def feed(adaptive, values, targets=None):
 
 class TestAdaptiveRetraining:
     def make(self, rng, threshold=8.0):
-        model = MeanModel().fit(rng.normal(0.0, 1.0, size=(100, 1)), np.zeros(100))
+        model = MeanModel().fit_samples(
+            rng.normal(0.0, 1.0, size=(100, 1)), np.zeros(100)
+        )
         return AdaptiveRetrainingPredictor(
             model,
             buffer_size=500,
@@ -71,7 +73,7 @@ class TestAdaptiveRetraining:
         assert adaptive.refit_count <= 1
 
     def test_refit_waits_for_post_alarm_samples(self, rng):
-        model = MeanModel().fit(np.zeros((10, 1)), np.zeros(10))
+        model = MeanModel().fit_samples(np.zeros((10, 1)), np.zeros(10))
         adaptive = AdaptiveRetrainingPredictor(
             model,
             buffer_size=500,

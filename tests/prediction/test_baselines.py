@@ -27,7 +27,7 @@ def steady_sequence():
 class TestDFT:
     def fitted(self):
         dft = DispersionFrameTechnique()
-        dft.fit([accelerating_sequence()], [steady_sequence()] * 3)
+        dft.fit_sequences([accelerating_sequence()], [steady_sequence()] * 3)
         return dft
 
     def test_accelerating_scores_higher(self):
@@ -51,7 +51,7 @@ class TestDFT:
 
     def test_windows_calibrated_from_quiet_data(self):
         dft = DispersionFrameTechnique()
-        dft.fit([], [steady_sequence()])
+        dft.fit_sequences([], [steady_sequence()])
         assert dft.window_2in1 == pytest.approx(60.0)
         assert dft.window_4in1 == pytest.approx(180.0)
 
@@ -76,14 +76,14 @@ class TestEventSets:
 
     def test_mines_indicative_sets(self):
         predictor = EventSetPredictor(min_support=0.6, min_confidence=0.6)
-        predictor.fit(*self.make_data())
+        predictor.fit_sequences(*self.make_data())
         top = predictor.indicative_sets()
         assert any({100, 200} <= s for s, _ in top)
 
     def test_scores_separate(self):
         failure, nonfailure = self.make_data()
         predictor = EventSetPredictor(min_support=0.6, min_confidence=0.6)
-        predictor.fit(failure, nonfailure)
+        predictor.fit_sequences(failure, nonfailure)
         assert predictor.score_sequence(failure[0]) > predictor.score_sequence(
             nonfailure[0]
         )
@@ -91,7 +91,7 @@ class TestEventSets:
     def test_unmatched_sequence_gets_base_rate(self):
         failure, nonfailure = self.make_data()
         predictor = EventSetPredictor(min_support=0.6)
-        predictor.fit(failure, nonfailure)
+        predictor.fit_sequences(failure, nonfailure)
         novel = EventSequence(times=[0.0], message_ids=[999])
         assert predictor.score_sequence(novel) == pytest.approx(
             predictor.base_rate_
@@ -99,7 +99,7 @@ class TestEventSets:
 
     def test_requires_failure_sequences(self):
         with pytest.raises(ConfigurationError):
-            EventSetPredictor().fit([], [steady_sequence()])
+            EventSetPredictor().fit_sequences([], [steady_sequence()])
 
     def test_constructor_validation(self):
         with pytest.raises(ConfigurationError):
@@ -111,7 +111,7 @@ class TestEventSets:
 class TestErrorRate:
     def test_rate_increase_detected(self):
         predictor = ErrorRatePredictor()
-        predictor.fit([], [steady_sequence()] * 3)
+        predictor.fit_sequences([], [steady_sequence()] * 3)
         dense_times = list(np.arange(0.0, 1000.0, 20.0))
         dense = EventSequence(times=dense_times, message_ids=[500] * len(dense_times))
         assert predictor.score_sequence(dense) > predictor.score_sequence(
@@ -120,7 +120,7 @@ class TestErrorRate:
 
     def test_novel_error_types_detected(self):
         predictor = ErrorRatePredictor()
-        predictor.fit([], [steady_sequence()] * 3)
+        predictor.fit_sequences([], [steady_sequence()] * 3)
         novel = EventSequence(
             times=list(np.arange(0.0, 1000.0, 120.0)),
             message_ids=[100] * 9,  # unseen type, same rate
@@ -131,7 +131,7 @@ class TestErrorRate:
 
     def test_empty_sequence_scores_low(self):
         predictor = ErrorRatePredictor()
-        predictor.fit([], [steady_sequence()])
+        predictor.fit_sequences([], [steady_sequence()])
         empty = EventSequence(times=[], message_ids=[])
         assert predictor.score_sequence(empty) < predictor.score_sequence(
             steady_sequence()
@@ -154,21 +154,21 @@ class TestMSET:
     def test_residuals_flag_departure_from_healthy_manifold(self, state_data, rng):
         x, labels = state_data
         predictor = MSETPredictor(n_exemplars=16, rng=rng)
-        predictor.fit(x, labels.astype(float))
+        predictor.fit_samples(x, labels.astype(float))
         scores = predictor.score_samples(x)
         assert scores[labels].mean() > 3 * scores[~labels].mean()
 
     def test_auc(self, state_data, rng):
         x, labels = state_data
         predictor = MSETPredictor(n_exemplars=16, rng=rng)
-        predictor.fit(x, labels.astype(float))
+        predictor.fit_samples(x, labels.astype(float))
         assert predictor.auc(x, labels) > 0.95
 
     def test_continuous_target_accepted(self, state_data, rng):
         x, labels = state_data
         availability = 1.0 - 0.01 * labels
         predictor = MSETPredictor(n_exemplars=8, rng=rng)
-        predictor.fit(x, availability)
+        predictor.fit_samples(x, availability)
         assert np.isfinite(predictor.score_samples(x)).all()
 
     def test_validation(self):
@@ -187,7 +187,7 @@ class TestTrendAnalysis:
         labels = np.zeros(40, bool)
         labels[-5:] = True
         predictor = TrendAnalysisPredictor(variable_index=0, window=8)
-        predictor.fit(values, labels.astype(float))
+        predictor.fit_samples(values, labels.astype(float))
         scores = predictor.score_samples(values)
         assert scores[-1] > scores[10]
         assert scores[5] == 0.0  # flat -> no exhaustion predicted
@@ -199,7 +199,7 @@ class TestTrendAnalysis:
         labels = np.zeros(50, bool)
         labels[-10:] = True
         predictor = TrendAnalysisPredictor(window=6)
-        predictor.fit(x, labels.astype(float))
+        predictor.fit_samples(x, labels.astype(float))
         assert predictor.variable_index == 1
 
     def test_window_validation(self):

@@ -60,7 +60,7 @@ def fitted(sequence_data):
     predictor = HSMMPredictor(
         n_states_failure=4, n_states_nonfailure=3, max_iter=8, seed=1
     )
-    predictor.fit(train_f, train_n)
+    predictor.fit_sequences(train_f, train_n)
     return predictor
 
 
@@ -92,7 +92,7 @@ class TestValidation:
     def test_fit_requires_both_classes(self):
         predictor = HSMMPredictor()
         with pytest.raises(ConfigurationError):
-            predictor.fit([], [])
+            predictor.fit_sequences([], [])
 
     def test_score_before_fit(self):
         predictor = HSMMPredictor()
@@ -117,7 +117,7 @@ class TestAblation:
         ablation = hmm_ablation_predictor(
             n_states_failure=4, n_states_nonfailure=3, max_iter=8, seed=1
         )
-        ablation.fit(train_f, train_n)
+        ablation.fit_sequences(train_f, train_n)
         # Still a working classifier...
         assert ablation.auc(test_f, test_n) > 0.7
         # ...whose duration model is geometric.
@@ -131,7 +131,7 @@ class TestAblation:
     def test_prior_ratio_reflects_class_balance(self, rng):
         failure, nonfailure = synthetic_sequences(rng, n_per_class=6)
         predictor = HSMMPredictor(max_iter=3, seed=0)
-        predictor.fit(failure, nonfailure[:3])
+        predictor.fit_sequences(failure, nonfailure[:3])
         assert predictor.log_prior_ratio > 0  # failures more frequent
 
 
@@ -154,8 +154,8 @@ class TestBatchScoring:
             n_states_failure=3, n_states_nonfailure=2, max_iter=4, seed=2,
             strategy="reference",
         )
-        fast.fit(train_f[:6], train_n[:6])
-        slow.fit(train_f[:6], train_n[:6])
+        fast.fit_sequences(train_f[:6], train_n[:6])
+        slow.fit_sequences(train_f[:6], train_n[:6])
         np.testing.assert_allclose(
             fast.score_sequences(test_f[:4] + test_n[:4]),
             slow.score_sequences(test_f[:4] + test_n[:4]),
@@ -177,5 +177,5 @@ class TestBatchScoring:
         ablation = hmm_ablation_predictor(
             n_states_failure=2, n_states_nonfailure=2, max_iter=2, seed=1
         )
-        ablation.fit(train_f[:4], train_n[:4])
+        ablation.fit_sequences(train_f[:4], train_n[:4])
         pickle.loads(pickle.dumps(ablation.failure_model))

@@ -14,7 +14,7 @@ class CountingPredictor(EventPredictor):
 
     info = PredictorInfo(name="counter", category="test")
 
-    def fit(self, failure_sequences, nonfailure_sequences):
+    def fit_sequences(self, failure_sequences, nonfailure_sequences):
         self._fitted = True
         return self
 
@@ -33,7 +33,7 @@ def log():
 
 class TestOnlineEventScorer:
     def make(self, data_window=300.0, lead_time=60.0):
-        predictor = CountingPredictor().fit([], [])
+        predictor = CountingPredictor().fit_sequences([], [])
         predictor.set_threshold(5.0)
         return OnlineEventScorer(predictor, data_window, lead_time)
 
@@ -58,7 +58,7 @@ class TestOnlineEventScorer:
 
     def test_max_events_cap_keeps_newest(self, log):
         scorer = OnlineEventScorer(
-            CountingPredictor().fit([], []), data_window=300.0,
+            CountingPredictor().fit_sequences([], []), data_window=300.0,
             lead_time=0.0, max_events=3,
         )
         window = scorer.window_at(log, 600.0)
@@ -83,7 +83,7 @@ class TestOnlineEventScorer:
 class TestScoreSeriesBatching:
     def test_series_matches_per_instant_scores(self, log):
         scorer = OnlineEventScorer(
-            CountingPredictor().fit([], []), data_window=300.0, lead_time=60.0
+            CountingPredictor().fit_sequences([], []), data_window=300.0, lead_time=60.0
         )
         scorer.predictor.set_threshold(5.0)
         times = np.arange(0.0, 1000.0, 50.0)

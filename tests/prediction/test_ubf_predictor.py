@@ -48,33 +48,33 @@ class TestUBFPredictor:
     def test_scores_rank_failures_higher(self, availability_problem, rng):
         x, y, labels = availability_problem
         predictor = fast_predictor(rng)
-        predictor.fit(x, y)
+        predictor.fit_samples(x, y)
         scores = predictor.score_samples(x)
         assert scores[labels].mean() > scores[~labels].mean()
 
     def test_auc_strong_on_easy_problem(self, availability_problem, rng):
         x, y, labels = availability_problem
         predictor = fast_predictor(rng)
-        predictor.fit(x, y)
+        predictor.fit_samples(x, y)
         assert predictor.auc(x, labels) > 0.9
 
     def test_variable_selection_finds_driver(self, availability_problem, rng):
         x, y, _ = availability_problem
         predictor = fast_predictor(rng)
-        predictor.fit(x, y)
+        predictor.fit_samples(x, y)
         assert 0 in predictor.selected_indices_
 
     def test_no_selection_uses_all(self, availability_problem, rng):
         x, y, _ = availability_problem
         predictor = fast_predictor(rng, select=False)
-        predictor.fit(x, y)
+        predictor.fit_samples(x, y)
         assert predictor.selected_indices_ == [0, 1]
         assert predictor.selection_ is None
 
     def test_boolean_labels_accepted(self, availability_problem, rng):
         x, _, labels = availability_problem
         predictor = fast_predictor(rng, select=False)
-        predictor.fit(x, labels.astype(float))
+        predictor.fit_samples(x, labels.astype(float))
         scores = predictor.score_samples(x)
         assert np.isfinite(scores).all()
 
@@ -83,14 +83,14 @@ class TestUBFPredictor:
     ):
         x, y, _ = availability_problem
         predictor = fast_predictor(rng, select=False)
-        predictor.fit(x, y)
+        predictor.fit_samples(x, y)
         availability = predictor.predicted_availability(x)
         assert np.all((0.0 <= availability) & (availability <= 1.0))
 
     def test_threshold_workflow(self, availability_problem, rng):
         x, y, labels = availability_problem
         predictor = fast_predictor(rng, select=False)
-        predictor.fit(x, y)
+        predictor.fit_samples(x, y)
         scores = predictor.score_samples(x)
         threshold = predictor.calibrate_threshold(scores, labels)
         assert predictor.threshold == threshold

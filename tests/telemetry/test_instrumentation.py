@@ -262,7 +262,7 @@ class TestHSMMProfiling:
             max_iter=2,
             telemetry=hub,
         )
-        predictor.fit(seqs(4), seqs(4))
+        predictor.fit_sequences(seqs(4), seqs(4))
         predictor.score_sequences(seqs(3))
         span = hub.spans_named("hsmm.score_batch")[0]
         assert span.attributes["sequences"] == 3
